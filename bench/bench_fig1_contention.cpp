@@ -1,0 +1,146 @@
+// Fig 1 — "LLC contention could impact some applications."
+//
+// Each representative micro-VM v{1,2,3}rep runs against each
+// disruptive micro-VM v{1,2,3}dis in three execution modes:
+//   alternative — both pinned to core 0 (time sharing);
+//   parallel    — rep on core 0, dis on core 1 (same socket / LLC);
+//   combined    — one dis shares rep's core AND one runs on core 1.
+// Reported: % IPC degradation of the representative vs its solo run.
+//
+// Expected shape: C1 victims ~0 everywhere; v1dis (ILC-sized) harms
+// nobody; C2/C3 victims are hurt badly by C2/C3 disruptors; parallel
+// contention is far worse than alternative (paper: up to 70% vs 13%).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace kyoto;
+using workloads::MicroClass;
+
+namespace {
+
+sim::WorkloadFactory rep_factory(MicroClass cls, const hv::MachineConfig& mc) {
+  const auto mem = mc.mem;
+  return [cls, mem](std::uint64_t s) { return workloads::micro_representative(cls, mem, s); };
+}
+
+sim::WorkloadFactory dis_factory(MicroClass cls, const hv::MachineConfig& mc) {
+  const auto mem = mc.mem;
+  return [cls, mem](std::uint64_t s) { return workloads::micro_disruptive(cls, mem, s); };
+}
+
+enum class Mode { kAlternative, kParallel, kCombined };
+
+double degradation(const sim::RunSpec& spec, const sim::WorkloadFactory& rep, double solo_ipc,
+                   const sim::WorkloadFactory& dis, Mode mode) {
+  std::vector<sim::VmPlan> plans;
+  sim::VmPlan r;
+  r.config.name = "rep";
+  r.workload = rep;
+  r.pinned_cores = {0};
+  plans.push_back(r);
+
+  auto add_dis = [&](int core, const char* name) {
+    sim::VmPlan d;
+    d.config.name = name;
+    d.config.loop_workload = true;
+    d.workload = dis;
+    d.pinned_cores = {core};
+    plans.push_back(d);
+  };
+  switch (mode) {
+    case Mode::kAlternative:
+      add_dis(0, "dis-alt");
+      break;
+    case Mode::kParallel:
+      add_dis(1, "dis-par");
+      break;
+    case Mode::kCombined:
+      add_dis(0, "dis-alt");
+      add_dis(1, "dis-par");
+      break;
+  }
+  const auto outcome = sim::run_scenario(spec, plans);
+  return sim::degradation_pct(solo_ipc, outcome.vms[0].ipc);
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Fig 1", "LLC contention by VM class and execution mode",
+      "C1 rows ~0; v1dis harmless; C2/C3 hurt by C2/C3 disruptors; parallel >> alternative");
+
+  sim::RunSpec spec;
+  spec.machine = hv::scaled_machine();
+  spec.warmup_ticks = 6;
+  spec.measure_ticks = bench::ticks(45);
+
+  const MicroClass classes[] = {MicroClass::kC1, MicroClass::kC2, MicroClass::kC3};
+  const char* mode_names[] = {"alternative", "parallel", "combined"};
+
+  double deg[3][3][3];  // [mode][rep][dis]
+  std::vector<double> solo_ipc(3);
+  for (int ri = 0; ri < 3; ++ri) {
+    const auto rep = rep_factory(classes[ri], spec.machine);
+    solo_ipc[static_cast<std::size_t>(ri)] =
+        sim::run_solo(spec, rep, "rep").ipc;
+  }
+  for (int mi = 0; mi < 3; ++mi) {
+    for (int ri = 0; ri < 3; ++ri) {
+      const auto rep = rep_factory(classes[ri], spec.machine);
+      for (int di = 0; di < 3; ++di) {
+        const auto dis = dis_factory(classes[di], spec.machine);
+        deg[mi][ri][di] = degradation(spec, rep, solo_ipc[static_cast<std::size_t>(ri)], dis,
+                                      static_cast<Mode>(mi));
+      }
+    }
+  }
+
+  for (int mi = 0; mi < 3; ++mi) {
+    std::cout << "--- " << mode_names[mi] << " execution ---\n";
+    TextTable table({"victim", "vs v1dis", "vs v2dis", "vs v3dis", "bar (worst)"});
+    for (int ri = 0; ri < 3; ++ri) {
+      const double worst =
+          std::max({deg[mi][ri][0], deg[mi][ri][1], deg[mi][ri][2], 0.0});
+      table.add_row({"v" + std::to_string(ri + 1) + "rep",
+                     fmt_double(deg[mi][ri][0], 1) + " %", fmt_double(deg[mi][ri][1], 1) + " %",
+                     fmt_double(deg[mi][ri][2], 1) + " %", ascii_bar(worst, 80.0, 30)});
+    }
+    std::cout << table << '\n';
+  }
+
+  bool ok = true;
+  // C1 victims immune in every mode.
+  double c1_worst = 0;
+  for (int mi = 0; mi < 3; ++mi) {
+    for (int di = 0; di < 3; ++di) c1_worst = std::max(c1_worst, deg[mi][0][di]);
+  }
+  ok &= bench::check("C1 victims degrade < 6% in every scenario", c1_worst < 6.0);
+
+  // v1dis harmless to everyone.
+  double v1dis_worst = 0;
+  for (int mi = 0; mi < 3; ++mi) {
+    for (int ri = 0; ri < 3; ++ri) v1dis_worst = std::max(v1dis_worst, deg[mi][ri][0]);
+  }
+  ok &= bench::check("v1dis (ILC-sized) causes < 6% everywhere", v1dis_worst < 6.0);
+
+  // C2/C3 victims hurt in parallel by C2/C3 disruptors.
+  double hurt_min = 1e9;
+  for (int ri = 1; ri < 3; ++ri) {
+    for (int di = 1; di < 3; ++di) hurt_min = std::min(hurt_min, deg[1][ri][di]);
+  }
+  ok &= bench::check("parallel C2/C3-vs-C2/C3 degradation all > 10%", hurt_min > 10.0);
+  ok &= bench::check("worst parallel degradation > 40% (paper: up to ~70%)",
+                     std::max({deg[1][1][1], deg[1][1][2], deg[1][2][2]}) > 40.0);
+
+  // Parallel >> alternative for the C2 victim vs C3 disruptor.
+  ok &= bench::check("parallel >> alternative (v2rep vs v3dis)",
+                     deg[1][1][2] > 1.8 * std::max(deg[0][1][2], 1.0));
+
+  return bench::verdict(ok);
+}

@@ -1,0 +1,87 @@
+// Fig 3 — "The processor is a good lever for punishing
+// polluter/disruptive VMs."
+//
+// Each sensitive VM (gcc, omnetpp, soplex) runs in parallel with
+// vdis1 (lbm) while lbm's CPU cap sweeps 10%..100%.  Expected shape:
+// the victim's degradation grows roughly linearly with the
+// disruptor's computing capacity (the paper's justification for using
+// the CPU as the enforcement lever).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace kyoto;
+
+int main() {
+  bench::header("Fig 3", "victim degradation vs disruptor CPU cap",
+                "roughly linear growth with vdis1's computing capacity");
+
+  sim::RunSpec spec;
+  spec.machine = hv::scaled_machine();
+  spec.warmup_ticks = 6;
+  spec.measure_ticks = bench::ticks(45);
+
+  const std::vector<int> caps = {10, 20, 40, 60, 80, 100};
+  const auto& victims = workloads::sensitive_apps();
+
+  TextTable table([&] {
+    std::vector<std::string> headers = {"vdis1 cap"};
+    for (const auto& v : victims) headers.push_back(v + " deg %");
+    return headers;
+  }());
+
+  std::vector<std::vector<double>> series(victims.size());
+  std::vector<double> solo_ipc;
+  for (const auto& v : victims) {
+    solo_ipc.push_back(
+        sim::run_solo(spec, [&, v](std::uint64_t s) {
+          return workloads::make_app(v, spec.machine.mem, s);
+        }).ipc);
+  }
+
+  for (int cap : caps) {
+    std::vector<std::string> row = {std::to_string(cap) + " %"};
+    for (std::size_t vi = 0; vi < victims.size(); ++vi) {
+      sim::VmPlan sen;
+      sen.config.name = victims[vi];
+      sen.workload = [&, name = victims[vi]](std::uint64_t s) {
+        return workloads::make_app(name, spec.machine.mem, s);
+      };
+      sen.pinned_cores = {0};
+      sim::VmPlan dis;
+      dis.config.name = "lbm";
+      dis.config.cpu_cap_percent = cap;
+      dis.config.loop_workload = true;
+      dis.workload = [&](std::uint64_t s) {
+        return workloads::make_app("lbm", spec.machine.mem, s);
+      };
+      dis.pinned_cores = {1};
+      const auto outcome = sim::run_scenario(spec, {sen, dis});
+      const double deg = sim::degradation_pct(solo_ipc[vi], outcome.vms[0].ipc);
+      series[vi].push_back(deg);
+      row.push_back(fmt_double(deg, 1));
+    }
+    table.add_row(row);
+  }
+  std::cout << table << '\n';
+
+  bool ok = true;
+  std::vector<double> x(caps.begin(), caps.end());
+  for (std::size_t vi = 0; vi < victims.size(); ++vi) {
+    const auto fit = linear_fit(x, series[vi]);
+    std::cout << "  " << victims[vi] << ": slope " << fmt_double(fit.slope, 3)
+              << " %/cap-point, r^2 " << fmt_double(fit.r2, 3) << '\n';
+    ok &= bench::check(victims[vi] + ": degradation increases with cap (positive slope)",
+                       fit.slope > 0.0);
+    ok &= bench::check(victims[vi] + ": relationship is roughly linear (r^2 > 0.8)",
+                       fit.r2 > 0.8);
+    ok &= bench::check(victims[vi] + ": full-cap degradation exceeds 10-cap degradation by > 2x",
+                       series[vi].back() > 2.0 * std::max(series[vi].front(), 0.5));
+  }
+  return bench::verdict(ok);
+}

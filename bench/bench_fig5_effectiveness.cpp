@@ -1,0 +1,143 @@
+// Fig 5 — "KS4Xen minimizes LLC contention, thus avoids performance
+// variations."
+//
+// Three panels, as in the paper:
+//   top-left : vsen1 (gcc) co-runs with each vdisi under KS4Xen, both
+//              booked the same permit (the paper's 250k); vsen1's
+//              normalized performance stays ~1.0 (XCS shown for
+//              contrast).
+//   top-right: punishments received by vsen1 vs vdisi — the polluter
+//              pays, not the victim.
+//   bottom   : vdis1 (lbm) timeline: measured llc_cap and CPU usage
+//              under XCS (always running) vs KS4Xen (deprived while
+//              the quota is negative — the paper's zigzag).
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace kyoto;
+
+int main() {
+  bench::header("Fig 5", "KS4Xen effectiveness and the polluter-pays timeline",
+                "vsen1 keeps ~100% of its solo performance; disruptors absorb the "
+                "punishments; punished lbm is deprived of CPU until its quota recovers");
+
+  sim::RunSpec spec;
+  spec.machine = hv::scaled_machine();
+  spec.warmup_ticks = 6;
+  spec.measure_ticks = bench::ticks(90);
+
+  auto factory = [&](const std::string& name) {
+    return [name, mem = spec.machine.mem](std::uint64_t s) {
+      return workloads::make_app(name, mem, s);
+    };
+  };
+
+  const auto gcc_solo = sim::run_solo(spec, factory("gcc"), "gcc");
+  // The paper books both VMs at 250k (misses/ms on the 2.8 GHz part).
+  // Scaled analog: comfortably above gcc's intrinsic pollution,
+  // far below any disruptor's.
+  const double permit = gcc_solo.llc_cap_act * 1.5 + 8.0;
+  std::cout << "gcc solo: IPC " << fmt_double(gcc_solo.ipc, 3) << ", Equation 1 rate "
+            << fmt_double(gcc_solo.llc_cap_act, 1) << " miss/ms; booked permit (both VMs): "
+            << fmt_double(permit, 1) << " miss/ms\n\n";
+
+  TextTable top({"disruptor", "XCS norm. perf", "KS4Xen norm. perf", "vsen1 punished ticks",
+                 "vdis punished ticks"});
+  bool ok = true;
+  for (const auto& dis_name : workloads::disruptive_apps()) {
+    sim::VmPlan sen;
+    sen.config.name = "gcc";
+    sen.workload = factory("gcc");
+    sen.pinned_cores = {0};
+    sim::VmPlan dis;
+    dis.config.name = dis_name;
+    dis.config.loop_workload = true;
+    dis.workload = factory(dis_name);
+    dis.pinned_cores = {1};
+
+    spec.scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
+    const auto xcs = sim::run_scenario(spec, {sen, dis});
+
+    spec.scheduler = [] { return std::make_unique<core::Ks4Xen>(); };
+    sen.config.llc_cap = permit;
+    dis.config.llc_cap = permit;
+    const auto ks = sim::run_scenario(spec, {sen, dis});
+
+    const double norm_xcs = xcs.vms[0].ipc / gcc_solo.ipc;
+    const double norm_ks = ks.vms[0].ipc / gcc_solo.ipc;
+    top.add_row({dis_name, fmt_double(norm_xcs, 2), fmt_double(norm_ks, 2),
+                 fmt_count(ks.vms[0].punished_ticks), fmt_count(ks.vms[1].punished_ticks)});
+
+    ok &= bench::check("KS4Xen keeps vsen1 >= 90% of solo perf vs " + dis_name,
+                       norm_ks >= 0.90);
+    ok &= bench::check("KS4Xen beats XCS vs " + dis_name, norm_ks > norm_xcs + 0.03);
+    ok &= bench::check("the polluter pays vs " + dis_name + " (vdis >> vsen punishments)",
+                       ks.vms[1].punished_ticks > 5 * std::max<std::int64_t>(
+                                                          ks.vms[0].punished_ticks, 1));
+  }
+  std::cout << '\n' << top << '\n';
+
+  // --- bottom panel: vdis1 timeline --------------------------------------
+  const Tick timeline_ticks = 70;
+  auto run_timeline = [&](bool kyoto) {
+    sim::RunSpec tspec = spec;
+    tspec.scheduler = [kyoto]() -> std::unique_ptr<hv::Scheduler> {
+      if (kyoto) return std::make_unique<core::Ks4Xen>();
+      return std::make_unique<hv::CreditScheduler>();
+    };
+    sim::VmPlan sen;
+    sen.config.name = "gcc";
+    sen.config.llc_cap = kyoto ? permit : 0.0;
+    sen.workload = factory("gcc");
+    sen.pinned_cores = {0};
+    sim::VmPlan dis;
+    dis.config.name = "lbm";
+    dis.config.llc_cap = kyoto ? permit : 0.0;
+    dis.config.loop_workload = true;
+    dis.workload = factory("lbm");
+    dis.pinned_cores = {1};
+    auto hv = sim::build_scenario(tspec, {sen, dis});
+    const core::PollutionController* ctl = nullptr;
+    if (kyoto) ctl = &static_cast<core::Ks4Xen&>(hv->scheduler()).kyoto();
+    sim::TimelineSampler sampler(*hv, *hv->vms()[1], ctl);
+    hv->run_ticks(timeline_ticks);
+    return sampler.samples();
+  };
+
+  const auto xcs_tl = run_timeline(false);
+  const auto ks_tl = run_timeline(true);
+
+  TextTable tl({"tick", "XCS: run", "XCS rate (miss/ms)", "KS4Xen: run",
+                "KS rate (miss/ms)", "KS quota (k misses)"});
+  for (Tick t = 0; t < timeline_ticks; t += 2) {
+    const auto i = static_cast<std::size_t>(t);
+    tl.add_row({std::to_string(t), xcs_tl[i].ran ? "#" : ".",
+                fmt_double(xcs_tl[i].rate, 0), ks_tl[i].punished ? "." : "#",
+                fmt_double(ks_tl[i].rate, 0), fmt_double(ks_tl[i].quota / 1000.0, 2)});
+  }
+  std::cout << tl << "('#' = on CPU this tick, '.' = deprived/idle)\n\n";
+
+  int xcs_running = 0;
+  int ks_running = 0;
+  bool quota_went_negative = false;
+  for (Tick t = 0; t < timeline_ticks; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    xcs_running += xcs_tl[i].ran ? 1 : 0;
+    ks_running += ks_tl[i].ran ? 1 : 0;
+    quota_went_negative |= ks_tl[i].quota < 0.0;
+  }
+  ok &= bench::check("XCS: lbm runs essentially every tick",
+                     xcs_running >= static_cast<int>(timeline_ticks) - 2);
+  ok &= bench::check("KS4Xen: lbm deprived of CPU most of the time",
+                     ks_running < static_cast<int>(timeline_ticks) / 3);
+  ok &= bench::check("KS4Xen: pollution quota dives negative when lbm exceeds its permit",
+                     quota_went_negative);
+  return bench::verdict(ok);
+}

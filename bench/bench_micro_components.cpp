@@ -1,0 +1,122 @@
+// Component micro-benchmarks (google-benchmark).
+//
+// Two purposes:
+//  * engineering health of the simulator (cache-access and workload
+//    generation throughput bound every experiment's run time);
+//  * the host-side half of the paper's overhead claim (Fig 12 / §4.5):
+//    KS4Xen's scheduling decision + pollution accounting must cost
+//    essentially the same as vanilla XCS — the ~110-LOC patch adds a
+//    few arithmetic operations per tick, not a new hot path.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/memory_system.hpp"
+#include "cache/topology.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/hypervisor.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "mem/patterns.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace kyoto;
+
+namespace {
+
+void BM_CacheAccessL1Hit(benchmark::State& state) {
+  cache::MemorySystem memory(cache::Topology{1, 1}, cache::scaled_mem_system());
+  memory.access(0, 0, false, 0, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.access(0, 0, false, 0, 0));
+  }
+}
+BENCHMARK(BM_CacheAccessL1Hit);
+
+void BM_CacheAccessLlcMissStream(benchmark::State& state) {
+  cache::MemorySystem memory(cache::Topology{1, 1}, cache::scaled_mem_system());
+  Address addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.access(0, addr, false, 0, 0));
+    addr += mem::kLineBytes;  // endless stream: mostly misses
+  }
+}
+BENCHMARK(BM_CacheAccessLlcMissStream);
+
+void BM_WorkloadNextOp(benchmark::State& state) {
+  const auto w = workloads::make_app("gcc", cache::scaled_mem_system(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w->next());
+  }
+}
+BENCHMARK(BM_WorkloadNextOp);
+
+void BM_PointerChaseNext(benchmark::State& state) {
+  mem::PointerChasePattern p(64_KiB, 1);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.next_offset(rng));
+  }
+}
+BENCHMARK(BM_PointerChaseNext);
+
+/// One full hypervisor tick (4 cores executing + scheduling +
+/// accounting) under the given scheduler.  The XCS/KS4Xen delta IS
+/// the Kyoto overhead (paper §4.5: "near zero").
+template <typename SchedulerT>
+void BM_HypervisorTick(benchmark::State& state) {
+  hv::MachineConfig mc = hv::scaled_machine();
+  hv::Hypervisor hv(mc, std::make_unique<SchedulerT>());
+  const auto mem = mc.mem;
+  for (int i = 0; i < 4; ++i) {
+    hv::VmConfig config;
+    config.name = "vm" + std::to_string(i);
+    config.loop_workload = true;
+    config.llc_cap = 1e9;  // booked but never punished: full accounting path
+    hv.create_vm(config,
+                 workloads::make_app(i % 2 ? "gcc" : "lbm", mem, static_cast<std::uint64_t>(i)),
+                 i);
+  }
+  for (auto _ : state) {
+    hv.run_ticks(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_HypervisorTick, hv::CreditScheduler)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_HypervisorTick, core::Ks4Xen)->Unit(benchmark::kMillisecond);
+
+/// Scheduling-only cost: pick + account with the execution engine out
+/// of the measurement (zero-length bursts).
+template <typename SchedulerT>
+void BM_ScheduleDecision(benchmark::State& state) {
+  hv::MachineConfig mc = hv::scaled_machine();
+  hv::Hypervisor hv(mc, std::make_unique<SchedulerT>());
+  const auto mem = mc.mem;
+  for (int i = 0; i < 8; ++i) {
+    hv::VmConfig config;
+    config.name = "vm" + std::to_string(i);
+    config.loop_workload = true;
+    config.llc_cap = 1e9;
+    hv.create_vm(config, workloads::make_app("povray", mem, static_cast<std::uint64_t>(i)),
+                 i % 4);
+  }
+  auto& sched = hv.scheduler();
+  hv::RunReport report;
+  report.core = 0;
+  report.ran = hv.machine().cycles_per_tick();
+  report.pmc_delta.set(pmc::Counter::kUnhaltedCycles,
+                       static_cast<std::uint64_t>(report.ran));
+  report.pmc_delta.set(pmc::Counter::kLlcMisses, 100);
+  Tick now = 0;
+  for (auto _ : state) {
+    hv::Vcpu* v = sched.pick(0, now);
+    if (v != nullptr) sched.account(*v, report);
+    if (++now % kTicksPerSlice == 0) sched.slice_end(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_ScheduleDecision, hv::CreditScheduler);
+BENCHMARK_TEMPLATE(BM_ScheduleDecision, core::Ks4Xen);
+
+}  // namespace
+
+BENCHMARK_MAIN();

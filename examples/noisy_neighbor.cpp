@@ -1,0 +1,151 @@
+// Noisy-neighbour forensics: find the polluter, then make it pay.
+//
+// Act 1 — an operator sees a latency-sensitive tenant (omnetpp)
+// degrade on a shared host and uses Kyoto's monitoring (Equation 1
+// over per-vCPU perfctr counters, plus McSim replay for clean
+// attribution) to identify which of three co-tenants is responsible.
+//
+// Act 2 — the operator re-launches the host under KS4Xen with a
+// pollution permit on every VM and watches the victim's per-tick IPC
+// timeline recover while the polluter is duty-cycled.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "kyoto/monitor.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace kyoto;
+
+namespace {
+
+struct Tenant {
+  const char* name;
+  const char* app;
+  int core;
+};
+
+constexpr Tenant kVictim{"victim (omnetpp)", "omnetpp", 0};
+const std::vector<Tenant> kNeighbours = {
+    {"tenant-a (xalan)", "xalan", 1},
+    {"tenant-b (lbm)", "lbm", 2},
+    {"tenant-c (astar)", "astar", 3},
+};
+
+}  // namespace
+
+int main() {
+  const hv::MachineConfig machine = hv::scaled_machine();
+  const auto mem = machine.mem;
+
+  // --- Act 1: diagnosis -------------------------------------------------
+  std::cout << "Act 1 — who is thrashing the LLC?\n\n";
+  hv::Hypervisor hv(machine,
+                    std::make_unique<core::Ks4Xen>(std::make_unique<core::McSimMonitor>()));
+  hv::VmConfig vc{.name = kVictim.name};
+  vc.loop_workload = true;
+  hv::Vm& victim = hv.create_vm(vc, workloads::make_app(kVictim.app, mem, 1), kVictim.core);
+  std::vector<hv::Vm*> neighbours;
+  for (const auto& t : kNeighbours) {
+    hv::VmConfig config{.name = t.name};
+    config.loop_workload = true;
+    neighbours.push_back(
+        &hv.create_vm(config, workloads::make_app(t.app, mem, 17), t.core));
+  }
+  hv.run_slices(20);
+
+  auto& ks = static_cast<core::Ks4Xen&>(hv.scheduler());
+  auto& monitor = static_cast<core::McSimMonitor&>(ks.kyoto().monitor());
+
+  TextTable diag({"VM", "intrinsic llc_cap_act (miss/ms, McSim replay)", "verdict"});
+  const hv::Vm* polluter = nullptr;
+  double worst = -1.0;
+  for (hv::Vm* vm : hv.vms()) {
+    const double rate = monitor.cached_rate(vm->id());
+    if (rate > worst) {
+      worst = rate;
+      polluter = vm;
+    }
+  }
+  for (hv::Vm* vm : hv.vms()) {
+    const double rate = monitor.cached_rate(vm->id());
+    diag.add_row({vm->name(), fmt_double(rate, 1),
+                  vm == polluter ? "<-- polluter" : (vm == &victim ? "victim" : "innocent")});
+  }
+  std::cout << diag << '\n';
+
+  // --- Act 2: enforcement ------------------------------------------------
+  // Each tenant books a permit covering its *measured intrinsic*
+  // pollution (from Act 1's replay monitor) plus headroom — except
+  // the polluter, who only paid for the host's standard permit.  The
+  // provider does not sell a 700-miss/ms permit on this host.
+  std::cout << "Act 2 — rebooting the host under KS4Xen with per-tenant permits\n\n";
+  sim::RunSpec spec;
+  spec.machine = machine;
+  spec.warmup_ticks = 6;
+  spec.measure_ticks = 60;
+
+  auto factory = [&](const std::string& app) {
+    return [app, mem](std::uint64_t s) { return workloads::make_app(app, mem, s); };
+  };
+  const auto victim_solo = sim::run_solo(spec, factory(kVictim.app), kVictim.app);
+  const double standard_permit = 15.0;
+  auto booked_permit = [&](const hv::Vm* vm) {
+    if (vm == polluter) return standard_permit;
+    return monitor.cached_rate(vm->id()) * 1.5 + standard_permit;
+  };
+
+  auto build_plans = [&](bool kyoto) {
+    std::vector<sim::VmPlan> plans;
+    sim::VmPlan v;
+    v.config.name = kVictim.name;
+    v.config.llc_cap = kyoto ? booked_permit(&victim) : 0.0;
+    v.config.loop_workload = true;
+    v.workload = factory(kVictim.app);
+    v.pinned_cores = {kVictim.core};
+    plans.push_back(v);
+    for (std::size_t i = 0; i < kNeighbours.size(); ++i) {
+      sim::VmPlan n;
+      n.config.name = kNeighbours[i].name;
+      n.config.llc_cap = kyoto ? booked_permit(neighbours[i]) : 0.0;
+      n.config.loop_workload = true;
+      n.workload = factory(kNeighbours[i].app);
+      n.pinned_cores = {kNeighbours[i].core};
+      plans.push_back(n);
+    }
+    return plans;
+  };
+
+  spec.scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
+  const auto before = sim::run_scenario(spec, build_plans(false));
+  // Attribution matters on a 4-tenant host: with raw per-vCPU PMCs the
+  // victim would be blamed for misses its neighbours induce (§3.3), so
+  // production KS4Xen runs with the replay monitor.
+  spec.scheduler = [] {
+    return std::make_unique<core::Ks4Xen>(std::make_unique<core::McSimMonitor>());
+  };
+  const auto after = sim::run_scenario(spec, build_plans(true));
+
+  TextTable outcome({"VM", "norm. perf before", "norm. perf after (KS4Xen)",
+                     "punished ticks"});
+  outcome.add_row({kVictim.name,
+                   fmt_double(before.vms[0].ipc / victim_solo.ipc, 2),
+                   fmt_double(after.vms[0].ipc / victim_solo.ipc, 2),
+                   fmt_count(after.vms[0].punished_ticks)});
+  for (std::size_t i = 1; i < after.vms.size(); ++i) {
+    outcome.add_row({kNeighbours[i - 1].name, "-", "-",
+                     fmt_count(after.vms[i].punished_ticks)});
+  }
+  std::cout << outcome << '\n';
+
+  std::cout << "The victim recovered from "
+            << fmt_double(before.vms[0].ipc / victim_solo.ipc, 2) << "x to "
+            << fmt_double(after.vms[0].ipc / victim_solo.ipc, 2)
+            << "x of its solo performance; only the polluter accumulated punished ticks.\n"
+            << "(The residual gap is the pollution its neighbours legitimately emit\n"
+            << " within their own booked permits — paid-for, not stolen.)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario-file runner: the simulator as a standalone tool.
+//
+//   ./scenario_runner my-experiment.kyoto
+//
+// Without an argument it writes a demonstration scenario next to the
+// binary, prints it, and runs it — so the example is self-contained.
+// The scenario language covers the machine (topology, scale, optional
+// prefetcher/bus, LLC policy), the scheduler (all six variants, the
+// three monitors, both punish modes) and arbitrarily many VMs.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/scenario_file.hpp"
+
+using namespace kyoto;
+
+namespace {
+
+constexpr const char* kDemoScenario = R"(# Demonstration: a noisy streamer vs two paying tenants, KS4Xen,
+# demote-mode punishment (the paper's "priority OVER" semantics).
+[machine]
+topology = 1x4
+scale = 64
+llc_replacement = LRU
+
+[scheduler]
+kind = ks4xen
+monitor = mcsim        # clean attribution via replay simulation
+punish = block         # Fig 5 semantics (demote = work-conserving variant)
+
+[vm web-tier]
+app = gcc
+cores = 0
+llc_cap = 25
+loop = true
+
+[vm analytics]
+app = omnetpp
+cores = 2
+llc_cap = 60
+loop = true
+
+[vm batch-noisy]
+app = lbm
+cores = 1
+llc_cap = 25           # same permit as web-tier: it will be punished
+loop = true
+
+[run]
+warmup_ticks = 6
+measure_ticks = 90
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "demo_scenario.kyoto";
+    std::ofstream out(path);
+    out << kDemoScenario;
+    std::cout << "No scenario given; wrote and running the demo scenario '" << path
+              << "':\n\n"
+              << kDemoScenario << '\n';
+  }
+
+  try {
+    const sim::Scenario scenario = sim::load_scenario_file(path);
+    std::cout << "Running " << scenario.plans.size() << " VM(s) for "
+              << scenario.spec.warmup_ticks << "+" << scenario.spec.measure_ticks
+              << " ticks...\n\n";
+    std::cout << sim::run_scenario_report(scenario) << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// A tour of the three virtualization substrates the paper ports Kyoto
+// to (§3, §4.4): Xen's credit scheduler, the Linux CFS under KVM, and
+// the Pisces co-kernel — each run vanilla and with its Kyoto variant
+// on the same sensitive-vs-disruptive colocation.
+//
+// Output: one row per (substrate, variant) with the victim's
+// normalized performance and the disruptor's CPU share — showing that
+// the polluters-pay mechanism is scheduler-agnostic: ~110 LOC of
+// accounting grafted onto three very different schedulers yields the
+// same protection everywhere.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hpp"
+#include "hv/cfs_scheduler.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/pisces.hpp"
+#include "kyoto/ks4linux.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/catalog.hpp"
+
+using namespace kyoto;
+
+int main() {
+  sim::RunSpec spec;
+  spec.machine = hv::scaled_machine();
+  spec.warmup_ticks = 6;
+  spec.measure_ticks = 60;
+
+  const auto mem = spec.machine.mem;
+  const auto gcc = [mem](std::uint64_t s) { return workloads::make_app("gcc", mem, s); };
+  const auto lbm = [mem](std::uint64_t s) { return workloads::make_app("lbm", mem, s); };
+
+  const auto solo = sim::run_solo(spec, gcc, "gcc");
+  const double permit = solo.llc_cap_act * 1.5 + 8.0;
+
+  struct Row {
+    const char* substrate;
+    const char* scheduler;
+    sim::SchedulerFactory factory;
+    bool kyoto;
+  };
+  const std::vector<Row> rows = {
+      {"Xen", "XCS (credit)",
+       [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<hv::CreditScheduler>()); },
+       false},
+      {"Xen", "KS4Xen",
+       [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<core::Ks4Xen>()); }, true},
+      {"KVM/Linux", "CFS",
+       [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<hv::CfsScheduler>()); },
+       false},
+      {"KVM/Linux", "KS4Linux",
+       [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<core::Ks4Linux>()); },
+       true},
+      {"Pisces co-kernel", "Pisces",
+       [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<hv::PiscesScheduler>()); },
+       false},
+      {"Pisces co-kernel", "KS4Pisces",
+       [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<core::Ks4Pisces>()); },
+       true},
+  };
+
+  TextTable table({"substrate", "scheduler", "gcc norm. perf", "lbm CPU share %",
+                   "lbm punished ticks"});
+  for (const auto& row : rows) {
+    sim::RunSpec rspec = spec;
+    rspec.scheduler = row.factory;
+    sim::VmPlan sen;
+    sen.config.name = "gcc";
+    sen.config.llc_cap = row.kyoto ? permit : 0.0;
+    sen.workload = gcc;
+    sen.pinned_cores = {0};
+    sim::VmPlan dis;
+    dis.config.name = "lbm";
+    dis.config.llc_cap = row.kyoto ? permit : 0.0;
+    dis.config.loop_workload = true;
+    dis.workload = lbm;
+    dis.pinned_cores = {1};
+
+    auto hv = sim::build_scenario(rspec, {sen, dis});
+    hv->run_ticks(rspec.warmup_ticks);
+    const auto gcc_before = hv->vms()[0]->counters();
+    const auto lbm_cycles_before = hv->vms()[1]->vcpu(0).cpu_cycles();
+    hv->run_ticks(rspec.measure_ticks);
+    const auto gcc_delta = hv->vms()[0]->counters() - gcc_before;
+    const double lbm_share =
+        static_cast<double>(hv->vms()[1]->vcpu(0).cpu_cycles() - lbm_cycles_before) /
+        static_cast<double>(rspec.measure_ticks * hv->machine().cycles_per_tick()) * 100.0;
+
+    std::int64_t punished = 0;
+    if (auto* ks = dynamic_cast<core::Ks4Xen*>(&hv->scheduler())) {
+      punished = ks->kyoto().state(*hv->vms()[1]).punished_ticks;
+    } else if (auto* ksl = dynamic_cast<core::Ks4Linux*>(&hv->scheduler())) {
+      punished = ksl->kyoto().state(*hv->vms()[1]).punished_ticks;
+    } else if (auto* ksp = dynamic_cast<core::Ks4Pisces*>(&hv->scheduler())) {
+      punished = ksp->kyoto().state(*hv->vms()[1]).punished_ticks;
+    }
+
+    table.add_row({row.substrate, row.scheduler, fmt_double(gcc_delta.ipc() / solo.ipc, 2),
+                   fmt_double(lbm_share, 0), fmt_count(punished)});
+  }
+  std::cout << "\nThe Kyoto principle across three virtualization substrates\n"
+            << "(gcc = sensitive tenant, lbm = streaming polluter, permit "
+            << fmt_double(permit, 1) << " miss/ms)\n\n"
+            << table << '\n';
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "cache/memory_system.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace kyoto::cache {
+
+MemorySystem::MemorySystem(const Topology& topology, const MemSystemConfig& config,
+                           std::uint64_t seed)
+    : topology_(topology), config_(config) {
+  KYOTO_CHECK_MSG(topology.sockets >= 1 && topology.cores_per_socket >= 1,
+                  "degenerate topology");
+  const int cores = topology.total_cores();
+  l1_.reserve(static_cast<std::size_t>(cores));
+  l2_.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    l1_.push_back(std::make_unique<SetAssocCache>("L1#" + std::to_string(c), config.l1,
+                                                  config.private_replacement,
+                                                  seed * 1000003ull + static_cast<std::uint64_t>(c)));
+    l2_.push_back(std::make_unique<SetAssocCache>("L2#" + std::to_string(c), config.l2,
+                                                  config.private_replacement,
+                                                  seed * 2000003ull + static_cast<std::uint64_t>(c)));
+  }
+  llc_.reserve(static_cast<std::size_t>(topology.sockets));
+  for (int s = 0; s < topology.sockets; ++s) {
+    llc_.push_back(std::make_unique<SetAssocCache>("LLC#" + std::to_string(s), config.llc,
+                                                   config.llc_replacement,
+                                                   seed * 4000037ull + static_cast<std::uint64_t>(s)));
+  }
+  prefetches_.assign(static_cast<std::size_t>(cores), 0);
+  bus_busy_until_.assign(static_cast<std::size_t>(topology.sockets), 0);
+  bus_queue_cycles_.assign(static_cast<std::size_t>(topology.sockets), 0);
+}
+
+void MemorySystem::prefetch_after_miss(int core, Address addr, int vm,
+                                       AccessResult& result) {
+  // Next-line prefetcher: pull the following `degree` lines into this
+  // core's L2 and the socket LLC.  Prefetch fills update recency and
+  // can evict — prefetch pollution is real and intentional here, and
+  // it is reported back so the PMU counts it (LLC_MISSES includes
+  // prefetch-initiated fills on real parts).
+  const int socket = topology_.socket_of(core);
+  const Requester req{core, vm};
+  for (unsigned d = 1; d <= config_.prefetch.degree; ++d) {
+    const Address next = addr + static_cast<Address>(d) * config_.l2.line;
+    if (l2_[static_cast<std::size_t>(core)]->probe(next)) continue;  // already resident
+    ++result.prefetch_llc_references;
+    if (!llc_[static_cast<std::size_t>(socket)]->access(next, false, req).hit) {
+      ++result.prefetch_llc_misses;
+    }
+    l2_[static_cast<std::size_t>(core)]->access(next, false, req);
+    ++prefetches_[static_cast<std::size_t>(core)];
+  }
+}
+
+Cycles MemorySystem::bus_delay(int socket, std::int64_t now_cycle) {
+  // One line transfer occupies the socket's bus for transfer_cycles;
+  // a request arriving while the bus is busy queues behind it.
+  auto& busy_until = bus_busy_until_[static_cast<std::size_t>(socket)];
+  const Cycles wait = static_cast<Cycles>(std::max<std::int64_t>(0, busy_until - now_cycle));
+  busy_until = std::max<std::int64_t>(busy_until, now_cycle) + config_.bus.transfer_cycles;
+  bus_queue_cycles_[static_cast<std::size_t>(socket)] += wait;
+  return wait;
+}
+
+AccessResult MemorySystem::access(int core, Address addr, bool write, int home_node, int vm,
+                                  std::int64_t now_cycle) {
+  KYOTO_DCHECK(core >= 0 && core < topology_.total_cores());
+  const Requester req{core, vm};
+  AccessResult result;
+
+  if (l1_[static_cast<std::size_t>(core)]->access(addr, write, req).hit) {
+    result.level = CacheLevel::kL1;
+    result.latency = config_.lat_l1;
+    return result;
+  }
+  if (l2_[static_cast<std::size_t>(core)]->access(addr, write, req).hit) {
+    result.level = CacheLevel::kL2;
+    result.latency = config_.lat_l2;
+    return result;
+  }
+  result.llc_reference = true;
+  const int socket = topology_.socket_of(core);
+  if (llc_[static_cast<std::size_t>(socket)]->access(addr, write, req).hit) {
+    result.level = CacheLevel::kLlc;
+    result.latency = config_.lat_llc;
+    return result;
+  }
+  result.llc_miss = true;
+  const bool remote = home_node != topology_.node_of(core);
+  result.level = remote ? CacheLevel::kMemRemote : CacheLevel::kMemLocal;
+  result.latency = remote ? config_.lat_mem_remote : config_.lat_mem_local;
+  if (config_.bus.enabled && now_cycle >= 0) {
+    result.bus_queue_delay = bus_delay(socket, now_cycle);
+    result.latency += result.bus_queue_delay;
+  }
+  if (config_.prefetch.enabled) prefetch_after_miss(core, addr, vm, result);
+  return result;
+}
+
+std::uint64_t MemorySystem::prefetches_issued(int core) const {
+  KYOTO_CHECK(core >= 0 && static_cast<std::size_t>(core) < prefetches_.size());
+  return prefetches_[static_cast<std::size_t>(core)];
+}
+
+Cycles MemorySystem::bus_queue_cycles(int socket) const {
+  KYOTO_CHECK(socket >= 0 && static_cast<std::size_t>(socket) < bus_queue_cycles_.size());
+  return bus_queue_cycles_[static_cast<std::size_t>(socket)];
+}
+
+void MemorySystem::invalidate_private(int core) {
+  KYOTO_CHECK(core >= 0 && core < topology_.total_cores());
+  l1_[static_cast<std::size_t>(core)]->invalidate_all();
+  l2_[static_cast<std::size_t>(core)]->invalidate_all();
+}
+
+void MemorySystem::invalidate_all() {
+  for (auto& c : l1_) c->invalidate_all();
+  for (auto& c : l2_) c->invalidate_all();
+  for (auto& c : llc_) c->invalidate_all();
+}
+
+SetAssocCache& MemorySystem::llc(int socket) {
+  KYOTO_CHECK(socket >= 0 && socket < topology_.sockets);
+  return *llc_[static_cast<std::size_t>(socket)];
+}
+
+const SetAssocCache& MemorySystem::llc(int socket) const {
+  KYOTO_CHECK(socket >= 0 && socket < topology_.sockets);
+  return *llc_[static_cast<std::size_t>(socket)];
+}
+
+}  // namespace kyoto::cache

@@ -1,0 +1,133 @@
+// A set-associative cache with pluggable replacement and optional
+// way-partitioning.
+//
+// This single class models every level of the hierarchy.  For the
+// shared LLC it additionally attributes accesses/misses to the
+// requesting core (feeding the PMC layer) and to the owning VM
+// (ground-truth pollution accounting and the UCP-style [27]
+// way-partitioning ablation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "cache/stats.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace kyoto::cache {
+
+/// Identifies who performed an access, for attribution and partitioning.
+struct Requester {
+  int core = 0;  // physical core issuing the access (PMC attribution)
+  int vm = -1;   // owning VM, or -1 when unknown (partitioning + ground truth)
+};
+
+/// Result of one cache lookup-with-fill.
+struct LookupResult {
+  bool hit = false;
+  /// Line displaced by the fill (valid only when a miss evicted one).
+  std::optional<Address> evicted;
+};
+
+class SetAssocCache {
+ public:
+  /// `name` labels the cache in logs ("L1#3", "LLC#0"); `seed` drives
+  /// random/bimodal replacement decisions deterministically.
+  SetAssocCache(std::string name, CacheGeometry geometry, ReplacementKind replacement,
+                std::uint64_t seed = 1);
+
+  /// Looks up the line containing `addr`; on miss, fills it (evicting
+  /// a victim if the set is full).  `write` marks the line dirty.
+  LookupResult access(Address addr, bool write, const Requester& requester);
+
+  /// Lookup without any state change (no fill, no recency update).
+  bool probe(Address addr) const;
+
+  /// Drops every line (power-on state).  Statistics are preserved.
+  void invalidate_all();
+
+  /// Invalidates the single line containing `addr`, if present.
+  void invalidate(Address addr);
+
+  /// Fraction of valid lines (for tests / warm-up detection).
+  double occupancy() const;
+
+  /// Number of valid lines owned by `vm` (ground-truth footprint).
+  std::uint64_t footprint_lines(int vm) const;
+
+  // --- Way partitioning (UCP-style ablation) -------------------------
+  /// Restricts fills by VM `vm` to ways [first_way, first_way+n_ways).
+  /// Lookups still hit in any way.  Overwrites any previous assignment.
+  void set_partition(int vm, unsigned first_way, unsigned n_ways);
+
+  /// Removes all partitions (default: any VM may fill any way).
+  void clear_partitions();
+
+  // --- Statistics -----------------------------------------------------
+  const CacheStats& stats() const { return total_; }
+  /// Per-requesting-core counters (index = core id as passed in).
+  const CacheStats& stats_for_core(int core) const;
+  /// Per-VM counters (index = vm id); VMs never seen return zeros.
+  const CacheStats& stats_for_vm(int vm) const;
+  void clear_stats();
+
+  const std::string& name() const { return name_; }
+  const CacheGeometry& geometry() const { return geometry_; }
+  ReplacementKind replacement() const { return replacement_; }
+
+ private:
+  struct Line {
+    Address tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    int owner_vm = -1;
+    std::uint64_t stamp = 0;  // recency (LRU) or MRU bit (PLRU)
+  };
+
+  struct Partition {
+    unsigned first_way = 0;
+    unsigned n_ways = 0;  // 0 = unrestricted
+  };
+
+  unsigned set_index(Address addr) const {
+    return static_cast<unsigned>((addr / geometry_.line) % sets_);
+  }
+  Address tag_of(Address addr) const { return addr / geometry_.line; }
+
+  Line* find(unsigned set, Address tag);
+  const Line* find(unsigned set, Address tag) const;
+  unsigned pick_victim(unsigned set, unsigned first_way, unsigned end_way);
+  void touch(unsigned set, unsigned way);
+  void fill(unsigned set, unsigned way, Address tag, bool write, int vm);
+  bool set_uses_bip(unsigned set) const;
+
+  CacheStats& core_slot(int core);
+  CacheStats& vm_slot(int vm);
+
+  std::string name_;
+  CacheGeometry geometry_;
+  ReplacementKind replacement_;
+  unsigned sets_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  Rng rng_;
+  std::uint64_t clock_ = 0;  // recency stamp source
+
+  // DIP set-dueling state: a handful of leader sets are pinned to LRU
+  // and to BIP; a saturating counter tracks which leader family
+  // misses less and follower sets adopt the winner [17].
+  int psel_ = 0;
+  static constexpr int kPselMax = 1023;
+  static constexpr unsigned kDuelModulus = 32;  // 2 leader sets per 32
+
+  std::vector<Partition> partitions_;  // indexed by vm id
+
+  CacheStats total_;
+  std::vector<CacheStats> per_core_;
+  std::vector<CacheStats> per_vm_;
+};
+
+}  // namespace kyoto::cache

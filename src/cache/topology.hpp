@@ -1,0 +1,36 @@
+// Physical machine topology: sockets and cores.
+//
+// Each socket has one LLC shared by its cores and is one NUMA node.
+// The paper's two machines are provided: the 1-socket/4-core Xeon
+// E5-1603 v3 (Table 1, most experiments) and the 2-socket PowerEdge
+// R420 used for the migration-overhead study (Fig 9).
+#pragma once
+
+#include "common/check.hpp"
+
+namespace kyoto::cache {
+
+struct Topology {
+  int sockets = 1;
+  int cores_per_socket = 4;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int socket_of(int core) const {
+    KYOTO_DCHECK(core >= 0 && core < total_cores());
+    return core / cores_per_socket;
+  }
+  /// NUMA node == socket in both experimental machines.
+  int node_of(int core) const { return socket_of(core); }
+  int first_core(int socket) const {
+    KYOTO_DCHECK(socket >= 0 && socket < sockets);
+    return socket * cores_per_socket;
+  }
+};
+
+/// Table 1 machine: 1 socket, 4 cores.
+inline Topology paper_topology() { return Topology{1, 4}; }
+
+/// Fig 9 machine: PowerEdge R420, 2 sockets (numa0/numa1), 4 cores each.
+inline Topology numa_topology() { return Topology{2, 4}; }
+
+}  // namespace kyoto::cache

@@ -1,0 +1,48 @@
+// Lightweight invariant checking.
+//
+// KYOTO_CHECK is an always-on assertion used at module boundaries
+// (constructor preconditions, scheduler invariants).  It throws
+// std::logic_error rather than aborting so tests can assert on
+// violations and library users get a catchable error instead of a
+// process kill.  Hot-path internal invariants use KYOTO_DCHECK, which
+// compiles away in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kyoto::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream oss;
+  oss << "KYOTO_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) oss << " — " << message;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace kyoto::detail
+
+#define KYOTO_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::kyoto::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define KYOTO_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream kyoto_check_oss;                                  \
+      kyoto_check_oss << msg;                                              \
+      ::kyoto::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    kyoto_check_oss.str());                \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define KYOTO_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define KYOTO_DCHECK(expr) KYOTO_CHECK(expr)
+#endif

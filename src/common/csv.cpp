@@ -1,0 +1,34 @@
+#include "common/csv.hpp"
+
+namespace kyoto {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) *out_ << ',';
+    *out_ << csv_escape(f);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  row(std::vector<std::string>(fields));
+}
+
+}  // namespace kyoto

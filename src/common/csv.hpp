@@ -1,0 +1,33 @@
+// Minimal CSV emission for benchmark series.
+//
+// Figure benches print an ASCII rendering for humans and can
+// additionally dump the raw series as CSV (one file per figure) so
+// plots can be regenerated offline.  Quoting follows RFC 4180: fields
+// containing comma, quote or newline are double-quoted with quotes
+// doubled.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kyoto {
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Streams rows of a CSV document.  The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace kyoto

@@ -1,0 +1,58 @@
+#include "common/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace kyoto {
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;  // empty = default stderr sink
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::cerr << "[kyoto:" << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_level;
+}
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  LogSink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace kyoto

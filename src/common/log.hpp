@@ -1,0 +1,60 @@
+// Leveled logging for the simulator.
+//
+// The library is quiet by default (warnings and errors only); examples
+// and debugging sessions can raise verbosity.  Logging goes through a
+// single sink so tests can capture it.  This is intentionally not a
+// high-performance async logger: the simulator's hot loop never logs.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace kyoto {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the human-readable name of a level ("DEBUG", ...).
+const char* log_level_name(LogLevel level);
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the sink (default writes to stderr).  Passing nullptr
+/// restores the default sink.  The sink receives the already-formatted
+/// line without a trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one message through the current sink if `level` passes the
+/// threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+}  // namespace detail
+
+}  // namespace kyoto
+
+#define KYOTO_LOG(level) ::kyoto::detail::LogLine(level)
+#define KYOTO_LOG_DEBUG KYOTO_LOG(::kyoto::LogLevel::kDebug)
+#define KYOTO_LOG_INFO KYOTO_LOG(::kyoto::LogLevel::kInfo)
+#define KYOTO_LOG_WARN KYOTO_LOG(::kyoto::LogLevel::kWarn)
+#define KYOTO_LOG_ERROR KYOTO_LOG(::kyoto::LogLevel::kError)

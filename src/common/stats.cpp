@@ -1,0 +1,118 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace kyoto {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 1.0;
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0) ++concordant;
+      else if (prod < 0) ++discordant;
+      // ties contribute to neither
+    }
+  }
+  const double denom = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double kendall_tau_orders(const std::vector<std::string>& order_a,
+                          const std::vector<std::string>& order_b) {
+  // Convert names to ranks and correlate.  Rank 0 = first (most-X).
+  std::unordered_map<std::string, std::size_t> rank_b;
+  for (std::size_t i = 0; i < order_b.size(); ++i) rank_b.emplace(order_b[i], i);
+  std::vector<double> ra;
+  std::vector<double> rb;
+  for (std::size_t i = 0; i < order_a.size(); ++i) {
+    const auto it = rank_b.find(order_a[i]);
+    if (it == rank_b.end()) continue;
+    // Negate so that "earlier in the order" = higher score; tau is
+    // invariant to this but it keeps the semantics readable.
+    ra.push_back(-static_cast<double>(i));
+    rb.push_back(-static_cast<double>(it->second));
+  }
+  return kendall_tau(ra, rb);
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double cov = sxy - sx * sy / dn;
+  const double varx = sxx - sx * sx / dn;
+  const double vary = syy - sy * sy / dn;
+  if (varx <= 0.0) return fit;
+  fit.slope = cov / varx;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  fit.r2 = (vary > 0.0) ? (cov * cov) / (varx * vary) : 1.0;
+  return fit;
+}
+
+}  // namespace kyoto

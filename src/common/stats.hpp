@@ -1,0 +1,68 @@
+// Descriptive statistics and rank-correlation helpers.
+//
+// The evaluation harness needs running means/extrema for metric
+// aggregation, percentile summaries for timelines, and Kendall's tau
+// for Figure 4 of the paper (comparing the aggressiveness order implied
+// by Equation 1 against the order implied by raw LLC-miss counts, as
+// the paper does citing Lapata [36]).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kyoto {
+
+/// Incrementally accumulated summary statistics (Welford's algorithm
+/// for numerically stable variance).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0 <= p <= 100) of `values` using linear
+/// interpolation between closest ranks.  Returns 0 for empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Kendall's tau-a rank correlation between two equally sized score
+/// vectors (higher score = higher rank).  Returns a value in [-1, 1];
+/// 1 means identical ordering, -1 fully reversed.  Ties count as
+/// discordant-neutral (tau-a denominator n(n-1)/2).
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Kendall's tau between two permutations given as orderings of names
+/// (most-X first).  Items present in one vector but not the other are
+/// ignored.  This mirrors how the paper compares orders o1/o2/o3.
+double kendall_tau_orders(const std::vector<std::string>& order_a,
+                          const std::vector<std::string>& order_b);
+
+/// Ordinary least squares fit y = a + b*x.  Returns {intercept, slope,
+/// r^2}.  Used to verify the linearity claim of Figure 3.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace kyoto

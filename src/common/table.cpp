@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace kyoto {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  KYOTO_CHECK_MSG(!headers_.empty(), "a table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  KYOTO_CHECK_MSG(cells.size() <= headers_.size(),
+                  "row has " << cells.size() << " cells but table has " << headers_.size()
+                             << " columns");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << " | ";
+      oss << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) oss << ' ';
+    }
+    oss << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) oss << "-+-";
+    oss << std::string(widths[c], '-');
+  }
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+std::string fmt_double(double v, int digits) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(digits);
+  oss << v;
+  return oss.str();
+}
+
+std::string fmt_count(long long v) {
+  const bool negative = v < 0;
+  unsigned long long mag = negative ? static_cast<unsigned long long>(-(v + 1)) + 1ull
+                                    : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run && run % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++run;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || width <= 0) return "";
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int filled = static_cast<int>(frac * width + 0.5);
+  return std::string(static_cast<std::size_t>(filled), '#');
+}
+
+}  // namespace kyoto

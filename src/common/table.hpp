@@ -1,0 +1,52 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a paper table/figure as rows and
+// columns on stdout; TextTable keeps them aligned and consistent so
+// EXPERIMENTS.md can quote the output verbatim.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kyoto {
+
+/// A simple right-padded ASCII table.  Columns are sized to the widest
+/// cell.  Numeric formatting is the caller's job (use fmt_double).
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, e.g.
+  ///   name   | value
+  ///   -------+------
+  ///   lbm    | 21.3
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats a count with thousands separators for readability
+/// (e.g. 1234567 -> "1,234,567").
+std::string fmt_count(long long v);
+
+/// Renders a horizontal ASCII bar of proportional length, used by the
+/// figure benches to sketch the paper's bar charts in the terminal.
+/// `value` is clamped to [0, max_value]; `width` is the bar at max.
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+}  // namespace kyoto

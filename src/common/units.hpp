@@ -1,0 +1,54 @@
+// Units and simulated-time vocabulary shared by the whole code base.
+//
+// The simulator is a discrete-time system: virtual time advances in
+// *ticks* of `kTickMs` milliseconds (Xen's scheduler tick), and a
+// scheduling *time slice* is `kTicksPerSlice` ticks (Xen's 30 ms
+// accounting period).  Within a tick, cores execute a configurable
+// number of *cycles*.  All conversions between misses/ms pollution
+// rates (Equation 1 of the paper) and cycle counts go through the
+// machine frequency expressed in kHz (cycles per millisecond), exactly
+// as the paper's equation does.
+#pragma once
+
+#include <cstdint>
+
+namespace kyoto {
+
+/// Simulated processor cycles.
+using Cycles = std::int64_t;
+
+/// Discrete scheduler tick index (1 tick = kTickMs of virtual time).
+using Tick = std::int64_t;
+
+/// Bytes (cache sizes, working sets).
+using Bytes = std::uint64_t;
+
+/// Processor frequency in kHz == cycles per millisecond.  This is the
+/// unit used by the paper's Equation 1.
+using KHz = std::int64_t;
+
+/// A cache-line-aligned simulated address.
+using Address = std::uint64_t;
+
+/// Count of retired instructions.
+using Instructions = std::int64_t;
+
+/// Milliseconds of virtual time covered by one scheduler tick (Xen: 10).
+inline constexpr std::int64_t kTickMs = 10;
+
+/// Ticks per scheduling time slice (Xen: 30 ms slice = 3 ticks).
+inline constexpr std::int64_t kTicksPerSlice = 3;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+
+/// Converts cycles executed on a core into milliseconds of virtual
+/// on-CPU time for a machine running at `freq_khz` (kHz == cycles/ms).
+inline constexpr double cycles_to_ms(Cycles c, KHz freq_khz) {
+  return static_cast<double>(c) / static_cast<double>(freq_khz);
+}
+
+/// Virtual cycles in one tick for a machine at `freq_khz`.
+inline constexpr Cycles cycles_per_tick(KHz freq_khz) { return freq_khz * kTickMs; }
+
+}  // namespace kyoto

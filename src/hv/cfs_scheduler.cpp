@@ -1,0 +1,99 @@
+#include "hv/cfs_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace kyoto::hv {
+
+void CfsScheduler::vcpu_added(Vcpu& vcpu) {
+  KYOTO_CHECK_MSG(hv_ != nullptr, "scheduler not attached");
+  KYOTO_CHECK_MSG(vcpu.pinned_core() >= 0, "vCPU must be pinned before registration");
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  if (states_.size() <= id) states_.resize(id + 1);
+  State& st = states_[id];
+  st.vcpu = &vcpu;
+  // Map the Xen-style weight (256 = default) onto CFS nice-0 weight.
+  st.weight = std::max(1, vcpu.vm().config().weight * kNice0Weight / 256);
+  const auto cores = static_cast<std::size_t>(hv_->machine().topology().total_cores());
+  if (runqueue_.size() < cores) runqueue_.resize(cores);
+  // A task entering a runqueue starts at the queue's min vruntime so
+  // it neither starves others nor is starved (CFS's place_entity).
+  st.vruntime = min_vruntime(vcpu.pinned_core());
+  runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
+}
+
+void CfsScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
+  KYOTO_CHECK(old_core >= 0 && static_cast<std::size_t>(old_core) < runqueue_.size());
+  auto& oldq = runqueue_[static_cast<std::size_t>(old_core)];
+  oldq.erase(std::remove(oldq.begin(), oldq.end(), vcpu.id()), oldq.end());
+  State& st = state_of(vcpu);
+  st.vruntime = std::max(st.vruntime, min_vruntime(vcpu.pinned_core()));
+  runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
+}
+
+double CfsScheduler::min_vruntime(int core) const {
+  if (static_cast<std::size_t>(core) >= runqueue_.size()) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  bool any = false;
+  for (int id : runqueue_[static_cast<std::size_t>(core)]) {
+    const State& st = states_[static_cast<std::size_t>(id)];
+    if (st.vcpu == nullptr || st.vcpu->done()) continue;
+    best = std::min(best, st.vruntime);
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+bool CfsScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
+
+bool CfsScheduler::kyoto_demoted(const Vcpu& /*vcpu*/) const { return false; }
+
+Vcpu* CfsScheduler::pick(int core, Tick /*now*/) {
+  if (static_cast<std::size_t>(core) >= runqueue_.size()) return nullptr;
+  Vcpu* best = nullptr;
+  double best_vr = std::numeric_limits<double>::max();
+  Vcpu* best_demoted = nullptr;
+  double best_demoted_vr = std::numeric_limits<double>::max();
+  for (int id : runqueue_[static_cast<std::size_t>(core)]) {
+    State& st = states_[static_cast<std::size_t>(id)];
+    if (st.vcpu == nullptr || st.vcpu->done() || !kyoto_allows(*st.vcpu)) continue;
+    if (kyoto_demoted(*st.vcpu)) {
+      if (st.vruntime < best_demoted_vr) {
+        best_demoted_vr = st.vruntime;
+        best_demoted = st.vcpu;
+      }
+      continue;
+    }
+    if (st.vruntime < best_vr) {
+      best_vr = st.vruntime;
+      best = st.vcpu;
+    }
+  }
+  return best != nullptr ? best : best_demoted;
+}
+
+void CfsScheduler::account(Vcpu& vcpu, const RunReport& report) {
+  State& st = state_of(vcpu);
+  st.vruntime += static_cast<double>(report.ran) * kNice0Weight / st.weight;
+}
+
+double CfsScheduler::vruntime(const Vcpu& vcpu) const { return state_of(vcpu).vruntime; }
+
+CfsScheduler::State& CfsScheduler::state_of(const Vcpu& vcpu) {
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
+                  "unregistered vCPU " << vcpu.id());
+  return states_[id];
+}
+
+const CfsScheduler::State& CfsScheduler::state_of(const Vcpu& vcpu) const {
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
+                  "unregistered vCPU " << vcpu.id());
+  return states_[id];
+}
+
+}  // namespace kyoto::hv

@@ -1,0 +1,57 @@
+// A simplified Linux CFS, the scheduler KVM vCPU threads run under.
+//
+// Each vCPU is a "task" with a weight; the per-core runqueue is
+// ordered by virtual runtime (vruntime), which advances inversely to
+// weight while the task runs.  pick() returns the runnable task with
+// the smallest vruntime.  This is the substrate KS4Linux
+// (kyoto/ks4linux.hpp) extends with pollution-quota throttling, the
+// way CFS bandwidth control throttles cgroups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hv/scheduler.hpp"
+
+namespace kyoto::hv {
+
+class CfsScheduler : public Scheduler {
+ public:
+  /// Weight of a nice-0 task (Linux convention).
+  static constexpr int kNice0Weight = 1024;
+
+  std::string name() const override { return "CFS"; }
+
+  void vcpu_added(Vcpu& vcpu) override;
+  void vcpu_migrated(Vcpu& vcpu, int old_core) override;
+  Vcpu* pick(int core, Tick now) override;
+  void account(Vcpu& vcpu, const RunReport& report) override;
+  void slice_end(Tick /*now*/) override {}
+
+  // --- introspection ---------------------------------------------------
+  double vruntime(const Vcpu& vcpu) const;
+
+ protected:
+  /// Kyoto hook (KS4Linux throttles punished VMs here).
+  virtual bool kyoto_allows(const Vcpu& vcpu) const;
+  /// Kyoto demote-mode hook: demoted tasks run only when no
+  /// undemoted task is runnable.
+  virtual bool kyoto_demoted(const Vcpu& vcpu) const;
+
+ private:
+  struct State {
+    Vcpu* vcpu = nullptr;
+    double vruntime = 0.0;
+    int weight = kNice0Weight;
+  };
+
+  State& state_of(const Vcpu& vcpu);
+  const State& state_of(const Vcpu& vcpu) const;
+  double min_vruntime(int core) const;
+
+  std::vector<State> states_;               // by vcpu id
+  std::vector<std::vector<int>> runqueue_;  // per core, vcpu ids (unordered)
+};
+
+}  // namespace kyoto::hv

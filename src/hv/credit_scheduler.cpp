@@ -1,0 +1,175 @@
+#include "hv/credit_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace kyoto::hv {
+
+void CreditScheduler::vcpu_added(Vcpu& vcpu) {
+  KYOTO_CHECK_MSG(hv_ != nullptr, "scheduler not attached");
+  KYOTO_CHECK_MSG(vcpu.pinned_core() >= 0, "vCPU must be pinned before registration");
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  if (states_.size() <= id) states_.resize(id + 1);
+  State& st = states_[id];
+  st.vcpu = &vcpu;
+  st.remain_credit = kCreditPerSlice * vcpu.vm().config().weight / kDefaultWeight;
+  st.capped = vcpu.vm().config().cpu_cap_percent > 0;
+  st.cap_budget = slice_cap_budget(vcpu);
+
+  const auto cores = static_cast<std::size_t>(hv_->machine().topology().total_cores());
+  if (runqueue_.size() < cores) runqueue_.resize(cores);
+  runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
+}
+
+void CreditScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
+  KYOTO_CHECK(old_core >= 0 && static_cast<std::size_t>(old_core) < runqueue_.size());
+  auto& old_queue = runqueue_[static_cast<std::size_t>(old_core)];
+  old_queue.erase(std::remove(old_queue.begin(), old_queue.end(), vcpu.id()), old_queue.end());
+  runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
+}
+
+Cycles CreditScheduler::slice_cap_budget(const Vcpu& vcpu) const {
+  const int cap = vcpu.vm().config().cpu_cap_percent;
+  if (cap <= 0) return 0;
+  const Cycles slice_cycles = hv_->machine().cycles_per_tick() * kTicksPerSlice;
+  return slice_cycles * cap / 100;
+}
+
+bool CreditScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
+
+bool CreditScheduler::kyoto_demoted(const Vcpu& /*vcpu*/) const { return false; }
+
+bool CreditScheduler::runnable(const Vcpu& vcpu) const {
+  if (vcpu.done()) return false;
+  if (!kyoto_allows(vcpu)) return false;
+  const State& st = state_of(vcpu);
+  if (st.capped && st.cap_budget <= 0) return false;
+  return true;
+}
+
+Vcpu* CreditScheduler::pick(int core, Tick /*now*/) {
+  if (static_cast<std::size_t>(core) >= runqueue_.size()) return nullptr;
+  auto& queue = runqueue_[static_cast<std::size_t>(core)];
+  if (cursors_.size() < runqueue_.size()) cursors_.resize(runqueue_.size());
+  CoreCursor& cursor = cursors_[static_cast<std::size_t>(core)];
+
+  // Slice stickiness: keep the incumbent for up to one full 30 ms
+  // slice while it stays runnable, UNDER and undemoted.
+  if (cursor.current >= 0 && cursor.consecutive < static_cast<int>(kTicksPerSlice)) {
+    State& cur = states_[static_cast<std::size_t>(cursor.current)];
+    if (cur.vcpu != nullptr && cur.vcpu->pinned_core() == core && runnable(*cur.vcpu) &&
+        cur.remain_credit > 0 && !kyoto_demoted(*cur.vcpu)) {
+      ++cursor.consecutive;
+      return cur.vcpu;
+    }
+  }
+  cursor.current = -1;
+  cursor.consecutive = 0;
+
+  enum class Band { kUnder, kOver, kDemoted };
+  auto select = [&](Band band) -> Vcpu* {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      State& st = states_[static_cast<std::size_t>(queue[i])];
+      KYOTO_DCHECK(st.vcpu != nullptr);
+      if (!runnable(*st.vcpu)) continue;
+      const bool demoted = kyoto_demoted(*st.vcpu);
+      const bool under = st.remain_credit > 0;
+      const Band mine = demoted ? Band::kDemoted : (under ? Band::kUnder : Band::kOver);
+      if (mine != band) continue;
+      // Round-robin: rotate the chosen vCPU to the queue tail.
+      const int id = queue[i];
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      queue.push_back(id);
+      return st.vcpu;
+    }
+    return nullptr;
+  };
+
+  // Priority UNDER first, then OVER (work conserving), then — only if
+  // the core would otherwise idle — Kyoto-demoted vCPUs.
+  Vcpu* chosen = select(Band::kUnder);
+  if (chosen == nullptr) chosen = select(Band::kOver);
+  if (chosen == nullptr) chosen = select(Band::kDemoted);
+  if (chosen != nullptr) {
+    cursor.current = chosen->id();
+    cursor.consecutive = 1;
+  }
+  return chosen;
+}
+
+void CreditScheduler::account(Vcpu& vcpu, const RunReport& report) {
+  State& st = state_of(vcpu);
+  const Cycles cpt = hv_->machine().cycles_per_tick();
+  const int burnt = static_cast<int>(
+      std::lround(static_cast<double>(kCreditPerTick) * static_cast<double>(report.ran) /
+                  static_cast<double>(cpt)));
+  st.remain_credit -= burnt;
+  st.remain_credit = std::max(st.remain_credit, -kCreditPerSlice);
+  if (st.capped) st.cap_budget -= report.ran;
+}
+
+Cycles CreditScheduler::max_burst(const Vcpu& vcpu, Cycles tick_budget) {
+  const State& st = state_of(vcpu);
+  if (!st.capped) return tick_budget;
+  return std::min(tick_budget, std::max<Cycles>(st.cap_budget, 0));
+}
+
+void CreditScheduler::slice_end(Tick /*now*/) {
+  // Xen's accounting: each pCPU contributes one slice worth of credit
+  // (kCreditPerSlice) distributed among the vCPUs competing for that
+  // pCPU proportionally to their weights, with no vCPU earning more
+  // than a full slice (it cannot use more than one core).
+  for (std::size_t core = 0; core < runqueue_.size(); ++core) {
+    long long total_weight = 0;
+    for (int id : runqueue_[core]) {
+      const State& st = states_[static_cast<std::size_t>(id)];
+      if (st.vcpu != nullptr && !st.vcpu->done()) {
+        total_weight += st.vcpu->vm().config().weight;
+      }
+    }
+    if (total_weight == 0) continue;
+    for (int id : runqueue_[core]) {
+      State& st = states_[static_cast<std::size_t>(id)];
+      if (st.vcpu == nullptr || st.vcpu->done()) continue;
+      const long long share = static_cast<long long>(kCreditPerSlice) *
+                              st.vcpu->vm().config().weight / total_weight;
+      const int earn = static_cast<int>(std::min<long long>(share, kCreditPerSlice));
+      // No banking beyond one slice's worth of credit (Xen clamps too).
+      st.remain_credit = std::min(st.remain_credit + earn, std::max(earn, 1));
+      st.cap_budget = slice_cap_budget(*st.vcpu);
+    }
+  }
+}
+
+CreditScheduler::State& CreditScheduler::state_of(const Vcpu& vcpu) {
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
+                  "unregistered vCPU " << vcpu.id());
+  return states_[id];
+}
+
+const CreditScheduler::State& CreditScheduler::state_of(const Vcpu& vcpu) const {
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
+                  "unregistered vCPU " << vcpu.id());
+  return states_[id];
+}
+
+int CreditScheduler::remain_credit(const Vcpu& vcpu) const { return state_of(vcpu).remain_credit; }
+
+bool CreditScheduler::in_over(const Vcpu& vcpu) const {
+  return state_of(vcpu).remain_credit <= 0;
+}
+
+double CreditScheduler::cap_budget_fraction(const Vcpu& vcpu) const {
+  const State& st = state_of(vcpu);
+  if (!st.capped) return 1.0;
+  const Cycles full = slice_cap_budget(vcpu);
+  if (full <= 0) return 0.0;
+  return std::max(0.0, static_cast<double>(st.cap_budget) / static_cast<double>(full));
+}
+
+}  // namespace kyoto::hv

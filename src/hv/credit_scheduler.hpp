@@ -1,0 +1,88 @@
+// The Xen credit scheduler (XCS), as described in §3.2 of the paper
+// and Cherkasova et al. [16].
+//
+// Each VM is configured with a weight (its credit share) and an
+// optional cap.  Every accounting period (time slice = 30 ms), each
+// vCPU's remainCredit is replenished proportionally to its weight;
+// running burns 100 credits per 10 ms tick.  vCPUs with positive
+// credit are priority UNDER and run first (round-robin); exhausted
+// vCPUs fall to OVER and only run work-conservingly.  A capped VM
+// whose cap budget for the slice is spent cannot run at all — the cap
+// is the knob Fig 3 turns to throttle the disruptor's computing
+// capacity.
+//
+// KS4Xen (kyoto/ks4xen.hpp) extends this class exactly where the
+// paper patched Xen: an extra schedulability predicate and extra
+// slice-end bookkeeping.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hv/scheduler.hpp"
+
+namespace kyoto::hv {
+
+class CreditScheduler : public Scheduler {
+ public:
+  /// Credits burned by one tick of execution.
+  static constexpr int kCreditPerTick = 100;
+  /// Credits a weight-256 vCPU earns per slice (one full slice's worth).
+  static constexpr int kCreditPerSlice = kCreditPerTick * static_cast<int>(kTicksPerSlice);
+  /// Default Xen weight.
+  static constexpr int kDefaultWeight = 256;
+
+  std::string name() const override { return "XCS"; }
+
+  void vcpu_added(Vcpu& vcpu) override;
+  void vcpu_migrated(Vcpu& vcpu, int old_core) override;
+  Vcpu* pick(int core, Tick now) override;
+  /// Capped vCPUs may not run past their remaining slice budget.
+  Cycles max_burst(const Vcpu& vcpu, Cycles tick_budget) override;
+  void account(Vcpu& vcpu, const RunReport& report) override;
+  void slice_end(Tick now) override;
+
+  // --- introspection (benches/tests) ----------------------------------
+  int remain_credit(const Vcpu& vcpu) const;
+  bool in_over(const Vcpu& vcpu) const;
+  /// Fraction of the last slice's cap budget left (1.0 if uncapped).
+  double cap_budget_fraction(const Vcpu& vcpu) const;
+
+ protected:
+  /// Kyoto hook: KS4Xen forbids punished VMs here.  Base: always true.
+  virtual bool kyoto_allows(const Vcpu& vcpu) const;
+
+  /// Kyoto hook for demote-mode punishment: demoted vCPUs rank below
+  /// every unpunished vCPU (even OVER ones).  Base: never demoted.
+  virtual bool kyoto_demoted(const Vcpu& vcpu) const;
+
+  /// True if the vCPU may be handed a core right now.
+  bool runnable(const Vcpu& vcpu) const;
+
+ private:
+  struct State {
+    Vcpu* vcpu = nullptr;
+    int remain_credit = kCreditPerSlice;
+    Cycles cap_budget = 0;   // cycles left this slice (capped VMs only)
+    bool capped = false;
+  };
+
+  /// Per-core stickiness: Xen runs the chosen vCPU for a full 30 ms
+  /// scheduling slice (not one 10 ms tick) unless it stops being
+  /// runnable or falls to OVER.
+  struct CoreCursor {
+    int current = -1;     // vcpu id currently holding the core
+    int consecutive = 0;  // ticks it has held it
+  };
+
+  State& state_of(const Vcpu& vcpu);
+  const State& state_of(const Vcpu& vcpu) const;
+  Cycles slice_cap_budget(const Vcpu& vcpu) const;
+
+  std::vector<State> states_;              // by vcpu id
+  std::vector<std::deque<int>> runqueue_;  // per core, vcpu ids, RR order
+  std::vector<CoreCursor> cursors_;        // per core
+};
+
+}  // namespace kyoto::hv

@@ -1,0 +1,163 @@
+#include "hv/hypervisor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kyoto::hv {
+
+Hypervisor::Hypervisor(const MachineConfig& machine_config,
+                       std::unique_ptr<Scheduler> scheduler)
+    : machine_(std::make_unique<Machine>(machine_config)), scheduler_(std::move(scheduler)) {
+  KYOTO_CHECK(scheduler_ != nullptr);
+  const auto cores = static_cast<std::size_t>(machine_->topology().total_cores());
+  idle_ticks_.assign(cores, 0);
+  scheduler_->attach(*this);
+}
+
+Vm& Hypervisor::create_vm(const VmConfig& config,
+                          std::vector<std::unique_ptr<workloads::Workload>> vcpu_workloads,
+                          const std::vector<int>& pinned_cores) {
+  KYOTO_CHECK_MSG(!vcpu_workloads.empty(), "VM needs at least one vCPU");
+  KYOTO_CHECK_MSG(pinned_cores.empty() || pinned_cores.size() == vcpu_workloads.size(),
+                  "pinned_cores must match vCPU count");
+  const int vm_id = static_cast<int>(vms_.size());
+  const int first_id = next_vcpu_id_;
+  next_vcpu_id_ += static_cast<int>(vcpu_workloads.size());
+  vms_.push_back(std::make_unique<Vm>(vm_id, config, std::move(vcpu_workloads), first_id));
+  Vm& vm = *vms_.back();
+
+  const int cores = machine_->topology().total_cores();
+  for (std::size_t i = 0; i < vm.vcpus().size(); ++i) {
+    Vcpu& vcpu = *vm.vcpus()[i];
+    int core;
+    if (!pinned_cores.empty()) {
+      core = pinned_cores[i];
+      KYOTO_CHECK_MSG(core >= 0 && core < cores, "pin target out of range: " << core);
+    } else {
+      core = next_default_core_;
+      next_default_core_ = (next_default_core_ + 1) % cores;
+    }
+    vcpu.set_pinned_core(core);
+    scheduler_->vcpu_added(vcpu);
+  }
+  sched_tick_count_.resize(static_cast<std::size_t>(next_vcpu_id_), 0);
+  return vm;
+}
+
+Vm& Hypervisor::create_vm(const VmConfig& config,
+                          std::unique_ptr<workloads::Workload> workload, int core) {
+  std::vector<std::unique_ptr<workloads::Workload>> w;
+  w.push_back(std::move(workload));
+  return create_vm(config, std::move(w), std::vector<int>{core});
+}
+
+void Hypervisor::migrate(Vcpu& vcpu, int new_core) {
+  const int cores = machine_->topology().total_cores();
+  KYOTO_CHECK_MSG(new_core >= 0 && new_core < cores, "migration target out of range");
+  const int old_core = vcpu.pinned_core();
+  if (old_core == new_core) return;
+  vcpu.set_pinned_core(new_core);
+  scheduler_->vcpu_migrated(vcpu, old_core);
+}
+
+void Hypervisor::run_ticks(Tick n) {
+  for (Tick i = 0; i < n; ++i) run_one_tick();
+}
+
+Tick Hypervisor::run_until(const std::function<bool()>& predicate, Tick max_ticks) {
+  Tick executed = 0;
+  while (executed < max_ticks && !predicate()) {
+    run_one_tick();
+    ++executed;
+  }
+  return executed;
+}
+
+void Hypervisor::run_one_tick() {
+  const int cores = machine_->topology().total_cores();
+  const Cycles cpt = machine_->cycles_per_tick();
+  const Cycles chunk = std::max<Cycles>(1, cpt / kSubQuantaPerTick);
+
+  struct Slot {
+    Vcpu* vcpu = nullptr;
+    Cycles remaining = 0;
+    Cycles ran = 0;
+    pmc::CounterSet pmu_before;
+  };
+  std::vector<Slot> slots(static_cast<std::size_t>(cores));
+
+  for (int core = 0; core < cores; ++core) {
+    Vcpu* v = scheduler_->pick(core, now_);
+    auto& slot = slots[static_cast<std::size_t>(core)];
+    if (v == nullptr) {
+      ++idle_ticks_[static_cast<std::size_t>(core)];
+      continue;
+    }
+    KYOTO_CHECK_MSG(v->pinned_core() == core,
+                    "scheduler picked vCPU " << v->id() << " for core " << core
+                                             << " but it is pinned to " << v->pinned_core());
+    slot.vcpu = v;
+    slot.remaining = scheduler_->max_burst(*v, cpt);
+    slot.pmu_before = machine_->pmu(core).read();
+    v->counters().switch_in(machine_->pmu(core));
+    ++sched_tick_count_[static_cast<std::size_t>(v->id())];
+  }
+
+  // Interleaved execution: cores advance in lockstep sub-quanta so
+  // that parallel LLC contention happens at fine grain.  The starting
+  // core rotates every sub-quantum so no core systematically goes
+  // first (which would give it de-facto priority at the shared
+  // memory bus).
+  const std::int64_t wall_base = now_ * cpt;
+  for (int sub = 0; sub < kSubQuantaPerTick; ++sub) {
+    for (int i = 0; i < cores; ++i) {
+      const int core = (i + sub) % cores;
+      auto& slot = slots[static_cast<std::size_t>(core)];
+      if (slot.vcpu == nullptr || slot.remaining <= 0) continue;
+      const Cycles budget = std::min(chunk, slot.remaining);
+      const auto result =
+          machine_->run_vcpu(*slot.vcpu, core, budget, wall_base + slot.ran);
+      slot.ran += result.cycles_used;
+      slot.remaining -= std::max<Cycles>(result.cycles_used, 1);
+      if (result.vcpu_halted) slot.remaining = 0;  // completed, core idles out the tick
+    }
+  }
+
+  for (int core = 0; core < cores; ++core) {
+    auto& slot = slots[static_cast<std::size_t>(core)];
+    if (slot.vcpu == nullptr) continue;
+    slot.vcpu->counters().switch_out(machine_->pmu(core));
+    RunReport report;
+    report.core = core;
+    report.tick = now_;
+    report.ran = slot.ran;
+    report.pmc_delta = machine_->pmu(core).read() - slot.pmu_before;
+    scheduler_->account(*slot.vcpu, report);
+  }
+
+  for (const auto& hook : tick_hooks_) hook(*this, now_);
+
+  ++now_;
+  if (now_ % kTicksPerSlice == 0) scheduler_->slice_end(now_);
+}
+
+std::vector<Vm*> Hypervisor::vms() {
+  std::vector<Vm*> out;
+  out.reserve(vms_.size());
+  for (auto& vm : vms_) out.push_back(vm.get());
+  return out;
+}
+
+std::int64_t Hypervisor::idle_ticks(int core) const {
+  KYOTO_CHECK(core >= 0 && static_cast<std::size_t>(core) < idle_ticks_.size());
+  return idle_ticks_[static_cast<std::size_t>(core)];
+}
+
+std::int64_t Hypervisor::sched_ticks(const Vcpu& vcpu) const {
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  KYOTO_CHECK(id < sched_tick_count_.size());
+  return sched_tick_count_[id];
+}
+
+}  // namespace kyoto::hv

@@ -1,0 +1,94 @@
+#include "hv/machine.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "mem/access.hpp"
+
+namespace kyoto::hv {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(std::make_unique<cache::MemorySystem>(config.topology, config.mem, config.seed)),
+      pmus_(static_cast<std::size_t>(config.topology.total_cores())) {
+  KYOTO_CHECK_MSG(config.freq_khz > 0, "machine frequency must be positive");
+}
+
+pmc::CorePmu& Machine::pmu(int core) {
+  KYOTO_CHECK(core >= 0 && core < config_.topology.total_cores());
+  return pmus_[static_cast<std::size_t>(core)];
+}
+
+const pmc::CorePmu& Machine::pmu(int core) const {
+  KYOTO_CHECK(core >= 0 && core < config_.topology.total_cores());
+  return pmus_[static_cast<std::size_t>(core)];
+}
+
+Machine::RunResult Machine::run_vcpu(Vcpu& vcpu, int core, Cycles budget,
+                                     std::int64_t wall_cycle_base) {
+  KYOTO_CHECK(core >= 0 && core < config_.topology.total_cores());
+  RunResult result;
+  if (vcpu.done()) {
+    result.vcpu_halted = true;
+    return result;
+  }
+
+  auto& workload = vcpu.workload();
+  const auto& spec = workload.spec();
+  auto& space = vcpu.vm().address_space();
+  const int home_node = space.home_node();
+  const int vm_id = vcpu.vm().id();
+  const double inv_mlp = 1.0 / spec.mlp;
+  const Bytes space_size = space.size();
+  pmc::CorePmu& core_pmu = pmus_[static_cast<std::size_t>(core)];
+
+  const Instructions run_length = spec.length;
+
+  while (result.cycles_used < budget) {
+    const mem::Op op = workload.next();
+    Cycles cost = 1;
+    if (op.kind != mem::OpKind::kCompute) {
+      const Address addr = space.translate(op.addr % space_size);
+      const cache::AccessResult access =
+          memory_->access(core, addr, op.kind == mem::OpKind::kStore, home_node, vm_id,
+                          wall_cycle_base + result.cycles_used);
+      // Memory-level parallelism: the core hides part of the latency
+      // behind independent work (out-of-order window + prefetchers).
+      cost = std::max<Cycles>(
+          1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
+      if (access.llc_reference) {
+        core_pmu.add(pmc::Counter::kLlcReferences, 1);
+        if (access.llc_miss) {
+          core_pmu.add(pmc::Counter::kLlcMisses, 1);
+          ++result.llc_misses;
+        }
+      }
+      if (access.prefetch_llc_references > 0) {
+        core_pmu.add(pmc::Counter::kLlcReferences, access.prefetch_llc_references);
+        core_pmu.add(pmc::Counter::kLlcMisses, access.prefetch_llc_misses);
+        result.llc_misses += access.prefetch_llc_misses;
+      }
+    }
+    result.cycles_used += cost;
+    ++result.instructions;
+
+    if (run_length > 0 && vcpu.retired_in_run() + result.instructions >= run_length) {
+      // Completion bookkeeping needs retired_in_run to be current.
+      vcpu.note_progress(result.instructions, result.cycles_used);
+      core_pmu.add(pmc::Counter::kInstructions,
+                   static_cast<std::uint64_t>(result.instructions));
+      core_pmu.add(pmc::Counter::kUnhaltedCycles,
+                   static_cast<std::uint64_t>(result.cycles_used));
+      vcpu.note_run_complete(wall_cycle_base + result.cycles_used);
+      result.vcpu_halted = vcpu.done();
+      return result;
+    }
+  }
+
+  vcpu.note_progress(result.instructions, result.cycles_used);
+  core_pmu.add(pmc::Counter::kInstructions, static_cast<std::uint64_t>(result.instructions));
+  core_pmu.add(pmc::Counter::kUnhaltedCycles, static_cast<std::uint64_t>(result.cycles_used));
+  return result;
+}
+
+}  // namespace kyoto::hv

@@ -1,0 +1,39 @@
+#include "hv/pisces.hpp"
+
+#include "common/check.hpp"
+#include "hv/hypervisor.hpp"
+
+namespace kyoto::hv {
+
+void PiscesScheduler::vcpu_added(Vcpu& vcpu) {
+  KYOTO_CHECK_MSG(hv_ != nullptr, "scheduler not attached");
+  const int core = vcpu.pinned_core();
+  KYOTO_CHECK_MSG(core >= 0, "Pisces enclave vCPU must be pinned");
+  const auto cores = static_cast<std::size_t>(hv_->machine().topology().total_cores());
+  if (owner_.size() < cores) owner_.resize(cores, nullptr);
+  KYOTO_CHECK_MSG(owner_[static_cast<std::size_t>(core)] == nullptr,
+                  "core " << core << " already owned by an enclave: Pisces does not share");
+  owner_[static_cast<std::size_t>(core)] = &vcpu;
+}
+
+void PiscesScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
+  KYOTO_CHECK(old_core >= 0 && static_cast<std::size_t>(old_core) < owner_.size());
+  KYOTO_CHECK_MSG(owner_[static_cast<std::size_t>(old_core)] == &vcpu,
+                  "migrating vCPU did not own its core");
+  const auto new_core = static_cast<std::size_t>(vcpu.pinned_core());
+  KYOTO_CHECK(new_core < owner_.size());
+  KYOTO_CHECK_MSG(owner_[new_core] == nullptr, "migration target core already owned");
+  owner_[static_cast<std::size_t>(old_core)] = nullptr;
+  owner_[new_core] = &vcpu;
+}
+
+bool PiscesScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
+
+Vcpu* PiscesScheduler::pick(int core, Tick /*now*/) {
+  if (static_cast<std::size_t>(core) >= owner_.size()) return nullptr;
+  Vcpu* v = owner_[static_cast<std::size_t>(core)];
+  if (v == nullptr || v->done() || !kyoto_allows(*v)) return nullptr;
+  return v;
+}
+
+}  // namespace kyoto::hv

@@ -1,0 +1,43 @@
+// Pisces-style co-kernel "scheduling" (Ouyang et al., HPDC 2015 [4]).
+//
+// Pisces gives each HPC application an *enclave*: dedicated cores and
+// memory managed by a lightweight co-kernel, with no hypervisor in
+// the data path.  There is no time sharing at all — a vCPU owns its
+// core outright.  That removes every software interference channel,
+// but the LLC is still silicon shared by all enclaves on the socket,
+// which is exactly the residual interference Fig 8 demonstrates and
+// KS4Pisces (kyoto/ks4pisces.hpp) closes by duty-cycling polluting
+// enclaves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hv/scheduler.hpp"
+
+namespace kyoto::hv {
+
+class PiscesScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Pisces"; }
+
+  /// Each vCPU must be pinned to a core no other vCPU uses (enclaves
+  /// own their cores); violations throw.
+  void vcpu_added(Vcpu& vcpu) override;
+  void vcpu_migrated(Vcpu& vcpu, int old_core) override;
+  Vcpu* pick(int core, Tick now) override;
+  void account(Vcpu& vcpu, const RunReport& report) override {
+    (void)vcpu;
+    (void)report;
+  }
+  void slice_end(Tick /*now*/) override {}
+
+ protected:
+  /// Kyoto hook (KS4Pisces idles punished enclaves here).
+  virtual bool kyoto_allows(const Vcpu& vcpu) const;
+
+ private:
+  std::vector<Vcpu*> owner_;  // per core: the enclave vCPU owning it
+};
+
+}  // namespace kyoto::hv

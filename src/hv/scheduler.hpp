@@ -1,0 +1,66 @@
+// Scheduler interface: the hypervisor's per-core vCPU selection.
+//
+// The contract mirrors what KS4Xen needed from Xen: a per-tick pick
+// per core, per-run accounting (with the perfctr PMC delta of that
+// run, which is what Kyoto's monitoring consumes), and a slice-end
+// hook (Xen's 30 ms accounting period) where credits — and for Kyoto,
+// pollution quotas — are replenished.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "hv/vm.hpp"
+#include "pmc/counters.hpp"
+
+namespace kyoto::hv {
+
+class Hypervisor;
+
+/// What one vCPU did during one scheduled burst (one tick on a core).
+struct RunReport {
+  int core = -1;
+  Tick tick = 0;
+  Cycles ran = 0;                 // cycles actually executed
+  pmc::CounterSet pmc_delta;      // per-vCPU counter delta for the burst
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once when the hypervisor adopts this scheduler.
+  virtual void attach(Hypervisor& hv) { hv_ = &hv; }
+
+  /// Registers a vCPU (already pinned to its core).
+  virtual void vcpu_added(Vcpu& vcpu) = 0;
+
+  /// Re-homes a vCPU after migration to a new pinned core.
+  virtual void vcpu_migrated(Vcpu& vcpu, int old_core) = 0;
+
+  /// Chooses the vCPU to run on `core` for tick `now`; nullptr idles
+  /// the core.  A vCPU must never be returned for two cores in the
+  /// same tick.
+  virtual Vcpu* pick(int core, Tick now) = 0;
+
+  /// Upper bound on the cycles the picked vCPU may execute this tick
+  /// (sub-tick enforcement of caps).  Default: the full budget.
+  virtual Cycles max_burst(const Vcpu& vcpu, Cycles tick_budget) {
+    (void)vcpu;
+    return tick_budget;
+  }
+
+  /// Accounts one finished burst (called after the tick's execution).
+  virtual void account(Vcpu& vcpu, const RunReport& report) = 0;
+
+  /// Called every kTicksPerSlice ticks, after accounting.
+  virtual void slice_end(Tick now) = 0;
+
+ protected:
+  Hypervisor* hv_ = nullptr;
+};
+
+}  // namespace kyoto::hv

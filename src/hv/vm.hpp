@@ -1,0 +1,153 @@
+// Virtual machines and virtual CPUs.
+//
+// A VM owns an address space, a configuration (CPU weight/cap plus
+// the paper's new parameter: the booked LLC pollution permit
+// `llc_cap`) and one or more vCPUs.  Each vCPU executes one workload;
+// the paper's experiments use single-vCPU VMs pinned to cores
+// (§2.2: "any VM runs a single application type and is configured
+// with a single vCPU which is pinned to a single core"), but
+// multi-vCPU VMs are supported (Fig 6 colocates up to 15 disruptive
+// vCPUs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "mem/address_space.hpp"
+#include "pmc/perfctr.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::hv {
+
+class Vm;
+
+/// Static configuration of a VM, set at instantiation time ("booked"
+/// by the cloud user).
+struct VmConfig {
+  std::string name;
+  /// Xen credit-scheduler weight (default 256, like Xen).
+  int weight = 256;
+  /// CPU cap in percent of one core; 0 = uncapped (Xen semantics).
+  /// Fig 3 varies this knob on the disruptive VM.
+  int cpu_cap_percent = 0;
+  /// The paper's new booking parameter: permitted pollution level in
+  /// LLC misses per millisecond of on-CPU time (Equation 1 units).
+  /// 0 = no permit booked (VM is never punished).
+  double llc_cap = 0.0;
+  /// Address-space size; 0 = sized automatically to the largest
+  /// workload working set.
+  Bytes memory = 0;
+  /// NUMA node where the VM's memory lives.
+  int home_node = 0;
+  /// If true, each vCPU's workload restarts when it completes, so the
+  /// VM acts as a persistent (dis)turber.
+  bool loop_workload = false;
+};
+
+/// One virtual CPU.  Scheduler-agnostic: scheduling state lives in
+/// the scheduler implementations, keyed by id().
+class Vcpu {
+ public:
+  Vcpu(Vm& vm, int index, int global_id, std::unique_ptr<workloads::Workload> workload);
+
+  Vcpu(const Vcpu&) = delete;
+  Vcpu& operator=(const Vcpu&) = delete;
+
+  Vm& vm() { return *vm_; }
+  const Vm& vm() const { return *vm_; }
+  /// Index of this vCPU within its VM.
+  int index() const { return index_; }
+  /// Hypervisor-wide unique id (dense, usable as an array index).
+  int id() const { return id_; }
+
+  workloads::Workload& workload() { return *workload_; }
+  const workloads::Workload& workload() const { return *workload_; }
+
+  /// Physical core this vCPU is pinned to (every vCPU is pinned; the
+  /// hypervisor assigns a default at creation).
+  int pinned_core() const { return pinned_core_; }
+  void set_pinned_core(int core) { pinned_core_ = core; }
+
+  pmc::VirtualCounters& counters() { return counters_; }
+  const pmc::VirtualCounters& counters() const { return counters_; }
+
+  // --- execution bookkeeping (updated by the Machine) ----------------
+  /// Instructions retired in the current run of the workload.
+  Instructions retired_in_run() const { return retired_in_run_; }
+  /// Instructions retired since creation (across looped runs).
+  Instructions retired_total() const { return retired_total_; }
+  /// Completed workload runs (0 or 1 unless the VM loops).
+  std::int64_t completed_runs() const { return completed_runs_; }
+  /// Virtual wall-clock cycle at which the first run completed
+  /// (negative while not yet complete).  This is an experiment's
+  /// "execution time".
+  std::int64_t first_completion_wall_cycle() const { return first_completion_wall_cycle_; }
+  /// Total cycles this vCPU has spent on a core.
+  Cycles cpu_cycles() const { return cpu_cycles_; }
+
+  /// True when the workload has a finite length, has completed it,
+  /// and the VM does not loop — the vCPU halts forever.
+  bool done() const;
+
+  /// Called by the Machine after executing instructions.
+  void note_progress(Instructions retired, Cycles cycles);
+  /// Called by the Machine when the current run completes at virtual
+  /// wall cycle `wall_cycle`; restarts the workload if looping.
+  void note_run_complete(std::int64_t wall_cycle);
+
+ private:
+  Vm* vm_;
+  int index_;
+  int id_;
+  std::unique_ptr<workloads::Workload> workload_;
+  int pinned_core_ = -1;
+  pmc::VirtualCounters counters_;
+
+  Instructions retired_in_run_ = 0;
+  Instructions retired_total_ = 0;
+  std::int64_t completed_runs_ = 0;
+  std::int64_t first_completion_wall_cycle_ = -1;
+  Cycles cpu_cycles_ = 0;
+};
+
+class Vm {
+ public:
+  /// `first_vcpu_id` is the global id of vCPU 0; further vCPUs get
+  /// consecutive ids.
+  Vm(int id, VmConfig config, std::vector<std::unique_ptr<workloads::Workload>> workloads,
+     int first_vcpu_id);
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  int id() const { return id_; }
+  const VmConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+
+  mem::AddressSpace& address_space() { return *space_; }
+  const mem::AddressSpace& address_space() const { return *space_; }
+
+  std::vector<std::unique_ptr<Vcpu>>& vcpus() { return vcpus_; }
+  const std::vector<std::unique_ptr<Vcpu>>& vcpus() const { return vcpus_; }
+  Vcpu& vcpu(int index) { return *vcpus_.at(static_cast<std::size_t>(index)); }
+
+  bool loops() const { return config_.loop_workload; }
+
+  /// Aggregated virtualized counters over all vCPUs (in-flight deltas
+  /// excluded; callers wanting live values go through the machine).
+  pmc::CounterSet counters() const;
+
+  /// True when every vCPU is done.
+  bool done() const;
+
+ private:
+  int id_;
+  VmConfig config_;
+  std::unique_ptr<mem::AddressSpace> space_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+};
+
+}  // namespace kyoto::hv

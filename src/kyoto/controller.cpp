@@ -1,0 +1,100 @@
+#include "kyoto/controller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace kyoto::core {
+
+PollutionController::PollutionController(std::unique_ptr<PollutionMonitor> monitor,
+                                         KyotoParams params)
+    : monitor_(std::move(monitor)), params_(params) {
+  KYOTO_CHECK(monitor_ != nullptr);
+  KYOTO_CHECK_MSG(params_.bank_slices > 0.0, "quota bank must be positive");
+  KYOTO_CHECK_MSG(params_.initial_bank_slices > 0.0, "initial bank must be positive");
+}
+
+void PollutionController::attach(hv::Hypervisor& hv) {
+  hv_ = &hv;
+  monitor_->attach(hv);
+  hv.add_tick_hook([this](hv::Hypervisor& h, Tick now) { on_tick(h, now); });
+}
+
+PollutionController::VmState& PollutionController::slot(const hv::Vm& vm) {
+  const auto id = static_cast<std::size_t>(vm.id());
+  if (states_.size() <= id) states_.resize(id + 1);
+  VmState& st = states_[id];
+  if (st.booked == 0.0 && vm.config().llc_cap > 0.0) {
+    st.booked = vm.config().llc_cap;
+    // Start-up grace: enough quota to load the working set once.
+    st.quota = st.booked * static_cast<double>(kTickMs * kTicksPerSlice) *
+               params_.initial_bank_slices;
+  }
+  return st;
+}
+
+void PollutionController::account(hv::Vcpu& vcpu, const hv::RunReport& report) {
+  KYOTO_CHECK_MSG(hv_ != nullptr, "controller not attached");
+  // The monitor is consulted unconditionally: sampling monitors keep
+  // their direct-rate estimates fresh even for unbooked VMs.
+  const double rate = monitor_->pollution_rate(vcpu, report);
+  VmState& st = slot(vcpu.vm());
+  st.last_rate = rate;
+  if (st.booked <= 0.0) return;  // no permit booked: never punished
+
+  const double ran_ms = cycles_to_ms(report.ran, hv_->machine().freq_khz());
+  const double debit = rate * ran_ms;
+  st.quota -= debit;
+  st.debited_total += debit;
+  if (st.quota < 0.0 && !st.punished) {
+    st.punished = true;
+    ++st.punish_events;
+  }
+}
+
+void PollutionController::slice_end() {
+  const double slice_ms = static_cast<double>(kTickMs * kTicksPerSlice);
+  for (VmState& st : states_) {
+    if (st.booked <= 0.0) continue;
+    const double earn = st.booked * slice_ms;
+    st.quota = std::min(st.quota + earn, params_.bank_slices * earn);
+    if (st.punished && st.quota >= 0.0) st.punished = false;
+  }
+}
+
+const char* punish_mode_name(PunishMode mode) {
+  switch (mode) {
+    case PunishMode::kBlock: return "block";
+    case PunishMode::kDemote: return "demote";
+  }
+  return "?";
+}
+
+bool PollutionController::allows(const hv::Vm& vm) const {
+  if (params_.punish_mode == PunishMode::kDemote) return true;
+  const auto id = static_cast<std::size_t>(vm.id());
+  if (id >= states_.size()) return true;
+  return !states_[id].punished;
+}
+
+bool PollutionController::demoted(const hv::Vm& vm) const {
+  const auto id = static_cast<std::size_t>(vm.id());
+  if (id >= states_.size()) return false;
+  return states_[id].punished;
+}
+
+const PollutionController::VmState& PollutionController::state(const hv::Vm& vm) const {
+  static const VmState kEmpty{};
+  const auto id = static_cast<std::size_t>(vm.id());
+  if (id >= states_.size()) return kEmpty;
+  return states_[id];
+}
+
+void PollutionController::on_tick(hv::Hypervisor& hv, Tick now) {
+  monitor_->on_tick(hv, now);
+  for (VmState& st : states_) {
+    if (st.punished) ++st.punished_ticks;
+  }
+}
+
+}  // namespace kyoto::core

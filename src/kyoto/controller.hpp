@@ -1,0 +1,109 @@
+// Pollution-quota accounting — the heart of the Kyoto system (§3.2).
+//
+// Each VM booked with an llc_cap holds a pollution_quota, denominated
+// in LLC misses.  While the VM runs, the quota is debited by the
+// monitor-attributed pollution (rate × on-CPU milliseconds — with the
+// direct monitor this equals the measured miss count exactly).  When
+// the quota goes negative the VM is *punished*: the owning scheduler
+// refuses to run any of its vCPUs ("priority OVER ... it cannot use
+// the processor any more").  At the end of every time slice each VM
+// earns llc_cap × 30 ms worth of quota, clamped to a small bank; once
+// the quota recovers to zero or above the VM is schedulable again
+// ("marked UNDER").
+//
+// The controller is scheduler-agnostic: KS4Xen, KS4Linux and
+// KS4Pisces all embed one and differ only in which base scheduler
+// they extend — mirroring how the paper ported ~110 LOCs across Xen,
+// Linux/CFS and Pisces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/scheduler.hpp"
+#include "kyoto/monitor.hpp"
+
+namespace kyoto::core {
+
+/// What "punished" means to the scheduler.
+enum class PunishMode {
+  /// The VM may not run at all until its quota recovers — the
+  /// behaviour the paper's Fig 5 timeline shows ("deprived of the
+  /// processor for long moments").  Default.
+  kBlock,
+  /// The VM is demoted below every unpunished vCPU (the paper's
+  /// literal "priority OVER" wording): it still scavenges cycles the
+  /// core would otherwise idle away.  Work-conserving punishment.
+  kDemote,
+};
+
+const char* punish_mode_name(PunishMode mode);
+
+struct KyotoParams {
+  PunishMode punish_mode = PunishMode::kBlock;
+  /// Maximum banked quota, in slices' worth of earning.  A small bank
+  /// lets well-behaved VMs absorb periodic reload bursts (a VM whose
+  /// lines were evicted while it was descheduled re-misses them at
+  /// the next slice — the "zigzag" of Fig 2) without being punished
+  /// for pollution they did not initiate.
+  double bank_slices = 3.0;
+  /// Quota a freshly booked VM starts with, in slices' worth of
+  /// earning.  Covers the one-off data-loading phase ("LLC misses
+  /// occur only during the first time slice", Fig 2) so a VM is not
+  /// punished merely for starting up.
+  double initial_bank_slices = 10.0;
+};
+
+class PollutionController {
+ public:
+  struct VmState {
+    double booked = 0.0;             // llc_cap, misses/ms (0 = unbooked)
+    double quota = 0.0;              // misses; negative = in debt
+    double last_rate = 0.0;          // last attributed rate, misses/ms
+    bool punished = false;
+    std::int64_t punish_events = 0;  // quota-went-negative transitions
+    std::int64_t punished_ticks = 0; // ticks spent deprived of CPU
+    double debited_total = 0.0;      // lifetime attributed pollution (misses)
+  };
+
+  PollutionController(std::unique_ptr<PollutionMonitor> monitor, KyotoParams params);
+
+  /// Wires the controller into the hypervisor: attaches the monitor
+  /// and registers the per-tick hook.
+  void attach(hv::Hypervisor& hv);
+
+  /// Scheduler accounting hook: debit pollution for one burst.
+  void account(hv::Vcpu& vcpu, const hv::RunReport& report);
+
+  /// Scheduler slice-end hook: earn quota, lift expired punishments.
+  void slice_end();
+
+  /// Schedulability predicate for the owning scheduler.  In kDemote
+  /// mode punished VMs remain schedulable (demotion is applied via
+  /// demoted() by the scheduler's pick order).
+  bool allows(const hv::Vm& vm) const;
+
+  /// True when the VM is punished; in kDemote mode the scheduler uses
+  /// this to rank punished vCPUs below everyone else.
+  bool demoted(const hv::Vm& vm) const;
+
+  PunishMode punish_mode() const { return params_.punish_mode; }
+
+  const VmState& state(const hv::Vm& vm) const;
+  PollutionMonitor& monitor() { return *monitor_; }
+  const PollutionMonitor& monitor() const { return *monitor_; }
+
+ private:
+  void on_tick(hv::Hypervisor& hv, Tick now);
+  VmState& slot(const hv::Vm& vm);
+
+  std::unique_ptr<PollutionMonitor> monitor_;
+  KyotoParams params_;
+  hv::Hypervisor* hv_ = nullptr;
+  std::vector<VmState> states_;  // by vm id
+};
+
+}  // namespace kyoto::core

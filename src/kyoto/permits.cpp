@@ -1,0 +1,95 @@
+#include "kyoto/permits.hpp"
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace kyoto::core {
+
+PermitCatalog PermitCatalog::aws_like(double cap_per_mib, Bytes base_memory) {
+  KYOTO_CHECK_MSG(cap_per_mib > 0.0, "permit rate must be positive");
+  KYOTO_CHECK_MSG(base_memory > 0, "base memory must be positive");
+  const auto mib = [](Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0); };
+  PermitCatalog catalog;
+  struct Blueprint {
+    const char* name;
+    int vcpus;
+    double memory_factor;  // relative to base_memory
+    int weight;
+  };
+  // m3 = general purpose, c3 = compute optimized (little memory =>
+  // small permit), r3 = memory optimized (big permit).
+  const Blueprint blueprints[] = {
+      {"m3.medium", 1, 1.0, 256},  {"m3.large", 2, 2.0, 512},
+      {"c3.medium", 1, 0.5, 256},  {"c3.large", 2, 1.0, 512},
+      {"r3.medium", 1, 4.0, 256},  {"r3.large", 2, 8.0, 512},
+  };
+  for (const auto& b : blueprints) {
+    const Bytes memory =
+        static_cast<Bytes>(b.memory_factor * static_cast<double>(base_memory));
+    catalog.add(InstanceType{b.name, b.vcpus, memory, b.weight, cap_per_mib * mib(memory)});
+  }
+  return catalog;
+}
+
+void PermitCatalog::add(InstanceType type) {
+  KYOTO_CHECK_MSG(!type.name.empty(), "instance type needs a name");
+  KYOTO_CHECK_MSG(type.vcpus >= 1, "instance type needs at least one vCPU");
+  for (auto& existing : types_) {
+    if (existing.name == type.name) {
+      existing = std::move(type);
+      return;
+    }
+  }
+  types_.push_back(std::move(type));
+}
+
+const InstanceType& PermitCatalog::lookup(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) return t;
+  }
+  KYOTO_CHECK_MSG(false, "unknown instance type: " << name);
+  return types_.front();  // unreachable
+}
+
+hv::VmConfig PermitCatalog::vm_config(const std::string& type_name,
+                                      const std::string& vm_name) const {
+  const InstanceType& type = lookup(type_name);
+  hv::VmConfig config;
+  config.name = vm_name;
+  config.weight = type.weight;
+  config.llc_cap = type.llc_cap;
+  config.memory = type.memory;
+  return config;
+}
+
+std::vector<BillingLine> billing_report(hv::Hypervisor& hv,
+                                        const PollutionController& controller) {
+  std::vector<BillingLine> lines;
+  for (hv::Vm* vm : hv.vms()) {
+    const auto& st = controller.state(*vm);
+    BillingLine line;
+    line.vm = vm->name();
+    line.booked_cap = st.booked;
+    line.last_measured = st.last_rate;
+    line.attributed_misses = st.debited_total;
+    line.punish_events = st.punish_events;
+    line.punished_ticks = st.punished_ticks;
+    line.currently_punished = st.punished;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string format_billing_report(const std::vector<BillingLine>& lines) {
+  TextTable table({"VM", "booked llc_cap (miss/ms)", "last measured", "attributed misses",
+                   "punish events", "punished ticks", "state"});
+  for (const auto& l : lines) {
+    table.add_row({l.vm, fmt_double(l.booked_cap, 1), fmt_double(l.last_measured, 1),
+                   fmt_count(static_cast<long long>(l.attributed_misses)),
+                   fmt_count(l.punish_events), fmt_count(l.punished_ticks),
+                   l.currently_punished ? "PUNISHED" : "ok"});
+  }
+  return table.to_string();
+}
+
+}  // namespace kyoto::core

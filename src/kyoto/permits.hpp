@@ -1,0 +1,73 @@
+// Pollution-permit catalog and billing (paper §5, Discussion).
+//
+// "Relying on VM types, the provider can associate to each instance
+// type a llc_cap level ... proportional to the amount of memory
+// assigned to the instance": memory-optimized (r3) instances get
+// large permits, compute-optimized (c3) small ones, general-purpose
+// (m3) in between.  The catalog converts instance types into
+// VmConfigs; the billing report summarizes permits, measured
+// pollution and punishments per VM — the artifact a provider would
+// show an HPC-cloud customer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/vm.hpp"
+#include "kyoto/controller.hpp"
+
+namespace kyoto::core {
+
+/// One bookable instance type.
+struct InstanceType {
+  std::string name;       // e.g. "r3.large"
+  int vcpus = 1;
+  Bytes memory = 0;       // instance memory (drives the permit)
+  int weight = 256;       // CPU share
+  double llc_cap = 0.0;   // pollution permit, misses/ms (Equation 1)
+};
+
+/// A provider's menu of instance types with permits proportional to
+/// instance memory.
+class PermitCatalog {
+ public:
+  /// Builds an EC2-like menu (m3/c3/r3 in two sizes each).
+  /// `cap_per_mib` sets the permit granted per MiB of instance
+  /// memory; the memory figures are expressed for the target machine
+  /// (on the default 1/64-scaled machine, "large" ≈ tens of KiB).
+  static PermitCatalog aws_like(double cap_per_mib, Bytes base_memory);
+
+  /// Adds or replaces a type.
+  void add(InstanceType type);
+
+  const InstanceType& lookup(const std::string& name) const;
+  const std::vector<InstanceType>& types() const { return types_; }
+
+  /// Converts a booking into a VM configuration.
+  hv::VmConfig vm_config(const std::string& type_name, const std::string& vm_name) const;
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+/// Per-VM billing line derived from the pollution controller.
+struct BillingLine {
+  std::string vm;
+  double booked_cap = 0.0;        // misses/ms
+  double last_measured = 0.0;     // misses/ms
+  double attributed_misses = 0.0; // lifetime debited pollution
+  std::int64_t punish_events = 0;
+  std::int64_t punished_ticks = 0;
+  bool currently_punished = false;
+};
+
+/// Collects one line per VM from a running deployment.
+std::vector<BillingLine> billing_report(hv::Hypervisor& hv,
+                                        const PollutionController& controller);
+
+/// Renders the report as an ASCII table.
+std::string format_billing_report(const std::vector<BillingLine>& lines);
+
+}  // namespace kyoto::core

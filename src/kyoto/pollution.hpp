@@ -1,0 +1,33 @@
+// Equation 1 — the paper's pollution metric.
+//
+//   llc_cap_act = llc_misses * cpu_freq_khz / unhalted_core_cycles
+//
+// Dimensionally this is LLC misses per millisecond of on-CPU time
+// (freq in kHz = cycles per ms).  The paper adopts it from Tang et
+// al. [7] and shows in Fig 4 that it ranks VM aggressiveness better
+// than raw miss counts, because it normalizes by how long the VM
+// actually held the processor.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "pmc/counters.hpp"
+
+namespace kyoto::core {
+
+/// Equation 1.  Returns 0 when no cycles elapsed.
+inline double equation1(std::uint64_t llc_misses, KHz cpu_freq_khz,
+                        std::uint64_t unhalted_core_cycles) {
+  if (unhalted_core_cycles == 0) return 0.0;
+  return static_cast<double>(llc_misses) * static_cast<double>(cpu_freq_khz) /
+         static_cast<double>(unhalted_core_cycles);
+}
+
+/// Equation 1 over a PMC delta.
+inline double equation1(const pmc::CounterSet& delta, KHz cpu_freq_khz) {
+  return equation1(delta.get(pmc::Counter::kLlcMisses), cpu_freq_khz,
+                   delta.get(pmc::Counter::kUnhaltedCycles));
+}
+
+}  // namespace kyoto::core

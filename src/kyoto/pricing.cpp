@@ -1,0 +1,47 @@
+#include "kyoto/pricing.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace kyoto::core {
+
+std::vector<InvoiceLine> make_invoices(const std::vector<BillingLine>& billing,
+                                       const PriceSheet& prices, double window_ms) {
+  KYOTO_CHECK_MSG(window_ms > 0.0, "billing window must be positive");
+  KYOTO_CHECK_MSG(prices.permit_fee_per_unit_second >= 0.0 &&
+                      prices.overage_per_million_misses >= 0.0,
+                  "prices must be non-negative");
+  std::vector<InvoiceLine> lines;
+  lines.reserve(billing.size());
+  for (const auto& b : billing) {
+    InvoiceLine line;
+    line.vm = b.vm;
+    line.permit_fee =
+        b.booked_cap * prices.permit_fee_per_unit_second * (window_ms / 1000.0);
+    line.permitted_misses = b.booked_cap * window_ms;
+    line.attributed_misses = b.attributed_misses;
+    line.overage_misses = std::max(0.0, line.attributed_misses - line.permitted_misses);
+    line.overage_fee = line.overage_misses / 1e6 * prices.overage_per_million_misses;
+    line.total = line.permit_fee + line.overage_fee;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string format_invoices(const std::vector<InvoiceLine>& lines,
+                            const PriceSheet& prices) {
+  TextTable table({"VM", "permit fee", "permitted misses", "attributed misses",
+                   "overage misses", "overage fee", "total (" + prices.currency + ")"});
+  for (const auto& l : lines) {
+    table.add_row({l.vm, fmt_double(l.permit_fee, 3),
+                   fmt_count(static_cast<long long>(l.permitted_misses)),
+                   fmt_count(static_cast<long long>(l.attributed_misses)),
+                   fmt_count(static_cast<long long>(l.overage_misses)),
+                   fmt_double(l.overage_fee, 3), fmt_double(l.total, 3)});
+  }
+  return table.to_string();
+}
+
+}  // namespace kyoto::core

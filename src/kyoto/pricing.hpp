@@ -1,0 +1,48 @@
+// Permit pricing and invoicing (extends §5's Discussion).
+//
+// If pollution permits are a bookable resource, they need a price
+// sheet.  PriceSheet converts a deployment's pollution accounting
+// into per-tenant invoices: a flat permit fee proportional to the
+// booked llc_cap, plus a metered overage component for pollution
+// attributed beyond the permitted budget.  Punished time is already
+// "paid" in kind (the CPU was withheld), so overage is charged only
+// for attributed misses in excess of the permitted budget over the
+// billing window — double-billing punished VMs would charge twice for
+// the same externality.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "kyoto/permits.hpp"
+
+namespace kyoto::core {
+
+struct PriceSheet {
+  /// Flat fee per booked miss/ms of permit, per virtual second.
+  double permit_fee_per_unit_second = 0.001;
+  /// Price per million attributed misses beyond the permitted budget.
+  double overage_per_million_misses = 2.0;
+  std::string currency = "credits";
+};
+
+struct InvoiceLine {
+  std::string vm;
+  double permit_fee = 0.0;
+  double permitted_misses = 0.0;   // llc_cap x on-wall window
+  double attributed_misses = 0.0;  // what the monitor charged
+  double overage_misses = 0.0;     // max(0, attributed - permitted)
+  double overage_fee = 0.0;
+  double total = 0.0;
+};
+
+/// Prices one billing window of `window_ms` virtual milliseconds.
+std::vector<InvoiceLine> make_invoices(const std::vector<BillingLine>& billing,
+                                       const PriceSheet& prices, double window_ms);
+
+/// ASCII rendering.
+std::string format_invoices(const std::vector<InvoiceLine>& lines,
+                            const PriceSheet& prices);
+
+}  // namespace kyoto::core

@@ -1,0 +1,87 @@
+#include "mcsim/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/topology.hpp"
+#include "common/check.hpp"
+
+namespace kyoto::mcsim {
+
+std::vector<mem::Op> PinTracer::capture(const workloads::Workload& live, Instructions n) {
+  KYOTO_CHECK_MSG(n > 0, "trace length must be positive");
+  auto clone = live.clone();
+  std::vector<mem::Op> trace;
+  trace.reserve(static_cast<std::size_t>(n));
+  for (Instructions i = 0; i < n; ++i) trace.push_back(clone->next());
+  return trace;
+}
+
+ReplaySimulator::ReplaySimulator(const cache::MemSystemConfig& mem, KHz freq_khz,
+                                 std::uint64_t seed, double warmup_fraction)
+    : mem_config_(mem), freq_khz_(freq_khz), seed_(seed), warmup_fraction_(warmup_fraction) {
+  KYOTO_CHECK_MSG(freq_khz > 0, "replay frequency must be positive");
+  KYOTO_CHECK_MSG(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+                  "warmup fraction must be in [0, 1)");
+}
+
+ReplayResult ReplaySimulator::replay_live(const workloads::Workload& live, Instructions n) {
+  auto clone = live.clone();
+  return run(*clone, n);
+}
+
+namespace {
+
+/// Replays `emit(i)` for n ops against a fresh hierarchy, counting
+/// only the post-warmup region.
+template <typename EmitOp>
+ReplayResult replay_ops(const cache::MemSystemConfig& mem_config, std::uint64_t seed,
+                        double warmup_fraction, const workloads::WorkloadSpec& spec,
+                        Instructions n, EmitOp&& emit) {
+  // A fresh single-core hierarchy per replay: the simulator's caches
+  // start cold, exactly like McSimA+ replaying a sampled window.
+  cache::MemorySystem memory(cache::Topology{1, 1}, mem_config, seed);
+  const double inv_mlp = 1.0 / std::max(1.0, spec.mlp);
+  const Bytes ws = std::max<Bytes>(spec.working_set, mem::kLineBytes);
+  const Instructions warmup = static_cast<Instructions>(
+      warmup_fraction * static_cast<double>(n));
+
+  ReplayResult result;
+  for (Instructions i = 0; i < n; ++i) {
+    const mem::Op op = emit(i);
+    const bool counted = i >= warmup;
+    Cycles cost = 1;
+    if (op.kind != mem::OpKind::kCompute) {
+      const auto access =
+          memory.access(0, (1ull << 30) + op.addr % ws, op.kind == mem::OpKind::kStore,
+                        /*home_node=*/0, /*vm=*/0);
+      cost = std::max<Cycles>(
+          1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
+      if (counted && access.llc_reference) {
+        ++result.llc_references;
+        if (access.llc_miss) ++result.llc_misses;
+      }
+    }
+    if (counted) {
+      result.cycles += cost;
+      ++result.instructions;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ReplayResult ReplaySimulator::run(workloads::Workload& clone, Instructions n) {
+  return replay_ops(mem_config_, seed_, warmup_fraction_, clone.spec(), n,
+                    [&clone](Instructions) { return clone.next(); });
+}
+
+ReplayResult ReplaySimulator::replay_trace(const std::vector<mem::Op>& trace,
+                                           const workloads::WorkloadSpec& spec) {
+  return replay_ops(mem_config_, seed_, warmup_fraction_, spec,
+                    static_cast<Instructions>(trace.size()),
+                    [&trace](Instructions i) { return trace[static_cast<std::size_t>(i)]; });
+}
+
+}  // namespace kyoto::mcsim

@@ -1,0 +1,86 @@
+// McSimA+-style replay simulation (Ahn et al., ISPASS 2013 [12]).
+//
+// The paper's second monitoring strategy runs a microarchitectural
+// simulator on a *dedicated machine*: a pin tool [13] captures the
+// VM's instruction stream, the simulator replays it against a private
+// model of the production machine's caches, and returns uncontended
+// PMCs from which KS4Xen computes the VM's intrinsic llc_cap_act —
+// no socket dedication, no migration cost on the production host.
+//
+// Here the pin tool is Workload::clone(): cloning the live workload
+// mid-run captures its exact future reference stream.  PinTracer
+// materializes a bounded trace; ReplaySimulator runs either a live
+// clone or a captured trace through a private single-core cache
+// hierarchy with the same geometry as the production machine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "cache/memory_system.hpp"
+#include "common/units.hpp"
+#include "mem/access.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::mcsim {
+
+/// Counters returned by a replay ("the simulator ... sends PMCs back
+/// to KS4Xen", §3.3).
+struct ReplayResult {
+  Instructions instructions = 0;
+  Cycles cycles = 0;
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+
+  /// Equation 1 on the replayed counters: intrinsic misses/ms.
+  double llc_cap_act(KHz freq_khz) const {
+    if (cycles <= 0) return 0.0;
+    return static_cast<double>(llc_misses) * static_cast<double>(freq_khz) /
+           static_cast<double>(cycles);
+  }
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+/// The pin-tool stand-in: captures a bounded instruction trace from a
+/// live workload without perturbing it.
+class PinTracer {
+ public:
+  /// Clones `live` and records its next `n` operations.
+  static std::vector<mem::Op> capture(const workloads::Workload& live, Instructions n);
+};
+
+class ReplaySimulator {
+ public:
+  /// A private one-core machine with the production geometry `mem`
+  /// running at `freq_khz`.  The replay starts from cold caches, so
+  /// the first `warmup_fraction` of every replayed window is executed
+  /// but not counted — otherwise the one-off loading burst would
+  /// inflate the intrinsic rate of small-footprint applications
+  /// (exactly the kind of VM that must NOT be over-charged).
+  ReplaySimulator(const cache::MemSystemConfig& mem, KHz freq_khz, std::uint64_t seed = 99,
+                  double warmup_fraction = 0.25);
+
+  /// Clones `live` (pin-attach) and replays its next `n` instructions
+  /// from a cold private cache.  The live workload is not modified.
+  ReplayResult replay_live(const workloads::Workload& live, Instructions n);
+
+  /// Replays an already-captured trace.  `spec` supplies the
+  /// instruction-mix metadata (MLP) of the traced application.
+  ReplayResult replay_trace(const std::vector<mem::Op>& trace,
+                            const workloads::WorkloadSpec& spec);
+
+  KHz freq_khz() const { return freq_khz_; }
+
+ private:
+  ReplayResult run(workloads::Workload& clone, Instructions n);
+
+  cache::MemSystemConfig mem_config_;
+  KHz freq_khz_;
+  std::uint64_t seed_;
+  double warmup_fraction_;
+};
+
+}  // namespace kyoto::mcsim

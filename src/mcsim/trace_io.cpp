@@ -1,0 +1,112 @@
+#include "mcsim/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "mcsim/replay.hpp"
+
+namespace kyoto::mcsim {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'Y', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  KYOTO_CHECK_MSG(in.good(), "trace stream truncated");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  KYOTO_CHECK_MSG(len < (1u << 20), "implausible string length in trace");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  KYOTO_CHECK_MSG(in.good(), "trace stream truncated");
+  return s;
+}
+
+}  // namespace
+
+void save_trace(std::ostream& out, const TraceFile& trace) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_string(out, trace.spec.name);
+  write_pod(out, trace.spec.working_set);
+  write_pod(out, trace.spec.mem_ratio);
+  write_pod(out, trace.spec.write_ratio);
+  write_pod(out, trace.spec.mlp);
+  write_pod(out, trace.spec.length);
+  write_pod(out, static_cast<std::uint64_t>(trace.ops.size()));
+  for (const mem::Op& op : trace.ops) {
+    write_pod(out, static_cast<std::uint8_t>(op.kind));
+    write_pod(out, op.addr);
+  }
+  KYOTO_CHECK_MSG(out.good(), "trace write failed");
+}
+
+TraceFile load_trace(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  KYOTO_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                  "not a Kyoto trace (bad magic)");
+  const auto version = read_pod<std::uint32_t>(in);
+  KYOTO_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
+
+  TraceFile trace;
+  trace.spec.name = read_string(in);
+  trace.spec.working_set = read_pod<Bytes>(in);
+  trace.spec.mem_ratio = read_pod<double>(in);
+  trace.spec.write_ratio = read_pod<double>(in);
+  trace.spec.mlp = read_pod<double>(in);
+  trace.spec.length = read_pod<Instructions>(in);
+  const auto count = read_pod<std::uint64_t>(in);
+  KYOTO_CHECK_MSG(count < (1ull << 32), "implausible op count in trace");
+  trace.ops.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem::Op op;
+    const auto kind = read_pod<std::uint8_t>(in);
+    KYOTO_CHECK_MSG(kind <= static_cast<std::uint8_t>(mem::OpKind::kStore),
+                    "corrupt op kind in trace");
+    op.kind = static_cast<mem::OpKind>(kind);
+    op.addr = read_pod<Address>(in);
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+void save_trace_file(const std::string& path, const TraceFile& trace) {
+  std::ofstream out(path, std::ios::binary);
+  KYOTO_CHECK_MSG(out.good(), "cannot open trace file for writing: " << path);
+  save_trace(out, trace);
+}
+
+TraceFile load_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  KYOTO_CHECK_MSG(in.good(), "cannot open trace file: " << path);
+  return load_trace(in);
+}
+
+TraceFile capture_trace(const workloads::Workload& live, Instructions n) {
+  TraceFile trace;
+  trace.spec = live.spec();
+  trace.ops = PinTracer::capture(live, n);
+  return trace;
+}
+
+}  // namespace kyoto::mcsim

@@ -1,0 +1,49 @@
+// Binary trace files for the pin/McSim pipeline.
+//
+// In the paper's deployment the pin tool and the McSimA+ simulator
+// are separate processes on separate machines; the instruction trace
+// travels between them.  trace_io provides that interchange format:
+// a versioned binary container holding the traced WorkloadSpec (the
+// replay needs the MLP factor and working set) and the operation
+// stream.
+//
+// Layout (little endian):
+//   magic   "KYTR"            4 bytes
+//   version u32               currently 1
+//   name    u32 len + bytes
+//   working_set u64, mem_ratio f64, write_ratio f64, mlp f64, length i64
+//   count   u64
+//   ops     count x { kind u8, addr u64 }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mem/access.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::mcsim {
+
+/// A captured trace with its originating workload metadata.
+struct TraceFile {
+  workloads::WorkloadSpec spec;
+  std::vector<mem::Op> ops;
+};
+
+/// Serializes to a stream.  Throws std::logic_error on I/O failure.
+void save_trace(std::ostream& out, const TraceFile& trace);
+
+/// Deserializes; throws std::logic_error on bad magic, unsupported
+/// version, or truncation.
+TraceFile load_trace(std::istream& in);
+
+/// File-path conveniences.
+void save_trace_file(const std::string& path, const TraceFile& trace);
+TraceFile load_trace_file(const std::string& path);
+
+/// Captures `n` ops from a live workload into a TraceFile (pin-attach
+/// plus metadata).
+TraceFile capture_trace(const workloads::Workload& live, Instructions n);
+
+}  // namespace kyoto::mcsim

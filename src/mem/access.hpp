@@ -1,0 +1,28 @@
+// Memory-operation vocabulary for the execution model.
+//
+// Workloads emit a stream of Ops.  A compute op retires in one cycle;
+// a load/store goes through the cache hierarchy and stalls the vCPU
+// for the access latency (a simple in-order, blocking core model —
+// sufficient because the paper's phenomena depend only on relative
+// hit/miss costs, Table 1 / lmbench latencies).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace kyoto::mem {
+
+enum class OpKind : unsigned char { kCompute, kLoad, kStore };
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  Address addr = 0;  // byte address; meaningful for loads/stores only
+};
+
+/// Size of a cache line in bytes.  Uniform across all levels (matches
+/// the experimental Xeon).
+inline constexpr Bytes kLineBytes = 64;
+
+/// Rounds a byte address down to its cache-line base.
+inline constexpr Address line_base(Address addr) { return addr & ~(kLineBytes - 1); }
+
+}  // namespace kyoto::mem

@@ -1,0 +1,124 @@
+#include "mem/patterns.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace kyoto::mem {
+namespace {
+
+std::uint64_t lines_for(Bytes working_set) {
+  return std::max<Bytes>(1, (working_set + kLineBytes - 1) / kLineBytes);
+}
+
+}  // namespace
+
+PointerChasePattern::PointerChasePattern(Bytes working_set, std::uint64_t seed)
+    : lines_(lines_for(working_set)), next_(lines_) {
+  // Sattolo's algorithm produces a uniformly random single cycle, so a
+  // walk visits every line exactly once per lap — the defining
+  // property of the Drepper chase.
+  std::iota(next_.begin(), next_.end(), 0u);
+  Rng rng(seed);
+  for (std::uint64_t i = lines_ - 1; i > 0; --i) {
+    const std::uint64_t j = rng.below(i);  // j in [0, i)
+    std::swap(next_[i], next_[j]);
+  }
+}
+
+Bytes PointerChasePattern::next_offset(Rng& /*rng*/) {
+  const Bytes offset = static_cast<Bytes>(cursor_) * kLineBytes;
+  cursor_ = next_[cursor_];
+  return offset;
+}
+
+SequentialPattern::SequentialPattern(Bytes working_set) : lines_(lines_for(working_set)) {}
+
+Bytes SequentialPattern::next_offset(Rng& /*rng*/) {
+  const Bytes offset = cursor_ * kLineBytes;
+  cursor_ = (cursor_ + 1) % lines_;
+  return offset;
+}
+
+StridedPattern::StridedPattern(Bytes working_set, std::uint64_t stride_lines)
+    : lines_(lines_for(working_set)), stride_(std::max<std::uint64_t>(1, stride_lines)) {
+  // A stride sharing a factor with the line count would visit only a
+  // subset of the working set; nudge it to be coprime-ish.
+  while (lines_ > 1 && std::gcd(stride_, lines_) != 1) ++stride_;
+}
+
+Bytes StridedPattern::next_offset(Rng& /*rng*/) {
+  const Bytes offset = cursor_ * kLineBytes;
+  cursor_ = (cursor_ + stride_) % lines_;
+  return offset;
+}
+
+UniformRandomPattern::UniformRandomPattern(Bytes working_set) : lines_(lines_for(working_set)) {}
+
+Bytes UniformRandomPattern::next_offset(Rng& rng) {
+  return static_cast<Bytes>(rng.below(lines_)) * kLineBytes;
+}
+
+ZipfPattern::ZipfPattern(Bytes working_set, double exponent, std::uint64_t seed)
+    : lines_(lines_for(working_set)), cdf_(lines_), perm_(lines_) {
+  KYOTO_CHECK_MSG(exponent >= 0.0, "zipf exponent must be non-negative");
+  double total = 0.0;
+  for (std::uint64_t r = 0; r < lines_; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  // Spread popularity ranks over lines so hot lines do not cluster in
+  // the low sets of the cache.
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  Rng rng(seed);
+  for (std::uint64_t i = lines_; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    std::swap(perm_[i - 1], perm_[j]);
+  }
+}
+
+Bytes ZipfPattern::next_offset(Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+  return static_cast<Bytes>(perm_[std::min(rank, lines_ - 1)]) * kLineBytes;
+}
+
+PhasedPattern::PhasedPattern(std::vector<Phase> phases) : phases_(std::move(phases)) {
+  KYOTO_CHECK_MSG(!phases_.empty(), "phased pattern needs at least one phase");
+  for (const auto& phase : phases_) {
+    KYOTO_CHECK_MSG(phase.pattern != nullptr, "null phase pattern");
+    KYOTO_CHECK_MSG(phase.accesses > 0, "phase must run for at least one access");
+    max_working_set_ = std::max(max_working_set_, phase.pattern->working_set());
+  }
+  remaining_ = phases_[0].accesses;
+}
+
+PhasedPattern::PhasedPattern(const PhasedPattern& other)
+    : max_working_set_(other.max_working_set_),
+      current_(other.current_),
+      remaining_(other.remaining_) {
+  phases_.reserve(other.phases_.size());
+  for (const auto& phase : other.phases_) {
+    phases_.push_back(Phase{phase.pattern->clone(), phase.accesses});
+  }
+}
+
+Bytes PhasedPattern::next_offset(Rng& rng) {
+  if (remaining_ == 0) {
+    current_ = (current_ + 1) % phases_.size();
+    remaining_ = phases_[current_].accesses;
+  }
+  --remaining_;
+  return phases_[current_].pattern->next_offset(rng);
+}
+
+void PhasedPattern::reset() {
+  current_ = 0;
+  remaining_ = phases_[0].accesses;
+  for (auto& phase : phases_) phase.pattern->reset();
+}
+
+}  // namespace kyoto::mem

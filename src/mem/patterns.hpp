@@ -1,0 +1,171 @@
+// Reference-stream patterns over a working set.
+//
+// These generators substitute for the paper's benchmark applications:
+// the Drepper micro-benchmark is a pointer chase over a randomly
+// chained circular list [15]; SPEC CPU2006 applications and blockie
+// are modelled as parameterized mixtures of the patterns below (see
+// workloads/spec_profiles.*).  A pattern yields byte offsets within
+// its working set; the owning workload translates them through the
+// VM's AddressSpace.
+//
+// All patterns are value types with explicit clone(), because the
+// McSim replay monitor (Section 3.3, solution 2) forks a workload
+// mid-run and replays its future accesses in a private simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mem/access.hpp"
+
+namespace kyoto::mem {
+
+/// Interface for working-set reference generators.
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+
+  /// Returns the next byte offset (within [0, working_set())).
+  virtual Bytes next_offset(Rng& rng) = 0;
+
+  /// Restarts the stream from its initial state.
+  virtual void reset() = 0;
+
+  /// Deep copy including cursor state.
+  virtual std::unique_ptr<Pattern> clone() const = 0;
+
+  /// Size of the region this pattern touches.
+  virtual Bytes working_set() const = 0;
+};
+
+/// Random circular pointer chase (Drepper's micro-benchmark [15]):
+/// lines of the working set are chained into one random cycle using
+/// Sattolo's algorithm and the stream follows the chain.  Maximally
+/// cache-unfriendly once the working set exceeds a level's capacity,
+/// with exactly one access per line per lap.
+class PointerChasePattern final : public Pattern {
+ public:
+  /// `working_set` is rounded up to at least one line; `seed` fixes
+  /// the chain layout.
+  PointerChasePattern(Bytes working_set, std::uint64_t seed);
+
+  Bytes next_offset(Rng& rng) override;
+  void reset() override { cursor_ = 0; }
+  std::unique_ptr<Pattern> clone() const override {
+    return std::make_unique<PointerChasePattern>(*this);
+  }
+  Bytes working_set() const override { return lines_ * kLineBytes; }
+
+ private:
+  std::uint64_t lines_ = 0;
+  std::vector<std::uint32_t> next_;  // next_[i] = line after i in the cycle
+  std::uint32_t cursor_ = 0;
+};
+
+/// Sequential streaming walk (modelling stencil/streaming kernels such
+/// as lbm): visits every line in order and wraps around.
+class SequentialPattern final : public Pattern {
+ public:
+  explicit SequentialPattern(Bytes working_set);
+
+  Bytes next_offset(Rng& rng) override;
+  void reset() override { cursor_ = 0; }
+  std::unique_ptr<Pattern> clone() const override {
+    return std::make_unique<SequentialPattern>(*this);
+  }
+  Bytes working_set() const override { return lines_ * kLineBytes; }
+
+ private:
+  std::uint64_t lines_ = 0;
+  std::uint64_t cursor_ = 0;
+};
+
+/// Fixed-stride walk (modelling column-major matrix traversals such as
+/// soplex's): steps `stride_lines` lines each access, wrapping.
+class StridedPattern final : public Pattern {
+ public:
+  StridedPattern(Bytes working_set, std::uint64_t stride_lines);
+
+  Bytes next_offset(Rng& rng) override;
+  void reset() override { cursor_ = 0; }
+  std::unique_ptr<Pattern> clone() const override {
+    return std::make_unique<StridedPattern>(*this);
+  }
+  Bytes working_set() const override { return lines_ * kLineBytes; }
+
+ private:
+  std::uint64_t lines_ = 0;
+  std::uint64_t stride_ = 1;
+  std::uint64_t cursor_ = 0;
+};
+
+/// Uniform random line accesses (worst-case capacity pressure without
+/// the single-cycle regularity of the chase; models blockie's
+/// synthesized contention kernel [20]).
+class UniformRandomPattern final : public Pattern {
+ public:
+  explicit UniformRandomPattern(Bytes working_set);
+
+  Bytes next_offset(Rng& rng) override;
+  void reset() override {}
+  std::unique_ptr<Pattern> clone() const override {
+    return std::make_unique<UniformRandomPattern>(*this);
+  }
+  Bytes working_set() const override { return lines_ * kLineBytes; }
+
+ private:
+  std::uint64_t lines_ = 0;
+};
+
+/// Zipf-distributed line popularity (models pointer-heavy irregular
+/// codes with hot structures, e.g. omnetpp's event heap / xalan's
+/// DOM): rank-r line has weight 1/r^s.
+class ZipfPattern final : public Pattern {
+ public:
+  ZipfPattern(Bytes working_set, double exponent, std::uint64_t seed);
+
+  Bytes next_offset(Rng& rng) override;
+  void reset() override {}
+  std::unique_ptr<Pattern> clone() const override {
+    return std::make_unique<ZipfPattern>(*this);
+  }
+  Bytes working_set() const override { return lines_ * kLineBytes; }
+
+ private:
+  std::uint64_t lines_ = 0;
+  std::vector<double> cdf_;           // cumulative popularity by rank
+  std::vector<std::uint32_t> perm_;   // rank -> line (so hot lines spread over sets)
+};
+
+/// Composite pattern: cycles through phases, each running a child
+/// pattern for a fixed number of accesses (models phase-structured
+/// SPEC codes such as gcc alternating parse/optimize).
+class PhasedPattern final : public Pattern {
+ public:
+  struct Phase {
+    std::unique_ptr<Pattern> pattern;
+    std::uint64_t accesses = 0;  // accesses before moving to next phase
+  };
+
+  explicit PhasedPattern(std::vector<Phase> phases);
+  PhasedPattern(const PhasedPattern& other);
+  PhasedPattern& operator=(const PhasedPattern&) = delete;
+
+  Bytes next_offset(Rng& rng) override;
+  void reset() override;
+  std::unique_ptr<Pattern> clone() const override {
+    return std::make_unique<PhasedPattern>(*this);
+  }
+  Bytes working_set() const override { return max_working_set_; }
+
+ private:
+  std::vector<Phase> phases_;
+  Bytes max_working_set_ = 0;
+  std::size_t current_ = 0;
+  std::uint64_t remaining_ = 0;
+};
+
+}  // namespace kyoto::mem

@@ -1,0 +1,16 @@
+#include "pmc/counters.hpp"
+
+namespace kyoto::pmc {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kInstructions: return "instructions";
+    case Counter::kUnhaltedCycles: return "unhalted_core_cycles";
+    case Counter::kLlcReferences: return "llc_references";
+    case Counter::kLlcMisses: return "llc_misses";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace kyoto::pmc

@@ -1,0 +1,59 @@
+// Performance-monitoring counter (PMC) definitions.
+//
+// The paper's monitoring needs exactly the events below (§3.3:
+// "Kyoto relies on two performance metrics: LLC Misses and UnHalted
+// Core Cycles"; instructions and LLC references are used for IPC and
+// for the skip-isolation heuristics).  A CounterSet is a value-type
+// snapshot so that deltas and per-vCPU virtualization are simple
+// arithmetic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace kyoto::pmc {
+
+enum class Counter : unsigned {
+  kInstructions = 0,
+  kUnhaltedCycles = 1,
+  kLlcReferences = 2,
+  kLlcMisses = 3,
+  kCount = 4,
+};
+
+inline constexpr unsigned kCounterCount = static_cast<unsigned>(Counter::kCount);
+
+const char* counter_name(Counter c);
+
+/// A snapshot of all counters; supports delta arithmetic.
+struct CounterSet {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  std::uint64_t get(Counter c) const { return values[static_cast<unsigned>(c)]; }
+  void set(Counter c, std::uint64_t v) { values[static_cast<unsigned>(c)] = v; }
+  void add(Counter c, std::uint64_t v) { values[static_cast<unsigned>(c)] += v; }
+
+  CounterSet& operator+=(const CounterSet& o) {
+    for (unsigned i = 0; i < kCounterCount; ++i) values[i] += o.values[i];
+    return *this;
+  }
+  CounterSet& operator-=(const CounterSet& o) {
+    for (unsigned i = 0; i < kCounterCount; ++i) values[i] -= o.values[i];
+    return *this;
+  }
+  friend CounterSet operator+(CounterSet a, const CounterSet& b) { return a += b; }
+  friend CounterSet operator-(CounterSet a, const CounterSet& b) { return a -= b; }
+  friend bool operator==(const CounterSet&, const CounterSet&) = default;
+
+  void clear() { values.fill(0); }
+
+  /// Instructions per unhalted cycle; 0 when no cycles elapsed.
+  double ipc() const {
+    const auto cycles = get(Counter::kUnhaltedCycles);
+    return cycles ? static_cast<double>(get(Counter::kInstructions)) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+}  // namespace kyoto::pmc

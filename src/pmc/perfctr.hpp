@@ -1,0 +1,60 @@
+// Perfctr-style PMC virtualization (Nikolaev & Back, VEE 2011 [18]).
+//
+// perfctr-xen gives each vCPU the illusion of private counters by
+// snapshotting the core PMU at context-switch-in and accumulating the
+// delta at switch-out.  The resulting per-vCPU counts are exact in
+// the sense that every counted event happened while that vCPU held
+// the core — but LLC misses counted this way still *include
+// contention-induced misses* caused by other VMs evicting this vCPU's
+// lines, which is exactly the attribution problem the paper's
+// monitoring strategies (socket dedication, McSim replay) address.
+#pragma once
+
+#include "common/check.hpp"
+#include "pmc/counters.hpp"
+#include "pmc/pmu.hpp"
+
+namespace kyoto::pmc {
+
+/// Per-vCPU virtualized counter state.
+class VirtualCounters {
+ public:
+  /// Called when the vCPU is placed on a core.
+  void switch_in(const CorePmu& pmu) {
+    KYOTO_CHECK_MSG(!running_, "vCPU already running on a core");
+    running_ = true;
+    snapshot_ = pmu.read();
+  }
+
+  /// Called when the vCPU is descheduled from the same core.
+  void switch_out(const CorePmu& pmu) {
+    KYOTO_CHECK_MSG(running_, "vCPU not running");
+    running_ = false;
+    accumulated_ += pmu.read() - snapshot_;
+  }
+
+  /// Current virtualized counts.  If the vCPU is on a core right now,
+  /// pass that core's PMU to include the in-flight delta.
+  CounterSet read(const CorePmu* current_core = nullptr) const {
+    CounterSet result = accumulated_;
+    if (running_ && current_core != nullptr) {
+      result += current_core->read() - snapshot_;
+    }
+    return result;
+  }
+
+  bool running() const { return running_; }
+
+  /// Forgets history (used when a monitoring window starts).
+  void reset() {
+    accumulated_.clear();
+    // snapshot_ stays: an in-flight window keeps counting from here.
+  }
+
+ private:
+  CounterSet accumulated_;
+  CounterSet snapshot_;
+  bool running_ = false;
+};
+
+}  // namespace kyoto::pmc

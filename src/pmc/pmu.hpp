@@ -1,0 +1,25 @@
+// Per-core performance monitoring unit.
+//
+// Hardware PMCs count events on the core where they occur, regardless
+// of which vCPU is running — that is precisely why attribution to VMs
+// is a problem the paper must solve.  The execution engine feeds each
+// core's PMU; perfctr-style virtualization (perfctr.hpp) slices the
+// monotonically increasing core counts into per-vCPU counts.
+#pragma once
+
+#include "pmc/counters.hpp"
+
+namespace kyoto::pmc {
+
+class CorePmu {
+ public:
+  void add(Counter c, std::uint64_t n) { counters_.add(c, n); }
+
+  /// Monotonic since power-on; never reset (mirrors hardware MSRs).
+  const CounterSet& read() const { return counters_; }
+
+ private:
+  CounterSet counters_;
+};
+
+}  // namespace kyoto::pmc

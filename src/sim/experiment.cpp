@@ -1,0 +1,148 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "kyoto/ks4linux.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "kyoto/pollution.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+pmc::CounterSet vm_counters(hv::Vm& vm) { return vm.counters(); }
+
+VmMetrics metrics_from_delta(const std::string& name, const pmc::CounterSet& delta,
+                             KHz freq_khz, Tick window_ticks) {
+  VmMetrics m;
+  m.name = name;
+  m.instructions = delta.get(pmc::Counter::kInstructions);
+  m.cycles = delta.get(pmc::Counter::kUnhaltedCycles);
+  m.llc_references = delta.get(pmc::Counter::kLlcReferences);
+  m.llc_misses = delta.get(pmc::Counter::kLlcMisses);
+  m.ipc = delta.ipc();
+  m.llc_cap_act = core::equation1(delta, freq_khz);
+  if (window_ticks > 0) {
+    m.throughput = static_cast<double>(m.instructions) / static_cast<double>(window_ticks);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::unique_ptr<hv::Hypervisor> build_scenario(const RunSpec& spec,
+                                               const std::vector<VmPlan>& plans) {
+  auto hv = std::make_unique<hv::Hypervisor>(spec.machine, spec.scheduler());
+  std::uint64_t seed = spec.seed;
+  for (const auto& plan : plans) {
+    KYOTO_CHECK_MSG(!plan.pinned_cores.empty(), "VmPlan needs at least one pinned core");
+    KYOTO_CHECK_MSG(plan.workload != nullptr, "VmPlan needs a workload factory");
+    std::vector<std::unique_ptr<workloads::Workload>> workloads;
+    workloads.reserve(plan.pinned_cores.size());
+    for (std::size_t i = 0; i < plan.pinned_cores.size(); ++i) {
+      workloads.push_back(plan.workload(splitmix64(seed)));
+      KYOTO_CHECK(workloads.back() != nullptr);
+    }
+    hv->create_vm(plan.config, std::move(workloads), plan.pinned_cores);
+  }
+  return hv;
+}
+
+RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans) {
+  auto hv = build_scenario(spec, plans);
+  hv->run_ticks(spec.warmup_ticks);
+
+  // Snapshot at window start.
+  std::vector<pmc::CounterSet> before;
+  before.reserve(plans.size());
+  for (hv::Vm* vm : hv->vms()) before.push_back(vm_counters(*vm));
+  std::vector<std::int64_t> punish_before(plans.size(), 0);
+  std::vector<std::int64_t> punished_ticks_before(plans.size(), 0);
+  const auto* controller = [&]() -> const core::PollutionController* {
+    // Expose Kyoto introspection when the scheduler is a Kyoto one.
+    if (auto* ks = dynamic_cast<core::Ks4Xen*>(&hv->scheduler())) return &ks->kyoto();
+    if (auto* ks = dynamic_cast<core::Ks4Linux*>(&hv->scheduler())) return &ks->kyoto();
+    if (auto* ks = dynamic_cast<core::Ks4Pisces*>(&hv->scheduler())) return &ks->kyoto();
+    return nullptr;
+  }();
+  if (controller != nullptr) {
+    const auto vms = hv->vms();
+    for (std::size_t i = 0; i < vms.size(); ++i) {
+      punish_before[i] = controller->state(*vms[i]).punish_events;
+      punished_ticks_before[i] = controller->state(*vms[i]).punished_ticks;
+    }
+  }
+
+  hv->run_ticks(spec.measure_ticks);
+
+  RunOutcome outcome;
+  outcome.measured_ticks = spec.measure_ticks;
+  const auto vms = hv->vms();
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const pmc::CounterSet delta = vm_counters(*vms[i]) - before[i];
+    VmMetrics m = metrics_from_delta(vms[i]->name(), delta, hv->machine().freq_khz(),
+                                     spec.measure_ticks);
+    if (controller != nullptr) {
+      m.punish_events = controller->state(*vms[i]).punish_events - punish_before[i];
+      m.punished_ticks = controller->state(*vms[i]).punished_ticks - punished_ticks_before[i];
+    }
+    outcome.vms.push_back(std::move(m));
+  }
+  return outcome;
+}
+
+double run_to_completion_ms(const RunSpec& spec, const std::vector<VmPlan>& plans,
+                            std::size_t target, Tick max_ticks) {
+  KYOTO_CHECK(target < plans.size());
+  auto hv = build_scenario(spec, plans);
+  hv::Vm& vm = *hv->vms()[target];
+  KYOTO_CHECK_MSG(vm.vcpu(0).workload().spec().length > 0,
+                  "run_to_completion needs a finite-length workload");
+  hv->run_until([&] { return vm.vcpu(0).completed_runs() > 0; }, max_ticks);
+  const std::int64_t wall = vm.vcpu(0).first_completion_wall_cycle();
+  if (wall < 0) return -1.0;
+  return cycles_to_ms(wall, hv->machine().freq_khz());
+}
+
+VmMetrics run_solo(const RunSpec& spec, const WorkloadFactory& factory,
+                   const std::string& name) {
+  VmPlan plan;
+  plan.config.name = name;
+  plan.workload = factory;
+  plan.pinned_cores = {0};
+  const RunOutcome outcome = run_scenario(spec, {plan});
+  return outcome.vms.at(0);
+}
+
+TimelineSampler::TimelineSampler(hv::Hypervisor& hv, hv::Vm& vm,
+                                 const core::PollutionController* controller) {
+  samples_.reserve(1024);
+  // The hook holds state by value; `this` only owns the sample log.
+  auto last = std::make_shared<pmc::CounterSet>(vm.counters());
+  auto last_sched = std::make_shared<std::int64_t>(0);
+  hv::Vm* vm_ptr = &vm;
+  hv.add_tick_hook([this, vm_ptr, controller, last, last_sched](hv::Hypervisor& h, Tick now) {
+    const pmc::CounterSet current = vm_ptr->counters();
+    const pmc::CounterSet delta = current - *last;
+    *last = current;
+    std::int64_t sched = 0;
+    for (const auto& v : vm_ptr->vcpus()) sched += h.sched_ticks(*v);
+    Sample s;
+    s.tick = now;
+    s.llc_misses = delta.get(pmc::Counter::kLlcMisses);
+    s.instructions = delta.get(pmc::Counter::kInstructions);
+    s.cycles = delta.get(pmc::Counter::kUnhaltedCycles);
+    s.rate = core::equation1(delta, h.machine().freq_khz());
+    s.ran = sched > *last_sched;
+    *last_sched = sched;
+    if (controller != nullptr) {
+      const auto& st = controller->state(*vm_ptr);
+      s.quota = st.quota;
+      s.punished = st.punished;
+    }
+    samples_.push_back(s);
+  });
+}
+
+}  // namespace kyoto::sim

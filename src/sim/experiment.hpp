@@ -1,0 +1,127 @@
+// Experiment harness: declarative scenario construction and metric
+// collection.
+//
+// Every paper experiment follows the same skeleton — build a machine,
+// place VMs, run, compare a VM's performance against its solo
+// baseline — so the harness provides exactly that: a RunSpec (machine
+// + scheduler factory + measurement window), VmPlans (config +
+// workload factory + placement), windowed metrics (IPC, Equation-1
+// rate), run-to-completion timing, and per-tick timeline sampling for
+// the figures that plot time series (Figs 2 and 5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/hypervisor.hpp"
+#include "kyoto/controller.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::sim {
+
+/// Factory for a workload instance (called once per vCPU; `seed`
+/// varies per vCPU so clones are decorrelated).
+using WorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>(std::uint64_t seed)>;
+
+/// Factory for the scheduler under test.
+using SchedulerFactory = std::function<std::unique_ptr<hv::Scheduler>()>;
+
+/// Machine + scheduler + measurement window.
+struct RunSpec {
+  hv::MachineConfig machine;
+  SchedulerFactory scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
+  /// Ticks run before measurement starts (cache warm-up).
+  Tick warmup_ticks = 6;
+  /// Measurement window length.
+  Tick measure_ticks = 60;
+  std::uint64_t seed = 42;
+};
+
+/// One VM to place.
+struct VmPlan {
+  hv::VmConfig config;
+  WorkloadFactory workload;
+  /// One core per vCPU; the number of vCPUs equals pinned_cores.size()
+  /// (at least one entry required).
+  std::vector<int> pinned_cores = {0};
+};
+
+/// Windowed per-VM measurement.
+struct VmMetrics {
+  std::string name;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;        // on-CPU (unhalted) cycles in window
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+  double ipc = 0.0;
+  /// Equation 1 over the window: misses/ms of on-CPU time.
+  double llc_cap_act = 0.0;
+  /// Instructions per tick of wall time — the throughput metric used
+  /// for degradation percentages (captures both IPC loss and CPU
+  /// deprivation).
+  double throughput = 0.0;
+  std::int64_t punish_events = 0;
+  std::int64_t punished_ticks = 0;
+};
+
+struct RunOutcome {
+  std::vector<VmMetrics> vms;  // in VmPlan order
+  Tick measured_ticks = 0;
+};
+
+/// Builds the hypervisor, creates the planned VMs and returns it
+/// (for experiments needing manual control).
+std::unique_ptr<hv::Hypervisor> build_scenario(const RunSpec& spec,
+                                               const std::vector<VmPlan>& plans);
+
+/// Runs warm-up + measurement window and collects per-VM metrics.
+RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans);
+
+/// Runs until VM index `target` completes one workload run (or
+/// `max_ticks` elapse); returns its execution time in virtual ms
+/// (negative if it never completed).
+double run_to_completion_ms(const RunSpec& spec, const std::vector<VmPlan>& plans,
+                            std::size_t target, Tick max_ticks);
+
+/// Performance-degradation percentage used throughout the paper:
+/// how much of the baseline performance is lost.
+inline double degradation_pct(double baseline, double observed) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - observed) / baseline * 100.0;
+}
+
+/// Convenience: single-VM solo run of `factory` on the given machine.
+VmMetrics run_solo(const RunSpec& spec, const WorkloadFactory& factory,
+                   const std::string& name = "solo");
+
+/// Per-tick time series of one VM (Figs 2 and 5).  Attach before
+/// running; samples accumulate every tick.
+class TimelineSampler {
+ public:
+  struct Sample {
+    Tick tick = 0;
+    std::uint64_t llc_misses = 0;   // misses during this tick
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;       // on-CPU cycles during this tick
+    double rate = 0.0;              // Equation 1 for this tick
+    bool ran = false;               // was scheduled this tick
+    double quota = 0.0;             // pollution quota (Kyoto runs)
+    bool punished = false;
+  };
+
+  /// `controller` may be null (non-Kyoto runs: quota/punished stay 0).
+  TimelineSampler(hv::Hypervisor& hv, hv::Vm& vm,
+                  const core::PollutionController* controller = nullptr);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace kyoto::sim

@@ -1,0 +1,179 @@
+#include "sim/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace kyoto::sim {
+
+int PlacementProblem::add_vm(VmProfile profile) {
+  KYOTO_CHECK_MSG(profile.vcpus >= 1, "VM needs at least one vCPU");
+  KYOTO_CHECK_MSG(profile.vcpus <= cores_per_socket_,
+                  "VM '" << profile.name << "' (" << profile.vcpus
+                         << " vCPUs) cannot fit on a " << cores_per_socket_
+                         << "-core socket");
+  vms_.push_back(std::move(profile));
+  return static_cast<int>(vms_.size()) - 1;
+}
+
+double PlacementProblem::interference(const std::vector<int>& socket_of) const {
+  KYOTO_CHECK_MSG(socket_of.size() == vms_.size(), "assignment size mismatch");
+  double total = 0.0;
+  for (int s = 0; s < sockets_; ++s) {
+    // Cross-pair interference on this LLC: each VM suffers its
+    // sensitivity times the pollution of *other* VMs on the socket.
+    for (std::size_t i = 0; i < vms_.size(); ++i) {
+      if (socket_of[i] != s) continue;
+      for (std::size_t j = 0; j < vms_.size(); ++j) {
+        if (i == j || socket_of[j] != s) continue;
+        total += vms_[i].sensitivity * vms_[j].pollution_rate;
+      }
+    }
+  }
+  return total;
+}
+
+bool PlacementProblem::feasible(const std::vector<int>& socket_of) const {
+  if (socket_of.size() != vms_.size()) return false;
+  std::vector<int> used(static_cast<std::size_t>(sockets_), 0);
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    const int s = socket_of[i];
+    if (s < 0 || s >= sockets_) return false;
+    used[static_cast<std::size_t>(s)] += vms_[i].vcpus;
+    if (used[static_cast<std::size_t>(s)] > cores_per_socket_) return false;
+  }
+  return true;
+}
+
+Placement PlacementProblem::first_fit() const {
+  std::vector<int> used(static_cast<std::size_t>(sockets_), 0);
+  Placement placement;
+  placement.socket_of.resize(vms_.size(), -1);
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    bool placed = false;
+    for (int s = 0; s < sockets_ && !placed; ++s) {
+      if (used[static_cast<std::size_t>(s)] + vms_[i].vcpus <= cores_per_socket_) {
+        placement.socket_of[i] = s;
+        used[static_cast<std::size_t>(s)] += vms_[i].vcpus;
+        placed = true;
+      }
+    }
+    KYOTO_CHECK_MSG(placed, "VMs do not fit on the machine (first-fit)");
+  }
+  placement.interference = interference(placement.socket_of);
+  return placement;
+}
+
+Placement PlacementProblem::greedy() const {
+  std::vector<std::size_t> order(vms_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Most polluting (then most sensitive) first: the hard-to-place VMs
+  // claim quiet sockets before the flexible ones fill gaps.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ka = vms_[a].pollution_rate + vms_[a].sensitivity;
+    const double kb = vms_[b].pollution_rate + vms_[b].sensitivity;
+    return ka > kb;
+  });
+
+  std::vector<int> used(static_cast<std::size_t>(sockets_), 0);
+  std::vector<int> socket_of(vms_.size(), -1);
+  for (const std::size_t i : order) {
+    int best_socket = -1;
+    double best_cost = std::numeric_limits<double>::max();
+    for (int s = 0; s < sockets_; ++s) {
+      if (used[static_cast<std::size_t>(s)] + vms_[i].vcpus > cores_per_socket_) continue;
+      // Marginal interference of adding VM i to socket s.
+      double cost = 0.0;
+      for (std::size_t j = 0; j < vms_.size(); ++j) {
+        if (socket_of[j] != s) continue;
+        cost += vms_[i].sensitivity * vms_[j].pollution_rate +
+                vms_[j].sensitivity * vms_[i].pollution_rate;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_socket = s;
+      }
+    }
+    KYOTO_CHECK_MSG(best_socket >= 0, "VMs do not fit on the machine (greedy)");
+    socket_of[i] = best_socket;
+    used[static_cast<std::size_t>(best_socket)] += vms_[i].vcpus;
+  }
+  Placement placement;
+  placement.socket_of = std::move(socket_of);
+  placement.interference = interference(placement.socket_of);
+  return placement;
+}
+
+Placement PlacementProblem::local_search() const {
+  Placement placement = greedy();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Move: relocate one VM to another socket.
+    for (std::size_t i = 0; i < vms_.size() && !improved; ++i) {
+      const int original = placement.socket_of[i];
+      for (int s = 0; s < sockets_ && !improved; ++s) {
+        if (s == original) continue;
+        placement.socket_of[i] = s;
+        if (feasible(placement.socket_of)) {
+          const double cost = interference(placement.socket_of);
+          if (cost + 1e-12 < placement.interference) {
+            placement.interference = cost;
+            improved = true;
+            break;
+          }
+        }
+        placement.socket_of[i] = original;
+      }
+      if (!improved) placement.socket_of[i] = original;
+    }
+    if (improved) continue;
+    // Swap: exchange the sockets of two VMs.
+    for (std::size_t i = 0; i < vms_.size() && !improved; ++i) {
+      for (std::size_t j = i + 1; j < vms_.size() && !improved; ++j) {
+        if (placement.socket_of[i] == placement.socket_of[j]) continue;
+        std::swap(placement.socket_of[i], placement.socket_of[j]);
+        if (feasible(placement.socket_of)) {
+          const double cost = interference(placement.socket_of);
+          if (cost + 1e-12 < placement.interference) {
+            placement.interference = cost;
+            improved = true;
+            break;
+          }
+        }
+        std::swap(placement.socket_of[i], placement.socket_of[j]);
+      }
+    }
+  }
+  return placement;
+}
+
+Placement PlacementProblem::exhaustive() const {
+  KYOTO_CHECK_MSG(vms_.size() <= 12, "exhaustive search guarded to 12 VMs (NP-hard)");
+  std::vector<int> current(vms_.size(), 0);
+  Placement best;
+  best.interference = std::numeric_limits<double>::max();
+
+  const auto total = static_cast<std::size_t>(vms_.size());
+  while (true) {
+    if (feasible(current)) {
+      const double cost = interference(current);
+      if (cost < best.interference) {
+        best.interference = cost;
+        best.socket_of = current;
+      }
+    }
+    // Odometer increment over sockets_^n assignments.
+    std::size_t pos = 0;
+    while (pos < total) {
+      if (++current[pos] < sockets_) break;
+      current[pos] = 0;
+      ++pos;
+    }
+    if (pos == total) break;
+  }
+  KYOTO_CHECK_MSG(!best.socket_of.empty(), "no feasible placement exists");
+  return best;
+}
+
+}  // namespace kyoto::sim

@@ -1,0 +1,88 @@
+// Contention-aware VM placement (the related-work baseline family).
+//
+// §6's first category fights LLC contention by *where* VMs run: cache
+// aware consolidation ([37] Ahn et al., [30] Paul et al., [21] ATOM).
+// The paper's critique — placement is a global, NP-hard workaround
+// that does not price pollution — is what Kyoto answers; this module
+// implements the baseline so the comparison is honest (see
+// bench_ablation_baselines and placement_test).
+//
+// Model: each VM has a pollution rate (Equation 1, solo) and a
+// sensitivity score (how much colocated pollution hurts it).  A
+// placement assigns VMs to sockets (each socket = one LLC domain,
+// `cores_per_socket` slots).  The optimizer minimizes the total
+// expected interference  sum_socket ( pollution(socket) *
+// sensitivity(socket) ) — aggressive VMs get spread away from
+// sensitive ones.  Two algorithms: first-fit (naive) and a greedy
+// interference-minimizing heuristic; exhaustive search is provided
+// for small instances to measure the greedy gap (placement is
+// NP-hard, which is the paper's point).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace kyoto::sim {
+
+/// Offline profile of one VM, as a placement input.
+struct VmProfile {
+  std::string name;
+  double pollution_rate = 0.0;  // solo Equation 1, misses/ms
+  double sensitivity = 0.0;     // degradation % per unit colocated pollution
+  int vcpus = 1;
+};
+
+/// A socket assignment: placement[i] = socket of VM i.
+struct Placement {
+  std::vector<int> socket_of;
+  double interference = 0.0;  // objective value (lower is better)
+};
+
+class PlacementProblem {
+ public:
+  PlacementProblem(int sockets, int cores_per_socket)
+      : sockets_(sockets), cores_per_socket_(cores_per_socket) {
+    KYOTO_CHECK_MSG(sockets >= 1 && cores_per_socket >= 1, "degenerate topology");
+  }
+
+  /// Adds a VM; returns its index.  Throws if its vCPU count alone
+  /// exceeds a socket.
+  int add_vm(VmProfile profile);
+
+  const std::vector<VmProfile>& vms() const { return vms_; }
+  int sockets() const { return sockets_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+
+  /// Interference objective of an assignment (lower = better):
+  /// for each socket, (sum of pollution) x (sum of sensitivity),
+  /// counting only cross-VM pairs (a VM does not interfere with
+  /// itself).
+  double interference(const std::vector<int>& socket_of) const;
+
+  /// True if the assignment respects per-socket core capacity.
+  bool feasible(const std::vector<int>& socket_of) const;
+
+  /// Naive first-fit by declaration order (what a placement-unaware
+  /// cloud does).  Throws if the VMs do not fit at all.
+  Placement first_fit() const;
+
+  /// Greedy heuristic: VMs in decreasing pollution order, each placed
+  /// on the feasible socket where it adds the least interference.
+  Placement greedy() const;
+
+  /// Greedy followed by 2-opt local search (move / swap until no
+  /// improvement) — what practical consolidation managers run.
+  Placement local_search() const;
+
+  /// Exhaustive optimum (exponential; guarded to <= 12 VMs).
+  Placement exhaustive() const;
+
+ private:
+  int sockets_;
+  int cores_per_socket_;
+  std::vector<VmProfile> vms_;
+};
+
+}  // namespace kyoto::sim

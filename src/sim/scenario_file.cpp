@@ -1,0 +1,382 @@
+#include "sim/scenario_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "hv/cfs_scheduler.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/pisces.hpp"
+#include "kyoto/ks4linux.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  std::ostringstream oss;
+  oss << "scenario parse error at line " << line << ": " << message;
+  throw std::logic_error(oss.str());
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+double parse_double(const std::string& v, int line) {
+  std::size_t used = 0;
+  double d = 0.0;
+  try {
+    d = std::stod(v, &used);
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + v + "'");
+  }
+  if (used != v.size()) fail(line, "trailing characters in number '" + v + "'");
+  return d;
+}
+
+long parse_int(const std::string& v, int line) {
+  const double d = parse_double(v, line);
+  const long i = static_cast<long>(d);
+  if (static_cast<double>(i) != d) fail(line, "expected an integer, got '" + v + "'");
+  return i;
+}
+
+bool parse_bool(const std::string& v, int line) {
+  const std::string s = lower(v);
+  if (s == "true" || s == "on" || s == "yes" || s == "1") return true;
+  if (s == "false" || s == "off" || s == "no" || s == "0") return false;
+  fail(line, "expected a boolean, got '" + v + "'");
+}
+
+cache::ReplacementKind parse_replacement(const std::string& v, int line) {
+  const std::string s = lower(v);
+  if (s == "lru") return cache::ReplacementKind::kLru;
+  if (s == "plru") return cache::ReplacementKind::kPlru;
+  if (s == "random") return cache::ReplacementKind::kRandom;
+  if (s == "lip") return cache::ReplacementKind::kLip;
+  if (s == "bip") return cache::ReplacementKind::kBip;
+  if (s == "dip") return cache::ReplacementKind::kDip;
+  fail(line, "unknown replacement policy '" + v + "'");
+}
+
+/// "off" or "on" or "on:N".
+std::pair<bool, long> parse_feature(const std::string& v, int line, long default_arg) {
+  const std::string s = lower(v);
+  if (s == "off") return {false, default_arg};
+  if (s == "on") return {true, default_arg};
+  if (s.rfind("on:", 0) == 0) return {true, parse_int(s.substr(3), line)};
+  fail(line, "expected off | on | on:<n>, got '" + v + "'");
+}
+
+struct SchedulerChoice {
+  std::string kind = "xcs";
+  std::string monitor = "direct";
+  core::PunishMode punish = core::PunishMode::kBlock;
+  int declared_line = 0;
+};
+
+WorkloadFactory app_factory_for(const std::string& value,
+                                const cache::MemSystemConfig& mem, int line) {
+  const std::string s = lower(value);
+  if (s.rfind("micro:", 0) == 0) {
+    const std::string which = s.substr(6);
+    workloads::MicroClass cls;
+    if (which.size() == 5 && which[0] == 'c' && which[1] >= '1' && which[1] <= '3') {
+      cls = static_cast<workloads::MicroClass>(which[1] - '0');
+    } else {
+      fail(line, "micro workload must be micro:cIrep or micro:cIdis (I in 1..3)");
+    }
+    const bool rep = which.substr(2) == "rep";
+    if (!rep && which.substr(2) != "dis") {
+      fail(line, "micro workload must end in rep or dis");
+    }
+    return [cls, rep, mem](std::uint64_t seed) {
+      return rep ? workloads::micro_representative(cls, mem, seed)
+                 : workloads::micro_disruptive(cls, mem, seed);
+    };
+  }
+  // Validate the profile name now so errors carry the line number.
+  try {
+    workloads::app_profile(value);
+  } catch (const std::logic_error&) {
+    fail(line, "unknown application '" + value + "'");
+  }
+  return [value, mem](std::uint64_t seed) { return workloads::make_app(value, mem, seed); };
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text) {
+  Scenario scenario;
+  hv::MachineConfig machine;  // defaults: scaled Table-1 machine
+  long scale = 64;
+  bool scale_set = false;
+  SchedulerChoice sched;
+
+  struct PendingVm {
+    std::string name;
+    std::string app;
+    int app_line = 0;
+    std::vector<int> cores;
+    hv::VmConfig config;
+    int declared_line = 0;
+  };
+  std::vector<PendingVm> vms;
+
+  enum class Section { kNone, kMachine, kScheduler, kVm, kRun };
+  Section section = Section::kNone;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      const std::string header = trim(line.substr(1, line.size() - 2));
+      const auto space = header.find(' ');
+      const std::string kind = lower(space == std::string::npos ? header
+                                                                : header.substr(0, space));
+      if (kind == "machine") {
+        section = Section::kMachine;
+      } else if (kind == "scheduler") {
+        section = Section::kScheduler;
+        sched.declared_line = line_no;
+      } else if (kind == "run") {
+        section = Section::kRun;
+      } else if (kind == "vm") {
+        if (space == std::string::npos) fail(line_no, "[vm <name>] requires a name");
+        section = Section::kVm;
+        PendingVm vm;
+        vm.name = trim(header.substr(space + 1));
+        vm.config.name = vm.name;
+        vm.declared_line = line_no;
+        vms.push_back(std::move(vm));
+      } else {
+        fail(line_no, "unknown section [" + header + "]");
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(line_no, "empty value for '" + key + "'");
+
+    switch (section) {
+      case Section::kNone:
+        fail(line_no, "key outside any section");
+      case Section::kMachine: {
+        if (key == "topology") {
+          const auto x = lower(value).find('x');
+          if (x == std::string::npos) fail(line_no, "topology must be SxC, e.g. 2x4");
+          machine.topology.sockets = static_cast<int>(parse_int(value.substr(0, x), line_no));
+          machine.topology.cores_per_socket =
+              static_cast<int>(parse_int(value.substr(x + 1), line_no));
+          if (machine.topology.sockets < 1 || machine.topology.cores_per_socket < 1) {
+            fail(line_no, "topology must be at least 1x1");
+          }
+        } else if (key == "scale") {
+          scale = parse_int(value, line_no);
+          if (scale < 1) fail(line_no, "scale must be >= 1");
+          scale_set = true;
+        } else if (key == "freq_khz") {
+          machine.freq_khz = parse_int(value, line_no);
+          if (machine.freq_khz <= 0) fail(line_no, "freq_khz must be positive");
+        } else if (key == "llc_replacement") {
+          machine.mem.llc_replacement = parse_replacement(value, line_no);
+        } else if (key == "prefetch") {
+          const auto [on, arg] = parse_feature(value, line_no, 2);
+          machine.mem.prefetch.enabled = on;
+          machine.mem.prefetch.degree = static_cast<unsigned>(arg);
+        } else if (key == "bus") {
+          const auto [on, arg] = parse_feature(value, line_no, 8);
+          machine.mem.bus.enabled = on;
+          machine.mem.bus.transfer_cycles = arg;
+        } else if (key == "seed") {
+          machine.seed = static_cast<std::uint64_t>(parse_int(value, line_no));
+        } else {
+          fail(line_no, "unknown [machine] key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kScheduler: {
+        if (key == "kind") {
+          sched.kind = lower(value);
+        } else if (key == "monitor") {
+          sched.monitor = lower(value);
+        } else if (key == "punish") {
+          const std::string s = lower(value);
+          if (s == "block") sched.punish = core::PunishMode::kBlock;
+          else if (s == "demote") sched.punish = core::PunishMode::kDemote;
+          else fail(line_no, "punish must be block or demote");
+        } else {
+          fail(line_no, "unknown [scheduler] key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kVm: {
+        PendingVm& vm = vms.back();
+        if (key == "app") {
+          vm.app = value;
+          vm.app_line = line_no;
+        } else if (key == "cores") {
+          vm.cores.clear();
+          std::istringstream cs(value);
+          std::string token;
+          while (std::getline(cs, token, ',')) {
+            vm.cores.push_back(static_cast<int>(parse_int(trim(token), line_no)));
+          }
+          if (vm.cores.empty()) fail(line_no, "cores must list at least one core");
+        } else if (key == "llc_cap") {
+          vm.config.llc_cap = parse_double(value, line_no);
+        } else if (key == "weight") {
+          vm.config.weight = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "cap") {
+          vm.config.cpu_cap_percent = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "loop") {
+          vm.config.loop_workload = parse_bool(value, line_no);
+        } else if (key == "home_node") {
+          vm.config.home_node = static_cast<int>(parse_int(value, line_no));
+        } else {
+          fail(line_no, "unknown [vm] key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kRun: {
+        if (key == "warmup_ticks") {
+          scenario.spec.warmup_ticks = parse_int(value, line_no);
+        } else if (key == "measure_ticks") {
+          scenario.spec.measure_ticks = parse_int(value, line_no);
+        } else if (key == "seed") {
+          scenario.spec.seed = static_cast<std::uint64_t>(parse_int(value, line_no));
+        } else {
+          fail(line_no, "unknown [run] key '" + key + "'");
+        }
+        break;
+      }
+    }
+  }
+
+  // Apply machine scaling (geometry + clock together, like
+  // scaled_machine()).
+  if (scale_set) {
+    hv::MachineConfig base;
+    base.topology = machine.topology;
+    base.mem = cache::paper_mem_system();
+    base.mem.llc_replacement = machine.mem.llc_replacement;
+    base.mem.prefetch = machine.mem.prefetch;
+    base.mem.bus = machine.mem.bus;
+    base.seed = machine.seed;
+    base.freq_khz = 2'800'000 / scale;
+    base.mem = scale == 1 ? base.mem : base.mem.scaled(static_cast<unsigned>(scale));
+    machine = base;
+  }
+  scenario.spec.machine = machine;
+
+  // Scheduler factory.
+  const auto monitor_factory = [sched]() -> std::unique_ptr<core::PollutionMonitor> {
+    if (sched.monitor == "direct") return std::make_unique<core::DirectPmcMonitor>();
+    if (sched.monitor == "mcsim") return std::make_unique<core::McSimMonitor>();
+    if (sched.monitor == "dedication") {
+      return std::make_unique<core::SocketDedicationMonitor>();
+    }
+    throw std::logic_error("scenario parse error at line " +
+                           std::to_string(sched.declared_line) + ": unknown monitor '" +
+                           sched.monitor + "'");
+  };
+  core::KyotoParams kyoto_params;
+  kyoto_params.punish_mode = sched.punish;
+  const std::string kind = sched.kind;
+  if (kind == "xcs") {
+    scenario.spec.scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
+  } else if (kind == "cfs") {
+    scenario.spec.scheduler = [] { return std::make_unique<hv::CfsScheduler>(); };
+  } else if (kind == "pisces") {
+    scenario.spec.scheduler = [] { return std::make_unique<hv::PiscesScheduler>(); };
+  } else if (kind == "ks4xen") {
+    scenario.spec.scheduler = [monitor_factory, kyoto_params] {
+      return std::make_unique<core::Ks4Xen>(monitor_factory(), kyoto_params);
+    };
+  } else if (kind == "ks4linux") {
+    scenario.spec.scheduler = [monitor_factory, kyoto_params] {
+      return std::make_unique<core::Ks4Linux>(monitor_factory(), kyoto_params);
+    };
+  } else if (kind == "ks4pisces") {
+    scenario.spec.scheduler = [monitor_factory, kyoto_params] {
+      return std::make_unique<core::Ks4Pisces>(monitor_factory(), kyoto_params);
+    };
+  } else {
+    fail(sched.declared_line, "unknown scheduler kind '" + kind + "'");
+  }
+
+  // VM plans.
+  if (vms.empty()) throw std::logic_error("scenario defines no [vm] sections");
+  const int total_cores = scenario.spec.machine.topology.total_cores();
+  int next_core = 0;
+  for (auto& vm : vms) {
+    if (vm.app.empty()) fail(vm.declared_line, "[vm " + vm.name + "] is missing app =");
+    VmPlan plan;
+    plan.config = vm.config;
+    plan.workload = app_factory_for(vm.app, scenario.spec.machine.mem, vm.app_line);
+    if (vm.cores.empty()) {
+      plan.pinned_cores = {next_core};
+      next_core = (next_core + 1) % total_cores;
+    } else {
+      for (int core : vm.cores) {
+        if (core < 0 || core >= total_cores) {
+          fail(vm.declared_line, "core " + std::to_string(core) + " out of range for " +
+                                     std::to_string(total_cores) + "-core machine");
+        }
+      }
+      plan.pinned_cores = vm.cores;
+    }
+    scenario.plans.push_back(std::move(plan));
+    scenario.vm_names.push_back(vm.name);
+  }
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  KYOTO_CHECK_MSG(in.good(), "cannot open scenario file: " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_scenario(buffer.str());
+}
+
+std::string run_scenario_report(const Scenario& scenario) {
+  const RunOutcome outcome = run_scenario(scenario.spec, scenario.plans);
+  TextTable table({"VM", "IPC", "instr/tick", "llc_cap_act (miss/ms)", "punish events",
+                   "punished ticks"});
+  for (const auto& vm : outcome.vms) {
+    table.add_row({vm.name, fmt_double(vm.ipc, 3), fmt_count(static_cast<long long>(vm.throughput)),
+                   fmt_double(vm.llc_cap_act, 1), fmt_count(vm.punish_events),
+                   fmt_count(vm.punished_ticks)});
+  }
+  return table.to_string();
+}
+
+}  // namespace kyoto::sim

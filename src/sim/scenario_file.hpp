@@ -1,0 +1,60 @@
+// Declarative scenario files.
+//
+// Experiments can be described in a small INI-like text format instead
+// of C++, which makes the simulator usable as a standalone tool:
+//
+//   # two tenants on the scaled Table-1 machine under KS4Xen
+//   [machine]
+//   topology = 1x4            # sockets x cores-per-socket
+//   scale = 64                # geometric scale of the Table-1 machine
+//   prefetch = off            # off | on[:degree]
+//   bus = off                 # off | on[:transfer_cycles]
+//   llc_replacement = LRU     # LRU|PLRU|random|LIP|BIP|DIP
+//
+//   [scheduler]
+//   kind = ks4xen             # xcs|cfs|pisces|ks4xen|ks4linux|ks4pisces
+//   monitor = direct          # direct|mcsim|dedication (kyoto kinds only)
+//   punish = block            # block|demote
+//
+//   [vm tenant-a]
+//   app = gcc                 # catalog profile, or micro:c2rep etc.
+//   cores = 0                 # comma-separated, one per vCPU
+//   llc_cap = 20              # pollution permit (miss/ms); 0 = unbooked
+//   loop = true
+//
+//   [run]
+//   warmup_ticks = 6
+//   measure_ticks = 60
+//
+// Parsing is strict: unknown sections/keys, malformed values and
+// unknown applications raise std::logic_error with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace kyoto::sim {
+
+/// A fully parsed scenario: ready-to-run spec + VM plans.
+struct Scenario {
+  RunSpec spec;
+  std::vector<VmPlan> plans;
+  /// Section-order names, for reporting.
+  std::vector<std::string> vm_names;
+};
+
+/// Parses scenario text.  Throws std::logic_error on any syntax or
+/// semantic problem, with the offending line number in the message.
+Scenario parse_scenario(const std::string& text);
+
+/// Reads and parses a scenario file from disk.
+Scenario load_scenario_file(const std::string& path);
+
+/// Runs a parsed scenario and renders the per-VM metrics as an ASCII
+/// table (one row per VM).
+std::string run_scenario_report(const Scenario& scenario);
+
+}  // namespace kyoto::sim

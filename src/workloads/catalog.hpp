@@ -1,0 +1,98 @@
+// Application catalog: the paper's benchmark programs as workload
+// profiles.
+//
+// Two families:
+//
+//  * Micro-benchmarks (§2.2.2, Drepper [15]): a pointer chase over a
+//    working set sized for one of the paper's three VM classes —
+//    C1 fits the intermediate-level caches (L1+L2), C2 fits the LLC,
+//    C3 exceeds it.  Each class has a *representative* (latency-
+//    sensitive, moderate memory intensity) and a *disruptive*
+//    (memory-hammering) variant, matching v^i_rep / v^i_dis.
+//
+//  * SPEC CPU2006 + blockie profiles (§2.2.2, §4, Table 2): each
+//    application is modelled by a reference pattern, working-set
+//    size, memory-op ratio and MLP factor chosen to land its
+//    cache behaviour in the class the paper assigns it (gcc/omnetpp/
+//    soplex sensitive; lbm/blockie/mcf disruptive; milc high-volume
+//    but lower-rate; hmmer/povray ILC-resident).  Run lengths differ
+//    per application — that is what makes the total-miss-count (LLCM)
+//    ranking differ from the Equation-1 rate ranking in Fig 4.
+//
+// Working sets are expressed relative to the machine's LLC capacity,
+// so profiles adapt automatically to the full-size or scaled machine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/config.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::workloads {
+
+/// VM classes of §2.2.4.
+enum class MicroClass { kC1 = 1, kC2 = 2, kC3 = 3 };
+
+/// v^i_rep: latency-sensitive pointer chase sized for the class.
+std::unique_ptr<Workload> micro_representative(MicroClass cls,
+                                               const cache::MemSystemConfig& mem,
+                                               std::uint64_t seed);
+
+/// v^i_dis: cache-hammering variant sized for the class.
+std::unique_ptr<Workload> micro_disruptive(MicroClass cls,
+                                           const cache::MemSystemConfig& mem,
+                                           std::uint64_t seed);
+
+/// How one application's reference stream is synthesized.
+struct PatternSpec {
+  enum class Kind { kChase, kSequential, kStrided, kRandom, kZipf } kind =
+      Kind::kChase;
+  /// Working set as a fraction of LLC capacity.
+  double ws_llc_frac = 1.0;
+  std::uint64_t stride_lines = 1;  // kStrided only
+  double zipf_exponent = 0.8;      // kZipf only
+};
+
+/// A complete application profile.  `phases` with more than one entry
+/// model phase-structured programs (each phase runs for `accesses`
+/// memory references before switching).
+struct AppProfile {
+  std::string name;
+  struct Phase {
+    PatternSpec pattern;
+    std::uint64_t accesses = 0;  // ignored when there is a single phase
+  };
+  std::vector<Phase> phases;
+  double mem_ratio = 0.3;
+  double write_ratio = 0.25;
+  double mlp = 1.0;
+  Instructions length = 0;  // one full run, in instructions
+  /// Paper's classification, for reporting.
+  bool sensitive = false;
+  bool disruptive = false;
+};
+
+/// All modelled applications (SPEC CPU2006 subset + blockie).
+const std::vector<AppProfile>& app_profiles();
+
+/// Profile by name; throws std::logic_error for unknown names.
+const AppProfile& app_profile(const std::string& name);
+
+/// Instantiates an application on a given machine geometry.
+std::unique_ptr<Workload> make_app(const AppProfile& profile,
+                                   const cache::MemSystemConfig& mem,
+                                   std::uint64_t seed);
+std::unique_ptr<Workload> make_app(const std::string& name,
+                                   const cache::MemSystemConfig& mem,
+                                   std::uint64_t seed);
+
+/// The ten applications ranked in Fig 4, in the paper's plotting order.
+const std::vector<std::string>& fig4_apps();
+
+/// Table 2 mappings: vsen_i / vdis_i application names (i in 1..3).
+const std::vector<std::string>& sensitive_apps();   // gcc, omnetpp, soplex
+const std::vector<std::string>& disruptive_apps();  // lbm, blockie, mcf
+
+}  // namespace kyoto::workloads

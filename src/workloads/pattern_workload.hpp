@@ -1,0 +1,67 @@
+// Generic workload driven by a mem::Pattern.
+//
+// Every concrete application model (micro-benchmarks, blockie, SPEC
+// profiles) is a PatternWorkload: a reference pattern plus the
+// instruction-mix parameters of WorkloadSpec.
+#pragma once
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mem/patterns.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::workloads {
+
+class PatternWorkload final : public Workload {
+ public:
+  /// `spec.working_set` is overwritten with the pattern's actual
+  /// (line-rounded) working set.  `seed` drives the instruction mix
+  /// and any stochastic pattern decisions.
+  PatternWorkload(WorkloadSpec spec, std::unique_ptr<mem::Pattern> pattern,
+                  std::uint64_t seed)
+      : spec_(std::move(spec)), pattern_(std::move(pattern)), seed_(seed), rng_(seed) {
+    KYOTO_CHECK(pattern_ != nullptr);
+    KYOTO_CHECK_MSG(spec_.mem_ratio >= 0.0 && spec_.mem_ratio <= 1.0, "mem_ratio in [0,1]");
+    KYOTO_CHECK_MSG(spec_.write_ratio >= 0.0 && spec_.write_ratio <= 1.0,
+                    "write_ratio in [0,1]");
+    KYOTO_CHECK_MSG(spec_.mlp >= 1.0, "mlp must be >= 1");
+    spec_.working_set = pattern_->working_set();
+  }
+
+  PatternWorkload(const PatternWorkload& other)
+      : spec_(other.spec_),
+        pattern_(other.pattern_->clone()),
+        seed_(other.seed_),
+        rng_(other.rng_) {}
+  PatternWorkload& operator=(const PatternWorkload&) = delete;
+
+  mem::Op next() override {
+    mem::Op op;
+    if (rng_.chance(spec_.mem_ratio)) {
+      op.kind = rng_.chance(spec_.write_ratio) ? mem::OpKind::kStore : mem::OpKind::kLoad;
+      op.addr = pattern_->next_offset(rng_);
+    }
+    return op;
+  }
+
+  void reset() override {
+    pattern_->reset();
+    rng_.reseed(seed_);
+  }
+
+  std::unique_ptr<Workload> clone() const override {
+    return std::make_unique<PatternWorkload>(*this);
+  }
+
+  const WorkloadSpec& spec() const override { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  std::unique_ptr<mem::Pattern> pattern_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace kyoto::workloads

@@ -1,0 +1,62 @@
+// Workload abstraction: an application's instruction/reference stream.
+//
+// A workload stands in for a benchmark application running inside a
+// VM (SPEC CPU2006 program, blockie, or a Drepper micro-benchmark).
+// It emits one operation per retired instruction: compute ops retire
+// in one cycle, memory ops carry a *VM-local byte offset* which the
+// executing vCPU translates through its VM's AddressSpace.
+//
+// Workloads are clonable mid-run: the McSim replay monitor (paper
+// §3.3, second solution) captures the live instruction stream at an
+// arbitrary point and replays the continuation in a private simulator
+// — clone() is the "pin tool" attach point.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mem/access.hpp"
+
+namespace kyoto::workloads {
+
+/// Static description of a workload, used for reporting and for the
+/// execution model.
+struct WorkloadSpec {
+  std::string name;
+  Bytes working_set = 0;   // bytes the reference stream touches
+  double mem_ratio = 0.0;  // fraction of instructions that access memory
+  double write_ratio = 0.0;  // fraction of memory ops that are stores
+  /// Total instructions in one complete run of the application; 0
+  /// means the workload is an endless loop.
+  Instructions length = 0;
+  /// Memory-level-parallelism factor: how much of the raw miss
+  /// latency the core hides (out-of-order overlap + hardware
+  /// prefetching).  Dependent pointer chases have mlp ~1 (each load's
+  /// address depends on the previous), streaming kernels 2-4.  The
+  /// effective stall of an access with latency L is max(1, L/mlp).
+  double mlp = 1.0;
+};
+
+/// One application instance.  Implementations are not thread-safe;
+/// each vCPU owns one workload.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Produces the next instruction.  Op::addr for loads/stores is a
+  /// VM-local byte offset in [0, spec().working_set).
+  virtual mem::Op next() = 0;
+
+  /// Restarts the application from the beginning (including RNG).
+  virtual void reset() = 0;
+
+  /// Deep copy including all cursor/RNG state, so the clone's future
+  /// stream equals this workload's future stream.
+  virtual std::unique_ptr<Workload> clone() const = 0;
+
+  virtual const WorkloadSpec& spec() const = 0;
+};
+
+}  // namespace kyoto::workloads

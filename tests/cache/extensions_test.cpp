@@ -1,0 +1,172 @@
+// Tests for the optional memory-system extensions: the next-line
+// hardware prefetcher and the shared memory-bus queuing model.
+#include <gtest/gtest.h>
+
+#include "cache/config.hpp"
+#include "cache/memory_system.hpp"
+#include "cache/topology.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "mem/access.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::cache {
+namespace {
+
+MemSystemConfig small_config() {
+  MemSystemConfig c;
+  c.l1 = CacheGeometry{512, 8, 64};
+  c.l2 = CacheGeometry{2048, 8, 64};
+  c.llc = CacheGeometry{16384, 16, 64};
+  return c;
+}
+
+// --- prefetcher ---------------------------------------------------------
+
+TEST(Prefetcher, DisabledByDefault) {
+  MemorySystem m(Topology{1, 1}, small_config());
+  m.access(0, 0, false, 0, 0);
+  EXPECT_EQ(m.prefetches_issued(0), 0u);
+}
+
+TEST(Prefetcher, NextLinesPulledIntoL2) {
+  auto cfg = small_config();
+  cfg.prefetch.enabled = true;
+  cfg.prefetch.degree = 2;
+  MemorySystem m(Topology{1, 1}, cfg);
+  m.access(0, 0, false, 0, 0);  // miss at line 0 => prefetch lines 1, 2
+  EXPECT_EQ(m.prefetches_issued(0), 2u);
+  // Lines 1 and 2 now hit in L2, not memory.
+  EXPECT_EQ(m.access(0, 64, false, 0, 0).level, CacheLevel::kL2);
+  EXPECT_EQ(m.access(0, 128, false, 0, 0).level, CacheLevel::kL2);
+  // Line 3 was not prefetched (only the demand miss at 0 triggered)...
+  // accessing it misses and prefetches 4, 5.
+  EXPECT_TRUE(m.access(0, 192, false, 0, 0).llc_miss);
+}
+
+TEST(Prefetcher, ResidentLinesNotRefetched) {
+  auto cfg = small_config();
+  cfg.prefetch.enabled = true;
+  cfg.prefetch.degree = 2;
+  MemorySystem m(Topology{1, 1}, cfg);
+  m.access(0, 0, false, 0, 0);   // prefetch 1,2
+  const auto before = m.prefetches_issued(0);
+  m.access(0, 320, false, 0, 0);  // miss at line 5: 6,7 prefetched
+  EXPECT_EQ(m.prefetches_issued(0), before + 2);
+  m.invalidate_private(0);
+  // Line 6 still in LLC: L2 probe fails so it is re-prefetched on the
+  // next miss in its neighbourhood.
+  m.access(0, 320, false, 0, 0);
+}
+
+TEST(Prefetcher, SpeedsUpStreamingWorkload) {
+  // A sequential walk with prefetching sees mostly L2 hits after the
+  // first line of each pair; IPC of a streaming app improves.
+  auto base = hv::scaled_machine();
+  auto pf = base;
+  pf.mem.prefetch.enabled = true;
+  pf.mem.prefetch.degree = 4;
+
+  auto run_ipc = [](const hv::MachineConfig& mc) {
+    hv::Hypervisor hv(mc, std::make_unique<hv::CreditScheduler>());
+    hv::VmConfig config{.name = "lbm"};
+    config.loop_workload = true;
+    hv::Vm& vm = hv.create_vm(config, workloads::make_app("lbm", mc.mem, 1), 0);
+    hv.run_ticks(9);
+    return vm.counters().ipc();
+  };
+  EXPECT_GT(run_ipc(pf), run_ipc(base) * 1.3);
+}
+
+TEST(Prefetcher, PrefetchPollutionEvictsOtherVmsLines) {
+  auto cfg = small_config();
+  cfg.prefetch.enabled = true;
+  cfg.prefetch.degree = 4;
+  MemorySystem m(Topology{1, 2}, cfg);
+  // VM 0 parks a line; VM 1 streams with prefetching: the prefetched
+  // lines add capacity pressure beyond the demand stream.
+  m.access(0, 0, false, 0, 0);
+  for (Address a = 1; a <= 300; ++a) m.access(1, (1u << 20) + a * 64, false, 0, 1);
+  EXPECT_FALSE(m.llc(0).probe(0));
+}
+
+// --- memory bus ----------------------------------------------------------
+
+TEST(MemoryBus, DisabledByDefaultAndWithoutClock) {
+  auto cfg = small_config();
+  MemorySystem m(Topology{1, 2}, cfg);
+  const auto r = m.access(0, 0, false, 0, 0, /*now_cycle=*/100);
+  EXPECT_EQ(r.bus_queue_delay, 0);
+  EXPECT_EQ(m.bus_queue_cycles(0), 0);
+}
+
+TEST(MemoryBus, BackToBackMissesQueue) {
+  auto cfg = small_config();
+  cfg.bus.enabled = true;
+  cfg.bus.transfer_cycles = 10;
+  MemorySystem m(Topology{1, 2}, cfg);
+  // Two misses at the same instant: the second waits a transfer.
+  const auto r1 = m.access(0, 0, false, 0, 0, 1000);
+  const auto r2 = m.access(1, 1 << 20, false, 0, 1, 1000);
+  EXPECT_EQ(r1.bus_queue_delay, 0);
+  EXPECT_EQ(r2.bus_queue_delay, 10);
+  EXPECT_EQ(r2.latency, cfg.lat_mem_local + 10);
+  EXPECT_EQ(m.bus_queue_cycles(0), 10);
+}
+
+TEST(MemoryBus, SpacedMissesDoNotQueue) {
+  auto cfg = small_config();
+  cfg.bus.enabled = true;
+  cfg.bus.transfer_cycles = 10;
+  MemorySystem m(Topology{1, 2}, cfg);
+  m.access(0, 0, false, 0, 0, 1000);
+  const auto r = m.access(1, 1 << 20, false, 0, 1, 2000);  // long after
+  EXPECT_EQ(r.bus_queue_delay, 0);
+}
+
+TEST(MemoryBus, PerSocketIndependence) {
+  auto cfg = small_config();
+  cfg.bus.enabled = true;
+  cfg.bus.transfer_cycles = 10;
+  MemorySystem m(Topology{2, 2}, cfg);
+  m.access(0, 0, false, 0, 0, 1000);          // socket 0 bus
+  const auto r = m.access(2, 1 << 20, false, 1, 1, 1000);  // socket 1 bus
+  EXPECT_EQ(r.bus_queue_delay, 0);
+}
+
+TEST(MemoryBus, CacheHitsBypassTheBus) {
+  auto cfg = small_config();
+  cfg.bus.enabled = true;
+  MemorySystem m(Topology{1, 1}, cfg);
+  m.access(0, 0, false, 0, 0, 1000);
+  const auto r = m.access(0, 0, false, 0, 0, 1001);  // L1 hit
+  EXPECT_EQ(r.bus_queue_delay, 0);
+  EXPECT_EQ(r.latency, cfg.lat_l1);
+}
+
+TEST(MemoryBus, ParallelStreamersContendEndToEnd) {
+  // Two all-miss streamers on one socket: with the bus model their
+  // joint throughput drops vs the bus-free machine.
+  auto base = hv::scaled_machine();
+  auto bus = base;
+  bus.mem.bus.enabled = true;
+  bus.mem.bus.transfer_cycles = 24;
+
+  auto run_joint_ipc = [](const hv::MachineConfig& mc) {
+    hv::Hypervisor hv(mc, std::make_unique<hv::CreditScheduler>());
+    for (int i = 0; i < 2; ++i) {
+      hv::VmConfig config{.name = "milc" + std::to_string(i)};
+      config.loop_workload = true;
+      hv.create_vm(config, workloads::make_app("milc", mc.mem, 1 + static_cast<std::uint64_t>(i)), i);
+    }
+    hv.run_ticks(9);
+    pmc::CounterSet total;
+    for (hv::Vm* vm : hv.vms()) total += vm->counters();
+    return total.ipc();
+  };
+  EXPECT_LT(run_joint_ipc(bus), run_joint_ipc(base) * 0.95);
+}
+
+}  // namespace
+}  // namespace kyoto::cache

@@ -1,0 +1,62 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace kyoto {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](LogLevel level, const std::string& msg) {
+      captured_.push_back({level, msg});
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::vector<Captured> captured_;
+};
+
+TEST_F(LogTest, MessageReachesSink) {
+  KYOTO_LOG_INFO << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "hello 42");
+  EXPECT_EQ(captured_[0].level, LogLevel::kInfo);
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  set_log_level(LogLevel::kWarn);
+  KYOTO_LOG_DEBUG << "dropped";
+  KYOTO_LOG_INFO << "dropped too";
+  KYOTO_LOG_WARN << "kept";
+  KYOTO_LOG_ERROR << "kept too";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].message, "kept");
+  EXPECT_EQ(captured_[1].message, "kept too");
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LogTest, GetLevelRoundTrips) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace kyoto

@@ -1,0 +1,165 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace kyoto {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    ((i % 2 == 0) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0); }
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(KendallTau, IdenticalOrderIsOne) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 1.0);
+}
+
+TEST(KendallTau, ReversedOrderIsMinusOne) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), -1.0);
+}
+
+TEST(KendallTau, OneSwapCloseToOne) {
+  // Swapping one adjacent pair in n=5 flips 1 of 10 pairs: tau = 0.8.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 1, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, b), 0.8);
+}
+
+TEST(KendallTau, ShortInputs) {
+  EXPECT_DOUBLE_EQ(kendall_tau({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau({1.0}, {2.0}), 1.0);
+}
+
+TEST(KendallTauOrders, PaperExample) {
+  // The paper's Fig 4 claim: o3 (Equation 1) is closer to o1 (real
+  // aggressiveness) than o2 (LLCM).
+  const std::vector<std::string> o1 = {"blockie", "lbm",     "mcf",   "soplex", "milc",
+                                       "omnetpp", "gcc",     "xalan", "astar",  "bzip"};
+  const std::vector<std::string> o2 = {"milc",    "lbm",     "soplex", "mcf",   "blockie",
+                                       "gcc",     "omnetpp", "xalan",  "astar", "bzip"};
+  const std::vector<std::string> o3 = {"lbm",     "blockie", "milc",  "mcf",   "soplex",
+                                       "gcc",     "omnetpp", "xalan", "astar", "bzip"};
+  const double tau_llcm = kendall_tau_orders(o1, o2);
+  const double tau_eq1 = kendall_tau_orders(o1, o3);
+  EXPECT_GT(tau_eq1, tau_llcm);
+  EXPECT_GT(tau_eq1, 0.6);
+}
+
+TEST(KendallTauOrders, IgnoresUnknownNames) {
+  const std::vector<std::string> a = {"x", "y", "z", "only-in-a"};
+  const std::vector<std::string> b = {"x", "y", "z", "only-in-b"};
+  EXPECT_DOUBLE_EQ(kendall_tau_orders(a, b), 1.0);
+}
+
+TEST(LinearFit, PerfectLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 5, 7, 9};
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasHighR2) {
+  std::vector<double> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 + 0.7 * i + (rng.uniform() - 0.5));
+  }
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.7, 0.05);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(linear_fit({}, {}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(linear_fit({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (no x variance) must not blow up.
+  const auto fit = linear_fit({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace kyoto

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hv/cfs_scheduler.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/pisces.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::hv {
+namespace {
+
+std::unique_ptr<workloads::Workload> app(const char* name, std::uint64_t seed = 1) {
+  return workloads::make_app(name, test::test_machine().mem, seed);
+}
+
+VmConfig looping(const char* name) {
+  VmConfig c{.name = name};
+  c.loop_workload = true;
+  return c;
+}
+
+// --- CFS ----------------------------------------------------------------
+
+TEST(Cfs, SingleTaskRunsAlways) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CfsScheduler>());
+  Vm& vm = hv.create_vm(looping("a"), app("gcc"), 0);
+  hv.run_ticks(10);
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), 10);
+}
+
+TEST(Cfs, EqualWeightsFairShare) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CfsScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  Vm& b = hv.create_vm(looping("b"), app("gcc", 2), 0);
+  hv.run_ticks(60);
+  EXPECT_NEAR(static_cast<double>(hv.sched_ticks(a.vcpu(0))), 30.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(hv.sched_ticks(b.vcpu(0))), 30.0, 3.0);
+}
+
+TEST(Cfs, WeightBiasesShare) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CfsScheduler>());
+  VmConfig heavy = looping("heavy");
+  heavy.weight = 768;  // 3x default
+  Vm& a = hv.create_vm(heavy, app("gcc", 1), 0);
+  Vm& b = hv.create_vm(looping("light"), app("gcc", 2), 0);
+  hv.run_ticks(80);
+  const double ratio = static_cast<double>(hv.sched_ticks(a.vcpu(0))) /
+                       static_cast<double>(hv.sched_ticks(b.vcpu(0)));
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Cfs, VruntimeAdvancesWhileRunning) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CfsScheduler>());
+  Vm& vm = hv.create_vm(looping("a"), app("gcc"), 0);
+  auto& cfs = static_cast<CfsScheduler&>(hv.scheduler());
+  const double v0 = cfs.vruntime(vm.vcpu(0));
+  hv.run_ticks(3);
+  EXPECT_GT(cfs.vruntime(vm.vcpu(0)), v0);
+}
+
+TEST(Cfs, LateJoinerStartsAtQueueMin) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CfsScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  hv.run_ticks(30);
+  // A task joining now must not get a huge backlog of CPU.
+  Vm& b = hv.create_vm(looping("b"), app("gcc", 2), 0);
+  auto& cfs = static_cast<CfsScheduler&>(hv.scheduler());
+  EXPECT_GE(cfs.vruntime(b.vcpu(0)), cfs.vruntime(a.vcpu(0)) * 0.99);
+  const auto a_before = hv.sched_ticks(a.vcpu(0));
+  hv.run_ticks(20);
+  // a still gets CPU; b does not monopolize.
+  EXPECT_GT(hv.sched_ticks(a.vcpu(0)), a_before + 5);
+}
+
+TEST(Cfs, MigrationKeepsFairness) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CfsScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  Vm& b = hv.create_vm(looping("b"), app("gcc", 2), 1);
+  hv.run_ticks(10);
+  hv.migrate(b.vcpu(0), 0);
+  hv.run_ticks(40);
+  const auto ta = hv.sched_ticks(a.vcpu(0));
+  const auto tb = hv.sched_ticks(b.vcpu(0));
+  // After migration both share core 0 roughly equally.
+  EXPECT_NEAR(static_cast<double>(ta - tb), 0.0, 16.0);
+}
+
+// --- Pisces --------------------------------------------------------------
+
+TEST(Pisces, EnclaveOwnsItsCore) {
+  Hypervisor hv(test::test_machine(), std::make_unique<PiscesScheduler>());
+  Vm& vm = hv.create_vm(looping("hpc"), app("gcc"), 2);
+  hv.run_ticks(8);
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), 8);
+  EXPECT_EQ(hv.idle_ticks(2), 0);
+}
+
+TEST(Pisces, RefusesCoreSharing) {
+  Hypervisor hv(test::test_machine(), std::make_unique<PiscesScheduler>());
+  hv.create_vm(looping("a"), app("gcc", 1), 0);
+  EXPECT_THROW(hv.create_vm(looping("b"), app("gcc", 2), 0), std::logic_error);
+}
+
+TEST(Pisces, NoTimeSharingNoCredits) {
+  // Two enclaves on two cores run every tick — no interference from
+  // scheduling whatsoever.
+  Hypervisor hv(test::test_machine(), std::make_unique<PiscesScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  Vm& b = hv.create_vm(looping("b"), app("lbm", 2), 1);
+  hv.run_ticks(20);
+  EXPECT_EQ(hv.sched_ticks(a.vcpu(0)), 20);
+  EXPECT_EQ(hv.sched_ticks(b.vcpu(0)), 20);
+}
+
+TEST(Pisces, MigrationToFreeCoreWorks) {
+  Hypervisor hv(test::test_machine(), std::make_unique<PiscesScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc"), 0);
+  hv.run_ticks(2);
+  hv.migrate(a.vcpu(0), 3);
+  hv.run_ticks(2);
+  EXPECT_EQ(hv.sched_ticks(a.vcpu(0)), 4);
+}
+
+TEST(Pisces, MigrationToOwnedCoreThrows) {
+  Hypervisor hv(test::test_machine(), std::make_unique<PiscesScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  hv.create_vm(looping("b"), app("gcc", 2), 1);
+  EXPECT_THROW(hv.migrate(a.vcpu(0), 1), std::logic_error);
+}
+
+TEST(Pisces, DoneEnclaveIdlesItsCore) {
+  Hypervisor hv(test::test_machine(), std::make_unique<PiscesScheduler>());
+  Vm& vm = hv.create_vm(VmConfig{.name = "fin"}, app("hmmer"), 0);
+  hv.run_until([&] { return vm.done(); }, 3000);
+  ASSERT_TRUE(vm.done());
+  const auto idle = hv.idle_ticks(0);
+  hv.run_ticks(5);
+  EXPECT_EQ(hv.idle_ticks(0), idle + 5);
+}
+
+}  // namespace
+}  // namespace kyoto::hv

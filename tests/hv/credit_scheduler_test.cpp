@@ -1,0 +1,155 @@
+#include "hv/credit_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hv/hypervisor.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::hv {
+namespace {
+
+std::unique_ptr<workloads::Workload> app(const char* name, std::uint64_t seed = 1) {
+  return workloads::make_app(name, test::test_machine().mem, seed);
+}
+
+VmConfig looping(const char* name) {
+  VmConfig c{.name = name};
+  c.loop_workload = true;
+  return c;
+}
+
+TEST(CreditScheduler, SingleVmRunsEveryTick) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& vm = hv.create_vm(looping("a"), app("gcc"), 0);
+  hv.run_ticks(12);
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), 12);
+  EXPECT_EQ(hv.idle_ticks(0), 0);
+}
+
+TEST(CreditScheduler, EqualWeightsShareCoreFairly) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  Vm& b = hv.create_vm(looping("b"), app("gcc", 2), 0);
+  hv.run_ticks(60);
+  const auto ta = hv.sched_ticks(a.vcpu(0));
+  const auto tb = hv.sched_ticks(b.vcpu(0));
+  EXPECT_EQ(ta + tb, 60);
+  EXPECT_NEAR(static_cast<double>(ta), 30.0, 3.0);
+}
+
+TEST(CreditScheduler, WeightsBiasCpuShare) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  VmConfig heavy = looping("heavy");
+  heavy.weight = 512;
+  VmConfig light = looping("light");
+  light.weight = 256;
+  Vm& a = hv.create_vm(heavy, app("gcc", 1), 0);
+  Vm& b = hv.create_vm(light, app("gcc", 2), 0);
+  hv.run_ticks(90);
+  const double ratio = static_cast<double>(hv.sched_ticks(a.vcpu(0))) /
+                       static_cast<double>(hv.sched_ticks(b.vcpu(0)));
+  EXPECT_GT(ratio, 1.4);  // roughly 2:1
+  EXPECT_LT(ratio, 2.8);
+}
+
+TEST(CreditScheduler, CapLimitsCpuEvenWhenIdle) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  VmConfig capped = looping("capped");
+  capped.cpu_cap_percent = 50;
+  Vm& vm = hv.create_vm(capped, app("gcc"), 0);
+  hv.run_ticks(60);
+  // Xen cap semantics: ~50% of the core's cycles even though the core
+  // is otherwise idle.
+  const double total_cycles = static_cast<double>(60 * hv.machine().cycles_per_tick());
+  const double used = static_cast<double>(vm.vcpu(0).cpu_cycles());
+  EXPECT_NEAR(used / total_cycles, 0.50, 0.05);
+  EXPECT_GT(hv.idle_ticks(0), 15);  // at least one fully idle tick per slice
+}
+
+TEST(CreditScheduler, CapZeroMeansUncapped) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& vm = hv.create_vm(looping("a"), app("gcc"), 0);
+  hv.run_ticks(30);
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), 30);
+  EXPECT_DOUBLE_EQ(
+      static_cast<CreditScheduler&>(hv.scheduler()).cap_budget_fraction(vm.vcpu(0)), 1.0);
+}
+
+TEST(CreditScheduler, CapSweepIsProportional) {
+  // The Fig 3 lever: higher cap => proportionally more CPU cycles.
+  for (int cap : {20, 40, 60, 80, 100}) {
+    Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+    VmConfig c = looping("dis");
+    c.cpu_cap_percent = cap;
+    Vm& vm = hv.create_vm(c, app("lbm"), 0);
+    hv.run_ticks(60);
+    const double total = static_cast<double>(60 * hv.machine().cycles_per_tick());
+    const double share = static_cast<double>(vm.vcpu(0).cpu_cycles()) / total;
+    EXPECT_NEAR(share, cap / 100.0, 0.05) << "cap " << cap;
+  }
+}
+
+TEST(CreditScheduler, WorkConservingOverPriority) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  // One uncapped VM alone: it must run even after burning its slice
+  // credits (OVER priority is work conserving).
+  Vm& vm = hv.create_vm(looping("a"), app("gcc"), 0);
+  hv.run_ticks(kTicksPerSlice * 4);
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), kTicksPerSlice * 4);
+  const auto& cs = static_cast<CreditScheduler&>(hv.scheduler());
+  EXPECT_LE(cs.remain_credit(vm.vcpu(0)), CreditScheduler::kCreditPerSlice);
+}
+
+TEST(CreditScheduler, CreditsRefillEachSlice) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  auto& cs = static_cast<CreditScheduler&>(hv.scheduler());
+  const int initial = cs.remain_credit(a.vcpu(0));
+  hv.run_ticks(kTicksPerSlice);  // slice boundary refills
+  EXPECT_EQ(cs.remain_credit(a.vcpu(0)), initial);  // burned then refilled, clamped
+}
+
+TEST(CreditScheduler, DoneVcpuFreesCore) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& fin = hv.create_vm(VmConfig{.name = "finite"}, app("hmmer", 1), 0);
+  Vm& loop = hv.create_vm(looping("loop"), app("gcc", 2), 0);
+  hv.run_until([&] { return fin.done(); }, 3000);
+  ASSERT_TRUE(fin.done());
+  const auto loop_before = hv.sched_ticks(loop.vcpu(0));
+  hv.run_ticks(10);
+  EXPECT_EQ(hv.sched_ticks(loop.vcpu(0)), loop_before + 10);
+}
+
+TEST(CreditScheduler, RoundRobinAmongThree) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 0);
+  Vm& b = hv.create_vm(looping("b"), app("gcc", 2), 0);
+  Vm& c = hv.create_vm(looping("c"), app("gcc", 3), 0);
+  hv.run_ticks(90);
+  for (Vm* vm : {&a, &b, &c}) {
+    EXPECT_NEAR(static_cast<double>(hv.sched_ticks(vm->vcpu(0))), 30.0, 5.0) << vm->name();
+  }
+}
+
+TEST(CreditScheduler, UnregisteredVcpuQueriesThrow) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Hypervisor hv2(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& foreign = hv2.create_vm(looping("x"), app("gcc"), 0);
+  auto& cs = static_cast<CreditScheduler&>(hv.scheduler());
+  EXPECT_THROW(cs.remain_credit(foreign.vcpu(0)), std::logic_error);
+}
+
+TEST(CreditScheduler, PinnedVcpusStayOnTheirCores) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  Vm& a = hv.create_vm(looping("a"), app("gcc", 1), 2);
+  hv.run_ticks(5);
+  EXPECT_EQ(hv.sched_ticks(a.vcpu(0)), 5);
+  EXPECT_EQ(hv.idle_ticks(0), 5);
+  EXPECT_EQ(hv.idle_ticks(2), 0);
+}
+
+}  // namespace
+}  // namespace kyoto::hv

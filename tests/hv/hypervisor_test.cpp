@@ -1,0 +1,210 @@
+#include "hv/hypervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hv/credit_scheduler.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::hv {
+namespace {
+
+std::unique_ptr<Hypervisor> make_hv(const MachineConfig& mc = test::test_machine()) {
+  return std::make_unique<Hypervisor>(mc, std::make_unique<CreditScheduler>());
+}
+
+std::unique_ptr<workloads::Workload> app(const char* name, std::uint64_t seed = 1) {
+  return workloads::make_app(name, test::test_machine().mem, seed);
+}
+
+TEST(Machine, CyclesPerTickFollowsFrequency) {
+  const MachineConfig mc = scaled_machine();
+  Machine m(mc);
+  EXPECT_EQ(m.cycles_per_tick(), mc.freq_khz * kTickMs);
+  EXPECT_EQ(Machine(paper_machine()).cycles_per_tick(), 28'000'000);
+}
+
+TEST(Machine, RunVcpuConsumesBudgetAndCountsPmcs) {
+  auto hv = make_hv();
+  Vm& vm = hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  Vcpu& vcpu = vm.vcpu(0);
+  auto& machine = hv->machine();
+  vcpu.counters().switch_in(machine.pmu(0));
+  const auto result = machine.run_vcpu(vcpu, 0, 10'000, 0);
+  vcpu.counters().switch_out(machine.pmu(0));
+  EXPECT_GE(result.cycles_used, 10'000);
+  EXPECT_LT(result.cycles_used, 10'000 + 400);  // bounded overshoot
+  EXPECT_GT(result.instructions, 0);
+  const auto counters = vcpu.counters().read();
+  EXPECT_EQ(counters.get(pmc::Counter::kInstructions),
+            static_cast<std::uint64_t>(result.instructions));
+  EXPECT_EQ(counters.get(pmc::Counter::kUnhaltedCycles),
+            static_cast<std::uint64_t>(result.cycles_used));
+}
+
+TEST(Vm, AutoSizesMemoryToWorkingSet) {
+  auto hv = make_hv();
+  Vm& vm = hv->create_vm(VmConfig{.name = "a"}, app("lbm"), 0);
+  EXPECT_GE(vm.address_space().size(), vm.vcpu(0).workload().spec().working_set);
+}
+
+TEST(Vm, ExplicitMemoryTooSmallThrows) {
+  auto hv = make_hv();
+  VmConfig config{.name = "a"};
+  config.memory = 64;  // one line, far below lbm's working set
+  EXPECT_THROW(hv->create_vm(config, app("lbm"), 0), std::logic_error);
+}
+
+TEST(Vm, VcpuIdsAreGloballyUnique) {
+  auto hv = make_hv();
+  Vm& a = hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  std::vector<std::unique_ptr<workloads::Workload>> w2;
+  w2.push_back(app("gcc", 2));
+  w2.push_back(app("gcc", 3));
+  Vm& b = hv->create_vm(VmConfig{.name = "b"}, std::move(w2), {1, 2});
+  EXPECT_EQ(a.vcpu(0).id(), 0);
+  EXPECT_EQ(b.vcpu(0).id(), 1);
+  EXPECT_EQ(b.vcpu(1).id(), 2);
+  EXPECT_EQ(b.vcpu(1).index(), 1);
+}
+
+TEST(Hypervisor, TicksAdvanceTime) {
+  auto hv = make_hv();
+  hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  EXPECT_EQ(hv->now(), 0);
+  hv->run_ticks(5);
+  EXPECT_EQ(hv->now(), 5);
+  hv->run_slices(2);
+  EXPECT_EQ(hv->now(), 5 + 2 * kTicksPerSlice);
+}
+
+TEST(Hypervisor, IdleCoresAreCounted) {
+  auto hv = make_hv();
+  hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  hv->run_ticks(4);
+  EXPECT_EQ(hv->idle_ticks(0), 0);
+  EXPECT_EQ(hv->idle_ticks(1), 4);  // nothing pinned there
+}
+
+TEST(Hypervisor, SchedTicksTracksScheduling) {
+  auto hv = make_hv();
+  Vm& vm = hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  hv->run_ticks(6);
+  EXPECT_EQ(hv->sched_ticks(vm.vcpu(0)), 6);
+}
+
+TEST(Hypervisor, TickHooksFire) {
+  auto hv = make_hv();
+  hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  int fired = 0;
+  Tick last = -1;
+  hv->add_tick_hook([&](Hypervisor&, Tick now) {
+    ++fired;
+    last = now;
+  });
+  hv->run_ticks(7);
+  EXPECT_EQ(fired, 7);
+  EXPECT_EQ(last, 6);
+}
+
+TEST(Hypervisor, RunUntilStopsEarly) {
+  auto hv = make_hv();
+  hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  const Tick executed = hv->run_until([&] { return hv->now() >= 3; }, 100);
+  EXPECT_EQ(executed, 3);
+}
+
+TEST(Hypervisor, DefaultPinningRoundRobins) {
+  auto hv = make_hv();
+  std::vector<std::unique_ptr<workloads::Workload>> w;
+  for (int i = 0; i < 6; ++i) w.push_back(app("gcc", static_cast<std::uint64_t>(i)));
+  Vm& vm = hv->create_vm(VmConfig{.name = "a"}, std::move(w));
+  EXPECT_EQ(vm.vcpu(0).pinned_core(), 0);
+  EXPECT_EQ(vm.vcpu(1).pinned_core(), 1);
+  EXPECT_EQ(vm.vcpu(4).pinned_core(), 0);  // wraps over 4 cores
+}
+
+TEST(Hypervisor, PinTargetValidated) {
+  auto hv = make_hv();
+  EXPECT_THROW(hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 99), std::logic_error);
+}
+
+TEST(Hypervisor, WorkloadRunsToCompletionAndHalts) {
+  auto hv = make_hv();
+  // hmmer: ILC-resident, high IPC — completes quickly.
+  Vm& vm = hv->create_vm(VmConfig{.name = "a"}, app("hmmer"), 0);
+  hv->run_until([&] { return vm.done(); }, 2000);
+  EXPECT_TRUE(vm.done());
+  EXPECT_EQ(vm.vcpu(0).completed_runs(), 1);
+  EXPECT_GT(vm.vcpu(0).first_completion_wall_cycle(), 0);
+  // Retired exactly the workload length in the completed run.
+  EXPECT_EQ(vm.vcpu(0).retired_total(), vm.vcpu(0).workload().spec().length);
+  // Once done, the core idles.
+  const auto idle_before = hv->idle_ticks(0);
+  hv->run_ticks(3);
+  EXPECT_EQ(hv->idle_ticks(0), idle_before + 3);
+}
+
+TEST(Hypervisor, LoopingVmRestartsWorkload) {
+  auto hv = make_hv();
+  VmConfig config{.name = "a"};
+  config.loop_workload = true;
+  Vm& vm = hv->create_vm(config, app("hmmer"), 0);
+  hv->run_until([&] { return vm.vcpu(0).completed_runs() >= 2; }, 4000);
+  EXPECT_GE(vm.vcpu(0).completed_runs(), 2);
+  EXPECT_FALSE(vm.done());
+}
+
+TEST(Hypervisor, MigrationMovesVcpuAcrossCores) {
+  auto hv = make_hv();
+  Vm& vm = hv->create_vm(VmConfig{.name = "a"}, app("gcc"), 0);
+  hv->run_ticks(2);
+  hv->migrate(vm.vcpu(0), 2);
+  EXPECT_EQ(vm.vcpu(0).pinned_core(), 2);
+  const auto sched_before = hv->sched_ticks(vm.vcpu(0));
+  hv->run_ticks(3);
+  EXPECT_EQ(hv->sched_ticks(vm.vcpu(0)), sched_before + 3);  // runs on new core
+  EXPECT_EQ(hv->idle_ticks(0), 3);  // old core idles after the migration
+}
+
+TEST(Hypervisor, MigrationToRemoteNodeSlowsMemoryBoundVm) {
+  auto hv = std::make_unique<Hypervisor>(test::test_numa_machine(),
+                                         std::make_unique<CreditScheduler>());
+  VmConfig config{.name = "lbm"};
+  config.loop_workload = true;
+  config.home_node = 0;
+  Vm& vm = hv->create_vm(config, app("lbm"), 0);
+  hv->run_ticks(6);
+  const auto local = vm.counters();
+  hv->run_ticks(6);
+  const auto local_delta = vm.counters() - local;
+
+  hv->migrate(vm.vcpu(0), 4);  // socket 1: all memory is now remote
+  hv->run_ticks(2);            // warm the new socket's LLC
+  const auto remote = vm.counters();
+  hv->run_ticks(6);
+  const auto remote_delta = vm.counters() - remote;
+
+  EXPECT_LT(remote_delta.ipc(), local_delta.ipc() * 0.93);
+}
+
+TEST(Hypervisor, PmcConservation) {
+  // Sum of per-VM virtualized counters equals the machine totals when
+  // every tick was fully accounted (no in-flight bursts).
+  auto hv = make_hv();
+  Vm& a = hv->create_vm(VmConfig{.name = "a"}, app("gcc", 1), 0);
+  Vm& b = hv->create_vm(VmConfig{.name = "b"}, app("omnetpp", 2), 0);
+  Vm& c = hv->create_vm(VmConfig{.name = "c"}, app("lbm", 3), 1);
+  hv->run_ticks(9);
+  pmc::CounterSet vm_total = a.counters() + b.counters() + c.counters();
+  pmc::CounterSet machine_total;
+  for (int core = 0; core < hv->machine().topology().total_cores(); ++core) {
+    machine_total += hv->machine().pmu(core).read();
+  }
+  EXPECT_EQ(vm_total, machine_total);
+}
+
+}  // namespace
+}  // namespace kyoto::hv

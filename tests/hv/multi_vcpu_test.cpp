@@ -1,0 +1,105 @@
+// Multi-vCPU VM semantics: scheduling, completion, Kyoto punishment
+// (a VM's quota is shared by all its vCPUs — §3.3 assumes vCPUs of
+// one VM behave alike, and Fig 6 colocates up to 15 disruptive
+// vCPUs).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hv/credit_scheduler.hpp"
+#include "hv/hypervisor.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::hv {
+namespace {
+
+std::vector<std::unique_ptr<workloads::Workload>> n_workloads(const char* app, int n) {
+  std::vector<std::unique_ptr<workloads::Workload>> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(workloads::make_app(app, test::test_machine().mem,
+                                      static_cast<std::uint64_t>(i) + 1));
+  }
+  return out;
+}
+
+TEST(MultiVcpu, VcpusRunOnTheirOwnCores) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  VmConfig config{.name = "wide"};
+  config.loop_workload = true;
+  Vm& vm = hv.create_vm(config, n_workloads("gcc", 3), {0, 1, 2});
+  hv.run_ticks(6);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(hv.sched_ticks(vm.vcpu(i)), 6) << i;
+  EXPECT_EQ(hv.idle_ticks(3), 6);
+}
+
+TEST(MultiVcpu, VmDoneOnlyWhenAllVcpusComplete) {
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  // vCPU 0 alone on core 0 finishes sooner than vCPU 1, which shares
+  // core 1 with a competitor.
+  VmConfig config{.name = "pair"};
+  Vm& vm = hv.create_vm(config, n_workloads("hmmer", 2), {0, 1});
+  VmConfig other{.name = "competitor"};
+  other.loop_workload = true;
+  hv.create_vm(other, workloads::make_app("gcc", test::test_machine().mem, 9), 1);
+
+  hv.run_until([&] { return vm.vcpu(0).completed_runs() > 0; }, 4000);
+  ASSERT_GT(vm.vcpu(0).completed_runs(), 0);
+  EXPECT_FALSE(vm.done());  // vCPU 1 still working
+  hv.run_until([&] { return vm.done(); }, 8000);
+  EXPECT_TRUE(vm.done());
+}
+
+TEST(MultiVcpu, SixteenVcpusPerSocketSchedule) {
+  // Fig 6's consolidation level: 16 vCPUs over 4 cores, all runnable.
+  Hypervisor hv(test::test_machine(), std::make_unique<CreditScheduler>());
+  std::vector<Vm*> vms;
+  for (int i = 0; i < 16; ++i) {
+    VmConfig config{.name = "vm" + std::to_string(i)};
+    config.loop_workload = true;
+    vms.push_back(&hv.create_vm(
+        config, workloads::make_app("gcc", test::test_machine().mem,
+                                    static_cast<std::uint64_t>(i)), i % 4));
+  }
+  hv.run_ticks(96);
+  // Every vCPU gets close to its fair quarter of a core.
+  for (Vm* vm : vms) {
+    EXPECT_NEAR(static_cast<double>(hv.sched_ticks(vm->vcpu(0))), 24.0, 8.0) << vm->name();
+  }
+  for (int core = 0; core < 4; ++core) EXPECT_EQ(hv.idle_ticks(core), 0) << core;
+}
+
+TEST(MultiVcpu, PunishmentBlocksEveryVcpuOfTheVm) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<core::Ks4Xen>());
+  VmConfig config{.name = "wide-polluter"};
+  config.loop_workload = true;
+  config.llc_cap = 1.0;  // tiny permit, shared by both vCPUs
+  Vm& vm = hv.create_vm(config, n_workloads("lbm", 2), {0, 1});
+  hv.run_ticks(45);
+  const auto& ctl = static_cast<core::Ks4Xen&>(hv.scheduler()).kyoto();
+  EXPECT_TRUE(ctl.state(vm).punished);
+  // Both vCPUs starve together: the quota is VM-level.
+  EXPECT_LT(hv.sched_ticks(vm.vcpu(0)), 10);
+  EXPECT_LT(hv.sched_ticks(vm.vcpu(1)), 10);
+}
+
+TEST(MultiVcpu, BothVcpusDebitTheSharedQuota) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<core::Ks4Xen>());
+  VmConfig config{.name = "wide"};
+  config.loop_workload = true;
+  config.llc_cap = 1e9;  // never punished; we only check accounting
+  Vm& vm = hv.create_vm(config, n_workloads("lbm", 2), {0, 1});
+  hv.run_ticks(9);
+  const auto& ctl = static_cast<core::Ks4Xen&>(hv.scheduler()).kyoto();
+  const double debited = ctl.state(vm).debited_total;
+  const double misses = static_cast<double>(
+      vm.counters().get(pmc::Counter::kLlcMisses));
+  EXPECT_NEAR(debited, misses, misses * 1e-9 + 1e-6);
+  EXPECT_GT(vm.vcpu(0).cpu_cycles(), 0);
+  EXPECT_GT(vm.vcpu(1).cpu_cycles(), 0);
+}
+
+}  // namespace
+}  // namespace kyoto::hv

@@ -1,0 +1,183 @@
+// End-to-end checks of the paper's qualitative claims (DESIGN.md §5).
+// These are scaled-down versions of the figures — the bench binaries
+// reproduce them at full size; here we pin the *shapes* in CI.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hv/credit_scheduler.hpp"
+#include "hv/pisces.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "sim/experiment.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto {
+namespace {
+
+using workloads::MicroClass;
+
+sim::WorkloadFactory micro_rep(MicroClass cls, const hv::MachineConfig& mc) {
+  const auto mem = mc.mem;
+  return [cls, mem](std::uint64_t seed) {
+    return workloads::micro_representative(cls, mem, seed);
+  };
+}
+
+sim::WorkloadFactory micro_dis(MicroClass cls, const hv::MachineConfig& mc) {
+  const auto mem = mc.mem;
+  return [cls, mem](std::uint64_t seed) {
+    return workloads::micro_disruptive(cls, mem, seed);
+  };
+}
+
+double pair_degradation(sim::RunSpec spec, const sim::WorkloadFactory& rep,
+                        const sim::WorkloadFactory& dis, bool parallel) {
+  const auto solo = sim::run_solo(spec, rep, "rep");
+  sim::VmPlan a;
+  a.config.name = "rep";
+  a.workload = rep;
+  a.pinned_cores = {0};
+  sim::VmPlan b;
+  b.config.name = "dis";
+  b.config.loop_workload = true;
+  b.workload = dis;
+  b.pinned_cores = {parallel ? 1 : 0};
+  const auto outcome = sim::run_scenario(spec, {a, b});
+  return sim::degradation_pct(solo.ipc, outcome.vms[0].ipc);
+}
+
+// --- Fig 1 shapes -------------------------------------------------------
+
+TEST(Fig1Shape, IlcResidentVictimIsImmune) {
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  for (const auto cls : {MicroClass::kC1, MicroClass::kC2, MicroClass::kC3}) {
+    const double deg = pair_degradation(spec, micro_rep(MicroClass::kC1, spec.machine),
+                                        micro_dis(cls, spec.machine), /*parallel=*/true);
+    EXPECT_LT(deg, 5.0) << "C1 victim hurt by C" << static_cast<int>(cls) << " disruptor";
+  }
+}
+
+TEST(Fig1Shape, IlcDisruptorIsHarmless) {
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  for (const auto cls : {MicroClass::kC2, MicroClass::kC3}) {
+    const double deg = pair_degradation(spec, micro_rep(cls, spec.machine),
+                                        micro_dis(MicroClass::kC1, spec.machine), true);
+    EXPECT_LT(deg, 5.0) << "C1 disruptor hurt C" << static_cast<int>(cls);
+  }
+}
+
+TEST(Fig1Shape, LlcContentionHurtsC2AndC3) {
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  const double c2 = pair_degradation(spec, micro_rep(MicroClass::kC2, spec.machine),
+                                     micro_dis(MicroClass::kC3, spec.machine), true);
+  const double c3 = pair_degradation(spec, micro_rep(MicroClass::kC3, spec.machine),
+                                     micro_dis(MicroClass::kC3, spec.machine), true);
+  EXPECT_GT(c2, 25.0);
+  EXPECT_GT(c3, 10.0);
+}
+
+TEST(Fig1Shape, ParallelWorseThanAlternative) {
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  const auto rep = micro_rep(MicroClass::kC2, spec.machine);
+  const auto dis = micro_dis(MicroClass::kC3, spec.machine);
+  const double par = pair_degradation(spec, rep, dis, true);
+  const double alt = pair_degradation(spec, rep, dis, false);
+  EXPECT_GT(par, alt * 1.5);
+}
+
+// --- Fig 3 shape ---------------------------------------------------------
+
+TEST(Fig3Shape, DegradationGrowsWithDisruptorCap) {
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  const auto gcc = test::app_factory("gcc", spec.machine);
+  const auto lbm = test::app_factory("lbm", spec.machine);
+  const auto solo = sim::run_solo(spec, gcc, "gcc");
+  double prev = -100.0;
+  for (int cap : {25, 50, 100}) {
+    sim::VmPlan sen;
+    sen.config.name = "gcc";
+    sen.workload = gcc;
+    sen.pinned_cores = {0};
+    sim::VmPlan dis;
+    dis.config.name = "lbm";
+    dis.config.cpu_cap_percent = cap;
+    dis.config.loop_workload = true;
+    dis.workload = lbm;
+    dis.pinned_cores = {1};
+    const auto outcome = sim::run_scenario(spec, {sen, dis});
+    const double deg = sim::degradation_pct(solo.ipc, outcome.vms[0].ipc);
+    EXPECT_GT(deg, prev - 2.0) << "cap " << cap;  // monotone (within noise)
+    prev = deg;
+  }
+  EXPECT_GT(prev, 10.0);  // full-cap disruptor hurts substantially
+}
+
+// --- Fig 8 shape ---------------------------------------------------------
+
+TEST(Fig8Shape, PiscesLeaksLlcContentionAndKyotoClosesIt) {
+  sim::RunSpec spec = test::quick_spec(6, 40);
+
+  // Vanilla Pisces: dedicated cores, shared LLC.
+  spec.scheduler = [] { return std::make_unique<hv::PiscesScheduler>(); };
+  const auto gcc = test::app_factory("gcc", spec.machine);
+  const auto solo = sim::run_solo(spec, gcc, "gcc");
+  sim::VmPlan sen;
+  sen.config.name = "gcc";
+  sen.workload = gcc;
+  sen.pinned_cores = {0};
+  sim::VmPlan dis;
+  dis.config.name = "lbm";
+  dis.config.loop_workload = true;
+  dis.workload = test::app_factory("lbm", spec.machine);
+  dis.pinned_cores = {1};
+  const auto pisces = sim::run_scenario(spec, {sen, dis});
+  const double deg_pisces = sim::degradation_pct(solo.ipc, pisces.vms[0].ipc);
+  EXPECT_GT(deg_pisces, 10.0);  // the isolation gap Pisces cannot close
+
+  // KS4Pisces with permits.
+  spec.scheduler = [] { return std::make_unique<core::Ks4Pisces>(); };
+  const double permit = solo.llc_cap_act * 1.5 + 5.0;
+  sen.config.llc_cap = permit;
+  dis.config.llc_cap = permit;
+  const auto ks = sim::run_scenario(spec, {sen, dis});
+  const double deg_ks = sim::degradation_pct(solo.ipc, ks.vms[0].ipc);
+  EXPECT_LT(deg_ks, deg_pisces / 2.0);
+}
+
+// --- Fig 12 shape ----------------------------------------------------------
+
+TEST(Fig12Shape, KyotoOverheadIsNegligibleForCpuBoundVms) {
+  // Two povray VMs sharing a core: KS4Xen must deliver the same
+  // throughput as XCS (the monitoring adds no simulated cost and the
+  // CPU-bound VMs never get punished).
+  sim::RunSpec spec = test::quick_spec(3, 30);
+  const auto povray = test::app_factory("povray", spec.machine);
+
+  auto make_plans = [&](double cap) {
+    sim::VmPlan a;
+    a.config.name = "povray-1";
+    a.config.llc_cap = cap;
+    a.config.loop_workload = true;
+    a.workload = povray;
+    a.pinned_cores = {0};
+    sim::VmPlan b = a;
+    b.config.name = "povray-2";
+    return std::vector<sim::VmPlan>{a, b};
+  };
+
+  spec.scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
+  const auto xcs = sim::run_scenario(spec, make_plans(0.0));
+  spec.scheduler = [] { return std::make_unique<core::Ks4Xen>(); };
+  const auto ks = sim::run_scenario(spec, make_plans(1000.0));
+
+  const double xcs_total = xcs.vms[0].throughput + xcs.vms[1].throughput;
+  const double ks_total = ks.vms[0].throughput + ks.vms[1].throughput;
+  EXPECT_NEAR(ks_total / xcs_total, 1.0, 0.05);
+  EXPECT_EQ(ks.vms[0].punished_ticks, 0);
+  EXPECT_EQ(ks.vms[1].punished_ticks, 0);
+}
+
+}  // namespace
+}  // namespace kyoto

@@ -1,0 +1,151 @@
+#include "kyoto/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kyoto/ks4xen.hpp"
+#include "kyoto/pollution.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::core {
+namespace {
+
+std::unique_ptr<workloads::Workload> app(const char* name, std::uint64_t seed = 1) {
+  return workloads::make_app(name, test::test_machine().mem, seed);
+}
+
+hv::VmConfig booked(const char* name, double llc_cap, bool loop = true) {
+  hv::VmConfig c{.name = name};
+  c.llc_cap = llc_cap;
+  c.loop_workload = loop;
+  return c;
+}
+
+TEST(Equation1, MatchesPaperFormula) {
+  // 1000 misses over 2.8e6 cycles at 2.8 GHz (2.8e6 kHz): the VM ran
+  // 1 ms, so the rate is 1000 misses/ms.
+  EXPECT_DOUBLE_EQ(equation1(1000, 2'800'000, 2'800'000), 1000.0);
+  EXPECT_DOUBLE_EQ(equation1(0, 2'800'000, 1'000'000), 0.0);
+  EXPECT_DOUBLE_EQ(equation1(500, 2'800'000, 0), 0.0);  // no cycles
+}
+
+TEST(Equation1, CounterSetOverload) {
+  pmc::CounterSet delta;
+  delta.set(pmc::Counter::kLlcMisses, 100);
+  delta.set(pmc::Counter::kUnhaltedCycles, 43'750);  // 1 ms at scaled freq
+  EXPECT_NEAR(equation1(delta, 43'750), 100.0, 1e-9);
+}
+
+TEST(Controller, RejectsBadConstruction) {
+  EXPECT_THROW(PollutionController(nullptr, KyotoParams{}), std::logic_error);
+  EXPECT_THROW(PollutionController(std::make_unique<DirectPmcMonitor>(),
+                                   KyotoParams{.bank_slices = 0.0}),
+               std::logic_error);
+}
+
+TEST(Controller, UnbookedVmIsNeverPunished) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  hv::Vm& vm = hv.create_vm(booked("lbm", /*llc_cap=*/0.0), app("lbm"), 0);
+  hv.run_ticks(30);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  EXPECT_EQ(ctl.state(vm).punish_events, 0);
+  EXPECT_TRUE(ctl.allows(vm));
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), 30);
+}
+
+TEST(Controller, HeavyPolluterWithTinyPermitIsPunished) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  hv::Vm& vm = hv.create_vm(booked("lbm", 1.0), app("lbm"), 0);
+  hv.run_ticks(30);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  EXPECT_GE(ctl.state(vm).punish_events, 1);
+  EXPECT_GT(ctl.state(vm).punished_ticks, 15);
+  EXPECT_LT(hv.sched_ticks(vm.vcpu(0)), 10);
+}
+
+TEST(Controller, QuotaDebitEqualsMeasuredMissesWithDirectMonitor) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  // Huge permit so the VM never gets punished and keeps running.
+  hv::Vm& vm = hv.create_vm(booked("lbm", 1e9), app("lbm"), 0);
+  hv.run_ticks(9);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  const double debited = ctl.state(vm).debited_total;
+  const double misses =
+      static_cast<double>(vm.counters().get(pmc::Counter::kLlcMisses));
+  // rate × on-CPU ms == misses exactly (up to fp rounding).
+  EXPECT_NEAR(debited, misses, misses * 1e-9 + 1e-6);
+}
+
+TEST(Controller, QuotaRecoversAndPunishmentLifts) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  // Permit roughly an order below lbm's rate: punish, starve, recover,
+  // run again — the Fig 5 duty cycle.
+  hv::Vm& vm = hv.create_vm(booked("lbm", 60.0), app("lbm"), 0);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  hv.run_ticks(200);
+  EXPECT_GE(ctl.state(vm).punish_events, 2);  // punished more than once => recovered between
+  const auto sched = hv.sched_ticks(vm.vcpu(0));
+  EXPECT_GT(sched, 2);    // it does run sometimes
+  EXPECT_LT(sched, 150);  // but far from always
+}
+
+TEST(Controller, BankClampLimitsSavedQuota) {
+  KyotoParams params;
+  params.bank_slices = 1.0;
+  params.initial_bank_slices = 1.0;
+  hv::Hypervisor hv(test::test_machine(),
+                    std::make_unique<Ks4Xen>(std::make_unique<DirectPmcMonitor>(), params));
+  // hmmer is ILC-resident: it pollutes ~nothing and banks quota every
+  // slice — the clamp must hold the bank at bank_slices of earning.
+  hv::Vm& vm = hv.create_vm(booked("hmmer", 100.0), app("hmmer"), 0);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  hv.run_ticks(60);
+  const double slice_earn = 100.0 * kTickMs * kTicksPerSlice;
+  EXPECT_LE(ctl.state(vm).quota, slice_earn * 1.0 + 1e-9);
+}
+
+TEST(Controller, InitialBankGivesStartupGrace) {
+  // With the default parameters, a VM booked near its steady rate is
+  // NOT punished for its one-off data-loading burst...
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  hv::Vm& vm = hv.create_vm(booked("gcc", 15.0), app("gcc"), 0);
+  hv.run_ticks(12);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  EXPECT_EQ(ctl.state(vm).punish_events, 0);
+
+  // ...but with a 1-slice initial bank the same burst punishes it.
+  KyotoParams strict;
+  strict.initial_bank_slices = 0.1;
+  strict.bank_slices = 0.1;
+  hv::Hypervisor hv2(test::test_machine(),
+                     std::make_unique<Ks4Xen>(std::make_unique<DirectPmcMonitor>(), strict));
+  hv::Vm& vm2 = hv2.create_vm(booked("gcc", 15.0), app("gcc"), 0);
+  hv2.run_ticks(12);
+  const auto& ctl2 = static_cast<Ks4Xen&>(hv2.scheduler()).kyoto();
+  EXPECT_GE(ctl2.state(vm2).punish_events, 1);
+}
+
+TEST(Controller, StateOfUnknownVmIsEmpty) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  hv::Vm& vm = hv.create_vm(booked("gcc", 100.0), app("gcc"), 0);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  // Before any tick, no state was created yet.
+  EXPECT_EQ(ctl.state(vm).punish_events, 0);
+  EXPECT_TRUE(ctl.allows(vm));
+}
+
+TEST(Controller, PunishedVmGetsZeroCpu) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  hv::Vm& dis = hv.create_vm(booked("lbm", 0.5), app("lbm", 1), 0);
+  hv::Vm& other = hv.create_vm(booked("gcc", 0.0, true), app("gcc", 2), 0);
+  hv.run_ticks(60);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  EXPECT_TRUE(ctl.state(dis).punished);
+  // The co-located unbooked VM absorbs the freed CPU (work conserving).
+  EXPECT_GT(hv.sched_ticks(other.vcpu(0)), 50);
+}
+
+}  // namespace
+}  // namespace kyoto::core

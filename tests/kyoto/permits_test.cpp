@@ -1,0 +1,85 @@
+#include "kyoto/permits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kyoto/ks4xen.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::core {
+namespace {
+
+TEST(PermitCatalog, AwsLikeMenuHasSixTypes) {
+  const auto catalog = PermitCatalog::aws_like(10.0, 1024 * 1024);
+  EXPECT_EQ(catalog.types().size(), 6u);
+  EXPECT_NO_THROW(catalog.lookup("m3.medium"));
+  EXPECT_NO_THROW(catalog.lookup("r3.large"));
+  EXPECT_THROW(catalog.lookup("z9.mega"), std::logic_error);
+}
+
+TEST(PermitCatalog, PermitProportionalToMemory) {
+  const auto catalog = PermitCatalog::aws_like(10.0, 1024 * 1024);
+  const auto& c3 = catalog.lookup("c3.medium");
+  const auto& m3 = catalog.lookup("m3.medium");
+  const auto& r3 = catalog.lookup("r3.medium");
+  // §5: "R3's instances will be assigned much more llc_cap than C3's
+  // instances".
+  EXPECT_LT(c3.llc_cap, m3.llc_cap);
+  EXPECT_LT(m3.llc_cap, r3.llc_cap);
+  EXPECT_NEAR(r3.llc_cap / c3.llc_cap, 8.0, 1e-9);
+  // Proportionality constant.
+  EXPECT_NEAR(m3.llc_cap, 10.0 * (static_cast<double>(m3.memory) / (1024.0 * 1024.0)),
+              1e-9);
+}
+
+TEST(PermitCatalog, VmConfigCarriesPermit) {
+  const auto catalog = PermitCatalog::aws_like(10.0, 1024 * 1024);
+  const auto config = catalog.vm_config("r3.medium", "db-1");
+  EXPECT_EQ(config.name, "db-1");
+  EXPECT_DOUBLE_EQ(config.llc_cap, catalog.lookup("r3.medium").llc_cap);
+  EXPECT_EQ(config.memory, catalog.lookup("r3.medium").memory);
+}
+
+TEST(PermitCatalog, AddReplacesByName) {
+  PermitCatalog catalog;
+  catalog.add(InstanceType{"x", 1, 100, 256, 5.0});
+  catalog.add(InstanceType{"x", 2, 200, 256, 9.0});
+  EXPECT_EQ(catalog.types().size(), 1u);
+  EXPECT_EQ(catalog.lookup("x").vcpus, 2);
+}
+
+TEST(PermitCatalog, ValidatesInput) {
+  EXPECT_THROW(PermitCatalog::aws_like(0.0, 1024), std::logic_error);
+  PermitCatalog catalog;
+  EXPECT_THROW(catalog.add(InstanceType{"", 1, 1, 1, 1.0}), std::logic_error);
+  EXPECT_THROW(catalog.add(InstanceType{"y", 0, 1, 1, 1.0}), std::logic_error);
+}
+
+TEST(Billing, ReportCoversEveryVmAndRendersTable) {
+  hv::Hypervisor hv(test::test_machine(), std::make_unique<Ks4Xen>());
+  const auto mem = test::test_machine().mem;
+  hv::VmConfig sen{.name = "tenant-a"};
+  sen.llc_cap = 500.0;
+  sen.loop_workload = true;
+  hv.create_vm(sen, workloads::make_app("gcc", mem, 1), 0);
+  hv::VmConfig dis{.name = "tenant-b"};
+  dis.llc_cap = 20.0;
+  dis.loop_workload = true;
+  hv.create_vm(dis, workloads::make_app("lbm", mem, 2), 1);
+  hv.run_ticks(30);
+
+  const auto& ctl = static_cast<Ks4Xen&>(hv.scheduler()).kyoto();
+  const auto lines = billing_report(hv, ctl);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].vm, "tenant-a");
+  EXPECT_EQ(lines[1].vm, "tenant-b");
+  EXPECT_GT(lines[1].punished_ticks, 0);
+  EXPECT_EQ(lines[0].punish_events, 0);
+
+  const std::string table = format_billing_report(lines);
+  EXPECT_NE(table.find("tenant-a"), std::string::npos);
+  EXPECT_NE(table.find("PUNISHED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kyoto::core

@@ -1,0 +1,80 @@
+#include "kyoto/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kyoto::core {
+namespace {
+
+BillingLine line(const char* vm, double booked, double attributed) {
+  BillingLine b;
+  b.vm = vm;
+  b.booked_cap = booked;
+  b.attributed_misses = attributed;
+  return b;
+}
+
+TEST(Pricing, WithinPermitPaysFlatFeeOnly) {
+  PriceSheet prices;
+  prices.permit_fee_per_unit_second = 0.01;
+  prices.overage_per_million_misses = 5.0;
+  // 100 miss/ms permit over 2000 ms => 200k permitted; attributed 150k.
+  const auto invoices = make_invoices({line("a", 100.0, 150'000.0)}, prices, 2000.0);
+  ASSERT_EQ(invoices.size(), 1u);
+  EXPECT_DOUBLE_EQ(invoices[0].permit_fee, 100.0 * 0.01 * 2.0);
+  EXPECT_DOUBLE_EQ(invoices[0].overage_misses, 0.0);
+  EXPECT_DOUBLE_EQ(invoices[0].overage_fee, 0.0);
+  EXPECT_DOUBLE_EQ(invoices[0].total, invoices[0].permit_fee);
+}
+
+TEST(Pricing, OverageChargedBeyondPermittedBudget) {
+  PriceSheet prices;
+  prices.permit_fee_per_unit_second = 0.0;
+  prices.overage_per_million_misses = 10.0;
+  // 10 miss/ms over 1000 ms => 10k permitted; attributed 1.01M.
+  const auto invoices = make_invoices({line("noisy", 10.0, 1'010'000.0)}, prices, 1000.0);
+  EXPECT_DOUBLE_EQ(invoices[0].overage_misses, 1'000'000.0);
+  EXPECT_DOUBLE_EQ(invoices[0].overage_fee, 10.0);
+  EXPECT_DOUBLE_EQ(invoices[0].total, 10.0);
+}
+
+TEST(Pricing, BiggerPermitCostsMoreButAbsorbsOverage) {
+  PriceSheet prices;
+  prices.permit_fee_per_unit_second = 0.001;
+  prices.overage_per_million_misses = 100.0;
+  const double attributed = 500'000.0;
+  const auto small = make_invoices({line("small", 10.0, attributed)}, prices, 1000.0);
+  const auto big = make_invoices({line("big", 1000.0, attributed)}, prices, 1000.0);
+  EXPECT_GT(big[0].permit_fee, small[0].permit_fee);
+  EXPECT_GT(small[0].overage_fee, 0.0);
+  EXPECT_DOUBLE_EQ(big[0].overage_fee, 0.0);
+  // For this pollution level the big permit is the better deal —
+  // the pricing makes honest booking rational.
+  EXPECT_LT(big[0].total, small[0].total);
+}
+
+TEST(Pricing, UnbookedVmHasNoPermitCostOnlyOverage) {
+  PriceSheet prices;
+  const auto invoices = make_invoices({line("free", 0.0, 2'000'000.0)}, prices, 1000.0);
+  EXPECT_DOUBLE_EQ(invoices[0].permit_fee, 0.0);
+  EXPECT_DOUBLE_EQ(invoices[0].overage_misses, 2'000'000.0);
+}
+
+TEST(Pricing, ValidatesInputs) {
+  EXPECT_THROW(make_invoices({}, PriceSheet{}, 0.0), std::logic_error);
+  PriceSheet negative;
+  negative.overage_per_million_misses = -1.0;
+  EXPECT_THROW(make_invoices({}, negative, 1000.0), std::logic_error);
+}
+
+TEST(Pricing, FormatsTable) {
+  PriceSheet prices;
+  const auto invoices =
+      make_invoices({line("a", 10.0, 5'000.0), line("b", 0.0, 9'000'000.0)}, prices, 1000.0);
+  const std::string table = format_invoices(invoices, prices);
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("credits"), std::string::npos);
+  EXPECT_NE(table.find("9,000,000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kyoto::core

@@ -1,0 +1,128 @@
+// Integration behaviour of the three Kyoto schedulers: the paper's
+// core claim (performance predictability for the sensitive VM,
+// punishment for the polluter) must hold under KS4Xen, KS4Linux and
+// KS4Pisces alike.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hv/cfs_scheduler.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/pisces.hpp"
+#include "kyoto/ks4linux.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "sim/experiment.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::core {
+namespace {
+
+struct Case {
+  const char* name;
+  sim::SchedulerFactory baseline;
+  sim::SchedulerFactory kyoto;
+};
+
+const Case kCases[] = {
+    {"xen",
+     [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<hv::CreditScheduler>()); },
+     [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<Ks4Xen>()); }},
+    {"linux",
+     [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<hv::CfsScheduler>()); },
+     [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<Ks4Linux>()); }},
+    {"pisces",
+     [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<hv::PiscesScheduler>()); },
+     [] { return std::unique_ptr<hv::Scheduler>(std::make_unique<Ks4Pisces>()); }},
+};
+
+class KyotoSchedulerTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(KyotoSchedulerTest, ProtectsSensitiveVmFromDisruptor) {
+  sim::RunSpec spec = test::quick_spec(/*warmup=*/6, /*measure=*/45);
+
+  const auto gcc = test::app_factory("gcc", spec.machine);
+  const auto lbm = test::app_factory("lbm", spec.machine);
+
+  // Solo baseline under the baseline scheduler.
+  spec.scheduler = GetParam().baseline;
+  const auto solo = sim::run_solo(spec, gcc, "gcc");
+
+  sim::VmPlan sen;
+  sen.config.name = "gcc";
+  sen.workload = gcc;
+  sen.pinned_cores = {0};
+  sim::VmPlan dis;
+  dis.config.name = "lbm";
+  dis.config.loop_workload = true;
+  dis.workload = lbm;
+  dis.pinned_cores = {1};  // parallel colocation on the shared LLC
+
+  const auto contended = sim::run_scenario(spec, {sen, dis});
+  const double deg_base = sim::degradation_pct(solo.ipc, contended.vms[0].ipc);
+  EXPECT_GT(deg_base, 8.0) << "no contention to fix for " << GetParam().name;
+
+  // Same scenario under the Kyoto scheduler with a permit sized off
+  // gcc's solo pollution.
+  spec.scheduler = GetParam().kyoto;
+  const double permit = solo.llc_cap_act * 1.5 + 5.0;
+  sen.config.llc_cap = permit;
+  dis.config.llc_cap = permit;
+  const auto protected_run = sim::run_scenario(spec, {sen, dis});
+  const double deg_kyoto = sim::degradation_pct(solo.ipc, protected_run.vms[0].ipc);
+
+  EXPECT_LT(deg_kyoto, deg_base / 2.0) << GetParam().name;
+  EXPECT_LT(deg_kyoto, 8.0) << GetParam().name;
+  // The polluter, not the victim, pays.
+  EXPECT_GT(protected_run.vms[1].punished_ticks, protected_run.vms[0].punished_ticks * 5)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKyotoSchedulers, KyotoSchedulerTest, ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Ks4Xen, NamesAndIntrospection) {
+  Ks4Xen ks;
+  EXPECT_EQ(ks.name(), "KS4Xen");
+  EXPECT_EQ(Ks4Linux().name(), "KS4Linux");
+  EXPECT_EQ(Ks4Pisces().name(), "KS4Pisces");
+}
+
+TEST(Ks4Xen, WithinPermitVmIsNeverPunished) {
+  sim::RunSpec spec = test::quick_spec(3, 30);
+  spec.scheduler = [] { return std::make_unique<Ks4Xen>(); };
+  const auto gcc = test::app_factory("gcc", spec.machine);
+  // First measure gcc's own rate, then book 3x that.
+  const auto solo = sim::run_solo(spec, gcc, "gcc");
+  sim::VmPlan plan;
+  plan.config.name = "gcc";
+  plan.config.llc_cap = solo.llc_cap_act * 3.0 + 10.0;
+  plan.workload = gcc;
+  plan.pinned_cores = {0};
+  const auto outcome = sim::run_scenario(spec, {plan});
+  EXPECT_EQ(outcome.vms[0].punish_events, 0);
+  EXPECT_EQ(outcome.vms[0].punished_ticks, 0);
+}
+
+TEST(Ks4Xen, EnforcesLongRunAveragePollution) {
+  // The enforced long-run pollution rate (misses per wall ms) must
+  // not exceed the booked cap by more than the banking slack.
+  sim::RunSpec spec = test::quick_spec(0, 150);
+  spec.scheduler = [] { return std::make_unique<Ks4Xen>(); };
+  const auto lbm = test::app_factory("lbm", spec.machine);
+  sim::VmPlan plan;
+  plan.config.name = "lbm";
+  plan.config.llc_cap = 100.0;
+  plan.config.loop_workload = true;
+  plan.workload = lbm;
+  plan.pinned_cores = {0};
+  const auto outcome = sim::run_scenario(spec, {plan});
+  const double wall_ms = static_cast<double>(outcome.measured_ticks * kTickMs);
+  const double achieved = static_cast<double>(outcome.vms[0].llc_misses) / wall_ms;
+  EXPECT_LT(achieved, 100.0 * 1.6);
+  EXPECT_GT(achieved, 100.0 * 0.3);  // and it is not starved outright
+}
+
+}  // namespace
+}  // namespace kyoto::core

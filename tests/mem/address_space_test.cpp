@@ -1,0 +1,48 @@
+#include "mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kyoto::mem {
+namespace {
+
+TEST(AddressSpace, RegionsOfDifferentVmsAreDisjoint) {
+  const Bytes size = 64_MiB;
+  for (int a = 0; a < 8; ++a) {
+    AddressSpace sa(a, size);
+    for (int b = a + 1; b < 8; ++b) {
+      AddressSpace sb(b, size);
+      EXPECT_FALSE(sa.contains(sb.base()));
+      EXPECT_FALSE(sa.contains(sb.base() + size - 1));
+      EXPECT_FALSE(sb.contains(sa.base()));
+    }
+  }
+}
+
+TEST(AddressSpace, TranslateIsBaseRelative) {
+  AddressSpace s(3, 1_MiB);
+  EXPECT_EQ(s.translate(0), s.base());
+  EXPECT_EQ(s.translate(4096), s.base() + 4096);
+  EXPECT_TRUE(s.contains(s.translate(1_MiB - 1)));
+}
+
+TEST(AddressSpace, HomeNodeRoundTrips) {
+  AddressSpace s(0, 1_MiB, 1);
+  EXPECT_EQ(s.home_node(), 1);
+  s.set_home_node(0);
+  EXPECT_EQ(s.home_node(), 0);
+}
+
+TEST(AddressSpace, EmptySpaceRejected) {
+  EXPECT_THROW(AddressSpace(0, 0), std::logic_error);
+}
+
+TEST(AddressSpace, BasesAreLineAlignedButPhased) {
+  // Different VMs should not map to identical set sequences: their
+  // bases differ by a non-multiple of typical set strides.
+  AddressSpace a(0, 1_MiB);
+  AddressSpace b(1, 1_MiB);
+  EXPECT_NE((a.base() / kLineBytes) % 512, (b.base() / kLineBytes) % 512);
+}
+
+}  // namespace
+}  // namespace kyoto::mem

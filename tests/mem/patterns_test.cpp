@@ -1,0 +1,248 @@
+#include "mem/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/access.hpp"
+
+namespace kyoto::mem {
+namespace {
+
+constexpr Bytes kWs = 64 * kLineBytes;  // 64 lines
+
+TEST(PointerChase, VisitsEveryLineOncePerLap) {
+  PointerChasePattern p(kWs, 1);
+  Rng rng(1);
+  std::set<Bytes> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(p.next_offset(rng));
+  EXPECT_EQ(seen.size(), 64u);  // single cycle covers all lines exactly once
+  // Second lap repeats the same sequence.
+  std::set<Bytes> second;
+  for (int i = 0; i < 64; ++i) second.insert(p.next_offset(rng));
+  EXPECT_EQ(seen, second);
+}
+
+TEST(PointerChase, DifferentSeedsGiveDifferentChains) {
+  PointerChasePattern a(kWs, 1);
+  PointerChasePattern b(kWs, 2);
+  Rng rng(1);
+  std::vector<Bytes> seq_a;
+  std::vector<Bytes> seq_b;
+  for (int i = 0; i < 32; ++i) {
+    seq_a.push_back(a.next_offset(rng));
+    seq_b.push_back(b.next_offset(rng));
+  }
+  EXPECT_NE(seq_a, seq_b);
+}
+
+TEST(PointerChase, ResetRestartsCycle) {
+  PointerChasePattern p(kWs, 3);
+  Rng rng(1);
+  const Bytes first = p.next_offset(rng);
+  p.next_offset(rng);
+  p.reset();
+  EXPECT_EQ(p.next_offset(rng), first);
+}
+
+TEST(PointerChase, TinyWorkingSetIsOneLine) {
+  PointerChasePattern p(1, 1);  // rounds up to one line
+  Rng rng(1);
+  EXPECT_EQ(p.working_set(), kLineBytes);
+  EXPECT_EQ(p.next_offset(rng), 0u);
+  EXPECT_EQ(p.next_offset(rng), 0u);
+}
+
+TEST(Sequential, WalksInOrderAndWraps) {
+  SequentialPattern p(3 * kLineBytes);
+  Rng rng(1);
+  EXPECT_EQ(p.next_offset(rng), 0u * kLineBytes);
+  EXPECT_EQ(p.next_offset(rng), 1u * kLineBytes);
+  EXPECT_EQ(p.next_offset(rng), 2u * kLineBytes);
+  EXPECT_EQ(p.next_offset(rng), 0u * kLineBytes);
+}
+
+TEST(Strided, CoversAllLines) {
+  StridedPattern p(kWs, 7);
+  Rng rng(1);
+  std::set<Bytes> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(p.next_offset(rng));
+  // Stride coprime with line count => full coverage.
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Strided, NonCoprimeStrideIsAdjusted) {
+  // 64 lines, requested stride 8 shares a factor; the pattern adjusts
+  // it so coverage is still complete.
+  StridedPattern p(kWs, 8);
+  Rng rng(1);
+  std::set<Bytes> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(p.next_offset(rng));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(UniformRandom, StaysInWorkingSet) {
+  UniformRandomPattern p(kWs);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Bytes off = p.next_offset(rng);
+    EXPECT_LT(off, kWs);
+    EXPECT_EQ(off % kLineBytes, 0u);
+  }
+}
+
+TEST(UniformRandom, TouchesMostLines) {
+  UniformRandomPattern p(kWs);
+  Rng rng(1);
+  std::set<Bytes> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(p.next_offset(rng));
+  EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Zipf, SkewsTowardHotLines) {
+  ZipfPattern p(256 * kLineBytes, 1.0, 5);
+  Rng rng(1);
+  std::map<Bytes, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[p.next_offset(rng)]++;
+  // The hottest line should receive far more than the uniform share.
+  int hottest = 0;
+  for (const auto& [off, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, n / 256 * 10);
+}
+
+TEST(Zipf, ZeroExponentIsUniformish) {
+  ZipfPattern p(64 * kLineBytes, 0.0, 5);
+  Rng rng(1);
+  std::map<Bytes, int> counts;
+  const int n = 64 * 500;
+  for (int i = 0; i < n; ++i) counts[p.next_offset(rng)]++;
+  EXPECT_EQ(counts.size(), 64u);
+  for (const auto& [off, c] : counts) {
+    EXPECT_NEAR(c, 500, 150);  // within 30% of the uniform share
+  }
+}
+
+TEST(Phased, SwitchesBetweenPhases) {
+  std::vector<PhasedPattern::Phase> phases;
+  phases.push_back({std::make_unique<SequentialPattern>(2 * kLineBytes), 4});
+  phases.push_back({std::make_unique<SequentialPattern>(8 * kLineBytes), 4});
+  PhasedPattern p(std::move(phases));
+  Rng rng(1);
+  // Phase 1: offsets within 2 lines.
+  for (int i = 0; i < 4; ++i) EXPECT_LT(p.next_offset(rng), 2 * kLineBytes);
+  // Phase 2 can reach beyond.
+  Bytes max_seen = 0;
+  for (int i = 0; i < 4; ++i) max_seen = std::max(max_seen, p.next_offset(rng));
+  EXPECT_GE(max_seen, 2 * kLineBytes);
+}
+
+TEST(Phased, WorkingSetIsMaxOfPhases) {
+  std::vector<PhasedPattern::Phase> phases;
+  phases.push_back({std::make_unique<SequentialPattern>(2 * kLineBytes), 1});
+  phases.push_back({std::make_unique<SequentialPattern>(16 * kLineBytes), 1});
+  PhasedPattern p(std::move(phases));
+  EXPECT_EQ(p.working_set(), 16 * kLineBytes);
+}
+
+TEST(Phased, RejectsEmptyAndNull) {
+  EXPECT_THROW(PhasedPattern(std::vector<PhasedPattern::Phase>{}), std::logic_error);
+  std::vector<PhasedPattern::Phase> bad;
+  bad.push_back({nullptr, 4});
+  EXPECT_THROW(PhasedPattern(std::move(bad)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Property: clone() preserves the future stream for every pattern type.
+// This is the invariant the McSim "pin tool" relies on.
+// ---------------------------------------------------------------------
+
+class PatternFactory {
+ public:
+  virtual ~PatternFactory() = default;
+  virtual std::unique_ptr<Pattern> make() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using FactoryFn = std::unique_ptr<Pattern> (*)();
+
+struct CloneCase {
+  const char* name;
+  FactoryFn make;
+};
+
+std::unique_ptr<Pattern> make_chase() {
+  return std::make_unique<PointerChasePattern>(kWs, 11);
+}
+std::unique_ptr<Pattern> make_seq() { return std::make_unique<SequentialPattern>(kWs); }
+std::unique_ptr<Pattern> make_strided() { return std::make_unique<StridedPattern>(kWs, 5); }
+std::unique_ptr<Pattern> make_random() {
+  return std::make_unique<UniformRandomPattern>(kWs);
+}
+std::unique_ptr<Pattern> make_zipf() {
+  return std::make_unique<ZipfPattern>(kWs, 0.9, 11);
+}
+std::unique_ptr<Pattern> make_phased() {
+  std::vector<PhasedPattern::Phase> phases;
+  phases.push_back({std::make_unique<SequentialPattern>(kWs / 2), 5});
+  phases.push_back({std::make_unique<PointerChasePattern>(kWs, 3), 7});
+  return std::make_unique<PhasedPattern>(std::move(phases));
+}
+
+class PatternCloneTest : public ::testing::TestWithParam<CloneCase> {};
+
+TEST_P(PatternCloneTest, CloneContinuesIdentically) {
+  auto original = GetParam().make();
+  // Note: stochastic patterns draw from the caller's RNG, so the
+  // clone equivalence holds when both sides consume identical RNG
+  // streams — which is how the replay simulator uses them.
+  Rng rng_a(77);
+  for (int i = 0; i < 23; ++i) original->next_offset(rng_a);
+
+  auto clone = original->clone();
+  Rng rng_b = rng_a;  // clone the RNG too
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(original->next_offset(rng_a), clone->next_offset(rng_b))
+        << GetParam().name << " diverged at step " << i;
+  }
+}
+
+TEST_P(PatternCloneTest, ResetRestartsDeterministically) {
+  auto p = GetParam().make();
+  Rng rng1(5);
+  std::vector<Bytes> first;
+  for (int i = 0; i < 50; ++i) first.push_back(p->next_offset(rng1));
+  p->reset();
+  Rng rng2(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p->next_offset(rng2), first[static_cast<std::size_t>(i)])
+        << GetParam().name << " not reset-deterministic at step " << i;
+  }
+}
+
+TEST_P(PatternCloneTest, OffsetsLineAlignedAndInRange) {
+  auto p = GetParam().make();
+  Rng rng(6);
+  const Bytes ws = p->working_set();
+  for (int i = 0; i < 500; ++i) {
+    const Bytes off = p->next_offset(rng);
+    ASSERT_LT(off, ws);
+    ASSERT_EQ(off % kLineBytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternCloneTest,
+                         ::testing::Values(CloneCase{"chase", &make_chase},
+                                           CloneCase{"sequential", &make_seq},
+                                           CloneCase{"strided", &make_strided},
+                                           CloneCase{"random", &make_random},
+                                           CloneCase{"zipf", &make_zipf},
+                                           CloneCase{"phased", &make_phased}),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace kyoto::mem

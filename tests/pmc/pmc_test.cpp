@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "pmc/counters.hpp"
+#include "pmc/perfctr.hpp"
+#include "pmc/pmu.hpp"
+
+namespace kyoto::pmc {
+namespace {
+
+TEST(CounterSet, ArithmeticAndAccessors) {
+  CounterSet a;
+  a.set(Counter::kInstructions, 100);
+  a.add(Counter::kInstructions, 20);
+  a.set(Counter::kLlcMisses, 7);
+  EXPECT_EQ(a.get(Counter::kInstructions), 120u);
+
+  CounterSet b;
+  b.set(Counter::kInstructions, 20);
+  b.set(Counter::kLlcMisses, 2);
+
+  const CounterSet sum = a + b;
+  EXPECT_EQ(sum.get(Counter::kInstructions), 140u);
+  const CounterSet diff = a - b;
+  EXPECT_EQ(diff.get(Counter::kInstructions), 100u);
+  EXPECT_EQ(diff.get(Counter::kLlcMisses), 5u);
+}
+
+TEST(CounterSet, EqualityAndClear) {
+  CounterSet a;
+  a.set(Counter::kLlcReferences, 3);
+  CounterSet b = a;
+  EXPECT_EQ(a, b);
+  b.clear();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b.get(Counter::kLlcReferences), 0u);
+}
+
+TEST(CounterSet, IpcComputation) {
+  CounterSet a;
+  EXPECT_DOUBLE_EQ(a.ipc(), 0.0);  // no cycles
+  a.set(Counter::kInstructions, 300);
+  a.set(Counter::kUnhaltedCycles, 600);
+  EXPECT_DOUBLE_EQ(a.ipc(), 0.5);
+}
+
+TEST(CounterNames, Stable) {
+  EXPECT_STREQ(counter_name(Counter::kInstructions), "instructions");
+  EXPECT_STREQ(counter_name(Counter::kUnhaltedCycles), "unhalted_core_cycles");
+  EXPECT_STREQ(counter_name(Counter::kLlcReferences), "llc_references");
+  EXPECT_STREQ(counter_name(Counter::kLlcMisses), "llc_misses");
+}
+
+TEST(CorePmu, MonotonicAccumulation) {
+  CorePmu pmu;
+  pmu.add(Counter::kLlcMisses, 5);
+  pmu.add(Counter::kLlcMisses, 3);
+  EXPECT_EQ(pmu.read().get(Counter::kLlcMisses), 8u);
+}
+
+TEST(Perfctr, AttributesDeltasToRunningVcpu) {
+  CorePmu pmu;
+  VirtualCounters vcpu_a;
+  VirtualCounters vcpu_b;
+
+  // A runs: 10 misses happen.
+  vcpu_a.switch_in(pmu);
+  pmu.add(Counter::kLlcMisses, 10);
+  vcpu_a.switch_out(pmu);
+
+  // B runs: 4 misses happen.
+  vcpu_b.switch_in(pmu);
+  pmu.add(Counter::kLlcMisses, 4);
+  vcpu_b.switch_out(pmu);
+
+  EXPECT_EQ(vcpu_a.read().get(Counter::kLlcMisses), 10u);
+  EXPECT_EQ(vcpu_b.read().get(Counter::kLlcMisses), 4u);
+}
+
+TEST(Perfctr, AccumulatesAcrossBursts) {
+  CorePmu pmu;
+  VirtualCounters v;
+  for (int i = 0; i < 3; ++i) {
+    v.switch_in(pmu);
+    pmu.add(Counter::kInstructions, 100);
+    v.switch_out(pmu);
+    pmu.add(Counter::kInstructions, 50);  // someone else's instructions
+  }
+  EXPECT_EQ(v.read().get(Counter::kInstructions), 300u);
+}
+
+TEST(Perfctr, InFlightReadIncludesCurrentDelta) {
+  CorePmu pmu;
+  VirtualCounters v;
+  v.switch_in(pmu);
+  pmu.add(Counter::kLlcMisses, 6);
+  // Without the PMU, in-flight events are invisible.
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 0u);
+  // With it, they are included.
+  EXPECT_EQ(v.read(&pmu).get(Counter::kLlcMisses), 6u);
+  v.switch_out(pmu);
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 6u);
+}
+
+TEST(Perfctr, DoubleSwitchInThrows) {
+  CorePmu pmu;
+  VirtualCounters v;
+  v.switch_in(pmu);
+  EXPECT_THROW(v.switch_in(pmu), std::logic_error);
+}
+
+TEST(Perfctr, SwitchOutWithoutInThrows) {
+  CorePmu pmu;
+  VirtualCounters v;
+  EXPECT_THROW(v.switch_out(pmu), std::logic_error);
+}
+
+TEST(Perfctr, RunningFlag) {
+  CorePmu pmu;
+  VirtualCounters v;
+  EXPECT_FALSE(v.running());
+  v.switch_in(pmu);
+  EXPECT_TRUE(v.running());
+  v.switch_out(pmu);
+  EXPECT_FALSE(v.running());
+}
+
+TEST(Perfctr, ResetForgetsHistoryButKeepsWindow) {
+  CorePmu pmu;
+  VirtualCounters v;
+  v.switch_in(pmu);
+  pmu.add(Counter::kLlcMisses, 9);
+  v.switch_out(pmu);
+  v.reset();
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 0u);
+}
+
+}  // namespace
+}  // namespace kyoto::pmc

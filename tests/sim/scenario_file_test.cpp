@@ -1,0 +1,153 @@
+#include "sim/scenario_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hv/credit_scheduler.hpp"
+#include "kyoto/ks4xen.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+constexpr const char* kBasic = R"(
+# two tenants under KS4Xen
+[machine]
+topology = 1x4
+scale = 64
+
+[scheduler]
+kind = ks4xen
+monitor = direct
+punish = block
+
+[vm tenant-a]
+app = gcc
+cores = 0
+llc_cap = 20
+loop = true
+
+[vm noisy]
+app = lbm
+cores = 1
+llc_cap = 20
+loop = true
+
+[run]
+warmup_ticks = 3
+measure_ticks = 12
+)";
+
+TEST(ScenarioFile, ParsesBasicScenario) {
+  const Scenario s = parse_scenario(kBasic);
+  EXPECT_EQ(s.plans.size(), 2u);
+  EXPECT_EQ(s.vm_names[0], "tenant-a");
+  EXPECT_EQ(s.plans[0].config.llc_cap, 20.0);
+  EXPECT_TRUE(s.plans[1].config.loop_workload);
+  EXPECT_EQ(s.plans[1].pinned_cores, std::vector<int>{1});
+  EXPECT_EQ(s.spec.warmup_ticks, 3);
+  EXPECT_EQ(s.spec.measure_ticks, 12);
+  EXPECT_EQ(s.spec.machine.topology.total_cores(), 4);
+  EXPECT_EQ(s.spec.machine.mem.llc.size, 160_KiB);  // paper/64
+  // The scheduler factory builds a Ks4Xen.
+  auto sched = s.spec.scheduler();
+  EXPECT_NE(dynamic_cast<core::Ks4Xen*>(sched.get()), nullptr);
+}
+
+TEST(ScenarioFile, RunsEndToEnd) {
+  const Scenario s = parse_scenario(kBasic);
+  const auto report = run_scenario_report(s);
+  EXPECT_NE(report.find("tenant-a"), std::string::npos);
+  EXPECT_NE(report.find("noisy"), std::string::npos);
+}
+
+TEST(ScenarioFile, DefaultsWhenSectionsOmitted) {
+  const Scenario s = parse_scenario("[vm solo]\napp = hmmer\n");
+  EXPECT_EQ(s.plans.size(), 1u);
+  EXPECT_EQ(s.plans[0].pinned_cores, std::vector<int>{0});  // auto-assigned
+  auto sched = s.spec.scheduler();
+  EXPECT_NE(dynamic_cast<hv::CreditScheduler*>(sched.get()), nullptr);
+}
+
+TEST(ScenarioFile, MicroWorkloads) {
+  const Scenario s = parse_scenario(
+      "[vm rep]\napp = micro:c2rep\n[vm dis]\napp = micro:c3dis\ncores = 1\n");
+  auto rep = s.plans[0].workload(1);
+  auto dis = s.plans[1].workload(2);
+  EXPECT_EQ(rep->spec().name, "v2rep");
+  EXPECT_EQ(dis->spec().name, "v3dis");
+}
+
+TEST(ScenarioFile, MachineFeatures) {
+  const Scenario s = parse_scenario(
+      "[machine]\ntopology = 2x2\nprefetch = on:4\nbus = on:16\nllc_replacement = DIP\n"
+      "[vm a]\napp = gcc\n");
+  EXPECT_EQ(s.spec.machine.topology.sockets, 2);
+  EXPECT_TRUE(s.spec.machine.mem.prefetch.enabled);
+  EXPECT_EQ(s.spec.machine.mem.prefetch.degree, 4u);
+  EXPECT_TRUE(s.spec.machine.mem.bus.enabled);
+  EXPECT_EQ(s.spec.machine.mem.bus.transfer_cycles, 16);
+  EXPECT_EQ(s.spec.machine.mem.llc_replacement, cache::ReplacementKind::kDip);
+}
+
+struct BadCase {
+  const char* name;
+  const char* text;
+  const char* expect_substr;
+};
+
+class ScenarioErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ScenarioErrorTest, RejectsWithUsefulMessage) {
+  try {
+    parse_scenario(GetParam().text);
+    FAIL() << "expected parse failure for " << GetParam().name;
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find(GetParam().expect_substr), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllErrors, ScenarioErrorTest,
+    ::testing::Values(
+        BadCase{"unknown_section", "[warp]\n", "unknown section"},
+        BadCase{"key_outside_section", "x = 1\n", "outside any section"},
+        BadCase{"missing_equals", "[machine]\ntopology\n", "expected key"},
+        BadCase{"unknown_machine_key", "[machine]\ncolour = red\n", "unknown [machine]"},
+        BadCase{"bad_topology", "[machine]\ntopology = 4\n", "SxC"},
+        BadCase{"bad_number", "[machine]\nfreq_khz = fast\n", "number"},
+        BadCase{"unknown_app", "[vm a]\napp = doom\n", "unknown application"},
+        BadCase{"bad_micro", "[vm a]\napp = micro:c9rep\n", "micro"},
+        BadCase{"missing_app", "[vm a]\nllc_cap = 5\n", "missing app"},
+        BadCase{"core_out_of_range", "[vm a]\napp = gcc\ncores = 9\n", "out of range"},
+        BadCase{"unknown_sched", "[scheduler]\nkind = warp\n[vm a]\napp = gcc\n",
+                "unknown scheduler"},
+        BadCase{"bad_punish", "[scheduler]\npunish = flog\n", "punish"},
+        BadCase{"no_vms", "[machine]\ntopology = 1x4\n", "no [vm]"},
+        BadCase{"bad_bool", "[vm a]\napp = gcc\nloop = perhaps\n", "boolean"},
+        BadCase{"bad_replacement", "[machine]\nllc_replacement = FIFO\n",
+                "replacement"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ScenarioFile, UnknownMonitorFailsAtFactoryConstruction) {
+  const Scenario s =
+      parse_scenario("[scheduler]\nkind = ks4xen\nmonitor = crystal\n[vm a]\napp = gcc\n");
+  EXPECT_THROW(s.spec.scheduler(), std::logic_error);
+}
+
+TEST(ScenarioFile, LoadFromDisk) {
+  const std::string path = ::testing::TempDir() + "/kyoto_scenario_test.kyoto";
+  {
+    std::ofstream out(path);
+    out << kBasic;
+  }
+  const Scenario s = load_scenario_file(path);
+  EXPECT_EQ(s.plans.size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_scenario_file(path), std::logic_error);
+}
+
+}  // namespace
+}  // namespace kyoto::sim

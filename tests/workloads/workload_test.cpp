@@ -1,0 +1,217 @@
+#include "workloads/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cache/config.hpp"
+#include "mem/access.hpp"
+#include "workloads/pattern_workload.hpp"
+#include "workloads/workload.hpp"
+
+namespace kyoto::workloads {
+namespace {
+
+const cache::MemSystemConfig kMem = cache::scaled_mem_system();
+
+TEST(Catalog, Table2MappingsPresent) {
+  EXPECT_EQ(sensitive_apps(), (std::vector<std::string>{"gcc", "omnetpp", "soplex"}));
+  EXPECT_EQ(disruptive_apps(), (std::vector<std::string>{"lbm", "blockie", "mcf"}));
+}
+
+TEST(Catalog, Fig4AppsAllExist) {
+  EXPECT_EQ(fig4_apps().size(), 10u);
+  for (const auto& name : fig4_apps()) {
+    EXPECT_NO_THROW(app_profile(name)) << name;
+  }
+}
+
+TEST(Catalog, UnknownAppThrows) {
+  EXPECT_THROW(app_profile("doom"), std::logic_error);
+  EXPECT_THROW(make_app("doom", kMem, 1), std::logic_error);
+}
+
+TEST(Catalog, SensitiveAndDisruptiveFlagsMatchTable2) {
+  for (const auto& name : sensitive_apps()) EXPECT_TRUE(app_profile(name).sensitive) << name;
+  for (const auto& name : disruptive_apps()) {
+    EXPECT_TRUE(app_profile(name).disruptive) << name;
+  }
+  EXPECT_FALSE(app_profile("hmmer").disruptive);
+}
+
+TEST(Catalog, DisruptiveWorkingSetsExceedLlc) {
+  for (const auto& name : disruptive_apps()) {
+    const auto w = make_app(name, kMem, 1);
+    EXPECT_GT(w->spec().working_set, kMem.llc.size) << name;
+  }
+}
+
+TEST(Catalog, IlcResidentAppsFitIntermediateCaches) {
+  for (const char* name : {"hmmer", "povray"}) {
+    const auto w = make_app(name, kMem, 1);
+    EXPECT_LE(w->spec().working_set, kMem.l2.size) << name;
+  }
+}
+
+TEST(Catalog, MilcHasLargestExpectedMissVolume) {
+  // The LLCM ordering of Fig 4 requires milc's run to produce the
+  // largest total miss count: every access misses (ws >> LLC) and the
+  // run is by far the longest.
+  const auto& milc = app_profile("milc");
+  for (const auto& name : fig4_apps()) {
+    if (name == "milc") continue;
+    const auto& other = app_profile(name);
+    const double milc_volume = milc.mem_ratio * static_cast<double>(milc.length);
+    const double other_volume = other.mem_ratio * static_cast<double>(other.length);
+    EXPECT_GT(milc_volume, other_volume) << name;
+  }
+}
+
+// --- parameterized sanity over every profile ---------------------------
+
+class AppProfileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppProfileTest, SpecFieldsAreSane) {
+  const auto w = make_app(GetParam(), kMem, 7);
+  const auto& spec = w->spec();
+  EXPECT_EQ(spec.name, GetParam());
+  EXPECT_GT(spec.working_set, 0u);
+  EXPECT_GT(spec.mem_ratio, 0.0);
+  EXPECT_LE(spec.mem_ratio, 1.0);
+  EXPECT_GE(spec.write_ratio, 0.0);
+  EXPECT_LE(spec.write_ratio, 1.0);
+  EXPECT_GE(spec.mlp, 1.0);
+  EXPECT_GT(spec.length, 0);
+}
+
+TEST_P(AppProfileTest, MemRatioIsRespected) {
+  const auto w = make_app(GetParam(), kMem, 7);
+  const int n = 50000;
+  int mem_ops = 0;
+  for (int i = 0; i < n; ++i) {
+    if (w->next().kind != mem::OpKind::kCompute) ++mem_ops;
+  }
+  EXPECT_NEAR(static_cast<double>(mem_ops) / n, w->spec().mem_ratio, 0.02) << GetParam();
+}
+
+TEST_P(AppProfileTest, OffsetsStayInWorkingSet) {
+  const auto w = make_app(GetParam(), kMem, 7);
+  for (int i = 0; i < 20000; ++i) {
+    const auto op = w->next();
+    if (op.kind != mem::OpKind::kCompute) {
+      ASSERT_LT(op.addr, w->spec().working_set) << GetParam();
+    }
+  }
+}
+
+TEST_P(AppProfileTest, CloneContinuesIdentically) {
+  const auto w = make_app(GetParam(), kMem, 7);
+  for (int i = 0; i < 5000; ++i) w->next();
+  const auto clone = w->clone();
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = w->next();
+    const auto b = clone->next();
+    ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << GetParam() << " @" << i;
+    ASSERT_EQ(a.addr, b.addr) << GetParam() << " @" << i;
+  }
+}
+
+TEST_P(AppProfileTest, ResetRestartsStream) {
+  const auto w = make_app(GetParam(), kMem, 7);
+  std::vector<mem::Op> first;
+  for (int i = 0; i < 1000; ++i) first.push_back(w->next());
+  w->reset();
+  for (int i = 0; i < 1000; ++i) {
+    const auto op = w->next();
+    ASSERT_EQ(op.addr, first[static_cast<std::size_t>(i)].addr) << GetParam() << " @" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppProfileTest,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (const auto& p : app_profiles()) names.push_back(p.name);
+                           return names;
+                         }()),
+                         [](const auto& info) { return info.param; });
+
+// --- micro benchmarks ---------------------------------------------------
+
+TEST(MicroBenchmarks, WorkingSetsMatchClasses) {
+  for (const auto cls : {MicroClass::kC1, MicroClass::kC2, MicroClass::kC3}) {
+    const auto rep = micro_representative(cls, kMem, 1);
+    const auto dis = micro_disruptive(cls, kMem, 2);
+    switch (cls) {
+      case MicroClass::kC1:
+        EXPECT_LE(rep->spec().working_set, kMem.l2.size);
+        EXPECT_LE(dis->spec().working_set, kMem.l2.size);
+        break;
+      case MicroClass::kC2:
+        EXPECT_GT(rep->spec().working_set, kMem.l2.size);
+        EXPECT_LE(rep->spec().working_set, kMem.llc.size);
+        EXPECT_LE(dis->spec().working_set, kMem.llc.size);
+        break;
+      case MicroClass::kC3:
+        EXPECT_GT(rep->spec().working_set, kMem.llc.size);
+        EXPECT_GT(dis->spec().working_set, kMem.llc.size);
+        break;
+    }
+  }
+}
+
+TEST(MicroBenchmarks, EndlessAndNamed) {
+  const auto rep = micro_representative(MicroClass::kC2, kMem, 1);
+  EXPECT_EQ(rep->spec().length, 0);  // endless
+  EXPECT_EQ(rep->spec().name, "v2rep");
+  const auto dis = micro_disruptive(MicroClass::kC3, kMem, 1);
+  EXPECT_EQ(dis->spec().name, "v3dis");
+}
+
+TEST(MicroBenchmarks, DisruptiveIsMoreMemoryIntensive) {
+  for (const auto cls : {MicroClass::kC1, MicroClass::kC2, MicroClass::kC3}) {
+    const auto rep = micro_representative(cls, kMem, 1);
+    const auto dis = micro_disruptive(cls, kMem, 1);
+    EXPECT_GT(dis->spec().mem_ratio, rep->spec().mem_ratio);
+  }
+}
+
+// --- PatternWorkload unit behaviour ------------------------------------
+
+TEST(PatternWorkload, ValidatesSpec) {
+  WorkloadSpec bad;
+  bad.name = "bad";
+  bad.mem_ratio = 1.5;
+  EXPECT_THROW(PatternWorkload(bad, std::make_unique<mem::SequentialPattern>(1024), 1),
+               std::logic_error);
+  WorkloadSpec bad2;
+  bad2.mlp = 0.5;
+  EXPECT_THROW(PatternWorkload(bad2, std::make_unique<mem::SequentialPattern>(1024), 1),
+               std::logic_error);
+}
+
+TEST(PatternWorkload, WorkingSetTakenFromPattern) {
+  WorkloadSpec spec;
+  spec.name = "t";
+  spec.mem_ratio = 0.5;
+  PatternWorkload w(spec, std::make_unique<mem::SequentialPattern>(10 * 64), 1);
+  EXPECT_EQ(w.spec().working_set, 10u * 64u);
+}
+
+TEST(PatternWorkload, WriteRatioRespected) {
+  WorkloadSpec spec;
+  spec.name = "t";
+  spec.mem_ratio = 1.0;
+  spec.write_ratio = 0.4;
+  PatternWorkload w(spec, std::make_unique<mem::SequentialPattern>(1024), 1);
+  int stores = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (w.next().kind == mem::OpKind::kStore) ++stores;
+  }
+  EXPECT_NEAR(static_cast<double>(stores) / n, 0.4, 0.02);
+}
+
+}  // namespace
+}  // namespace kyoto::workloads
