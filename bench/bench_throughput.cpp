@@ -1,0 +1,442 @@
+// BENCH throughput — raw access-engine speed (accesses/sec, ns/access).
+//
+// Not a paper figure: this is the engineering harness for the hot
+// path that *every* figure replays millions of times
+// (Machine::run_vcpu → MemorySystem::access → SetAssocCache::access).
+// It drives the streaming and random reference mixes of the Fig 1
+// micro-VM classes through two engines:
+//
+//   baseline — a faithful replica of the pre-overhaul engine
+//              (reference_cache.hpp: AoS lines, per-op virtual
+//              workload dispatch, per-access requester/socket/modulo
+//              setup, unique_ptr-indirected per-level calls exactly
+//              like the old MemorySystem), re-measured live so the
+//              before/after comparison is valid on any machine;
+//   current  — the production engine (SoA SetAssocCache, blocked
+//              Workload::next_batch, hoisted MemorySystem context).
+//
+// Both engines replay the *identical* op stream and the bench asserts
+// their hit/miss counters and simulated stall cycles match exactly
+// before trusting any timing.
+//
+// Mixes run on both experiment machines: the 1/64-scaled Table 1
+// machine that the figure benches use (tiny caches — nearly every
+// access is a multi-level miss transaction, the worst case for the
+// engine) and the full-size Table 1 production machine (realistic hit
+// rates, megabyte metadata arrays).  Working sets are derived from
+// the geometry so the mixes exercise the same regimes on both:
+// private-cache-resident streaming, LLC streaming, and LLC-busting
+// uniform random (the blockie-style disruptor).
+//
+// Output: human-readable table plus a JSON record (--json PATH,
+// default BENCH_throughput.json; schema documented in README.md) for
+// the perf trajectory.  --min-mops enforces an absolute floor on the
+// current engine so CI fails on perf regressions; --min-speedup
+// enforces the before/after aggregate ratio.
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cache/memory_system.hpp"
+#include "cache/reference_cache.hpp"
+#include "cache/topology.hpp"
+#include "common/table.hpp"
+#include "mem/patterns.hpp"
+#include "workloads/pattern_workload.hpp"
+
+using namespace kyoto;
+
+namespace {
+
+// ------------------------------------------------------------------
+// Baseline engine: replica of the pre-overhaul MemorySystem over the
+// frozen AoS cache, including its indirections — caches held behind
+// unique_ptr in vectors, one out-of-line engine call per op, socket
+// and NUMA relation resolved per access (prefetch and bus are off in
+// these mixes, as in the calibrated experiments).
+// ------------------------------------------------------------------
+struct BaselineMemorySystem {
+  cache::Topology topology;
+  cache::MemSystemConfig cfg;
+  std::vector<std::unique_ptr<cache::ReferenceSetAssocCache>> l1, l2, llc;
+
+  BaselineMemorySystem(const cache::Topology& topo, const cache::MemSystemConfig& config,
+                       std::uint64_t seed)
+      : topology(topo), cfg(config) {
+    for (int c = 0; c < topo.total_cores(); ++c) {
+      l1.push_back(std::make_unique<cache::ReferenceSetAssocCache>(
+          "L1", config.l1, config.private_replacement,
+          seed * 1000003ull + static_cast<std::uint64_t>(c)));
+      l2.push_back(std::make_unique<cache::ReferenceSetAssocCache>(
+          "L2", config.l2, config.private_replacement,
+          seed * 2000003ull + static_cast<std::uint64_t>(c)));
+    }
+    for (int s = 0; s < topo.sockets; ++s) {
+      llc.push_back(std::make_unique<cache::ReferenceSetAssocCache>(
+          "LLC", config.llc, config.llc_replacement,
+          seed * 4000037ull + static_cast<std::uint64_t>(s)));
+    }
+  }
+
+  // Mirrors the old MemorySystem::access line by line; noinline keeps
+  // the per-op call boundary the old engine had.
+  __attribute__((noinline)) cache::AccessResult access(int core, Address addr, bool write,
+                                                       int home_node, int vm,
+                                                       std::int64_t now_cycle) {
+    const cache::Requester req{core, vm};
+    cache::AccessResult result;
+    if (l1[static_cast<std::size_t>(core)]->access(addr, write, req).hit) {
+      result.level = cache::CacheLevel::kL1;
+      result.latency = cfg.lat_l1;
+      return result;
+    }
+    if (l2[static_cast<std::size_t>(core)]->access(addr, write, req).hit) {
+      result.level = cache::CacheLevel::kL2;
+      result.latency = cfg.lat_l2;
+      return result;
+    }
+    result.llc_reference = true;
+    const int socket = topology.socket_of(core);
+    if (llc[static_cast<std::size_t>(socket)]->access(addr, write, req).hit) {
+      result.level = cache::CacheLevel::kLlc;
+      result.latency = cfg.lat_llc;
+      return result;
+    }
+    result.llc_miss = true;
+    const bool remote = home_node != topology.node_of(core);
+    result.level = remote ? cache::CacheLevel::kMemRemote : cache::CacheLevel::kMemLocal;
+    result.latency = remote ? cfg.lat_mem_remote : cfg.lat_mem_local;
+    (void)now_cycle;  // bus model off, exactly like the old guard
+    return result;
+  }
+};
+
+struct Mix {
+  std::string name;
+  Bytes working_set;
+  double mem_ratio;
+  double write_ratio;
+  bool sequential;  // streaming walk vs uniform random lines
+  double mlp;       // latency-hiding factor of the modelled kernel
+};
+
+struct RunStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t accesses = 0;   // memory ops reaching the hierarchy
+  std::uint64_t l1_hits = 0;
+  std::uint64_t llc_misses = 0;
+  Cycles sim_cycles = 0;        // accumulated simulated stall cycles
+  double seconds = 0.0;
+
+  double mops() const { return accesses / seconds / 1e6; }
+  double ns_per_access() const { return seconds * 1e9 / static_cast<double>(accesses); }
+};
+
+std::unique_ptr<workloads::Workload> make_workload(const Mix& mix, std::uint64_t seed) {
+  workloads::WorkloadSpec spec;
+  spec.name = mix.name;
+  spec.mem_ratio = mix.mem_ratio;
+  spec.write_ratio = mix.write_ratio;
+  spec.mlp = mix.mlp;
+  std::unique_ptr<mem::Pattern> pattern;
+  if (mix.sequential) {
+    pattern = std::make_unique<mem::SequentialPattern>(mix.working_set);
+  } else {
+    pattern = std::make_unique<mem::UniformRandomPattern>(mix.working_set);
+  }
+  return std::make_unique<workloads::PatternWorkload>(spec, std::move(pattern), seed);
+}
+
+/// Pre-overhaul replay loop: one virtual next() per op, per-op modulo
+/// translate, per-access engine call, libm lround cost scaling.
+RunStats run_baseline(const Mix& mix, const cache::MemSystemConfig& cfg,
+                      std::uint64_t ops) {
+  auto workload = make_workload(mix, /*seed=*/42);
+  BaselineMemorySystem mem(cache::Topology{1, 1}, cfg, /*seed=*/1);
+  const double inv_mlp = 1.0 / workload->spec().mlp;
+  const Bytes space_size = std::max<Bytes>(workload->spec().working_set, mem::kLineBytes);
+  const Address base = 1ull << 30;
+  RunStats stats;
+  Cycles cycles = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const mem::Op op = workload->next();  // one virtual dispatch per op
+    Cycles cost = 1;
+    if (op.kind != mem::OpKind::kCompute) {
+      const Address addr = base + op.addr % space_size;  // old translate()
+      const auto access =
+          mem.access(0, addr, op.kind == mem::OpKind::kStore, 0, 0, cycles);
+      cost = std::max<Cycles>(
+          1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
+      if (access.llc_miss) ++stats.llc_misses;
+    }
+    cycles += cost;
+  }
+  stats.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stats.instructions = ops;
+  stats.accesses = mem.l1[0]->stats().accesses;
+  stats.l1_hits = mem.l1[0]->stats().hits;
+  stats.sim_cycles = cycles;
+  return stats;
+}
+
+/// Production replay loop: blocked next_batch + hoisted access context
+/// (the same structure Machine::run_vcpu uses).
+RunStats run_current(const Mix& mix, const cache::MemSystemConfig& cfg,
+                     std::uint64_t ops) {
+  auto workload = make_workload(mix, /*seed=*/42);
+  cache::MemorySystem memory(cache::Topology{1, 1}, cfg, /*seed=*/1);
+  auto ctx = memory.context(/*core=*/0, /*home_node=*/0, /*vm=*/0);
+  const double inv_mlp = 1.0 / workload->spec().mlp;
+  const bool unit_mlp = workload->spec().mlp == 1.0;
+  const Address base = 1ull << 30;
+  RunStats stats;
+  Cycles cycles = 0;
+  constexpr std::size_t kBlock = 256;
+  mem::Op block[kBlock];
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t done = 0; done < ops;) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBlock, ops - done));
+    const std::size_t len = workload->next_batch(block, want);
+    for (std::size_t b = 0; b < len; ++b) {
+      const mem::Op op = block[b];
+      Cycles cost = 1;
+      if (op.kind != mem::OpKind::kCompute) {
+        const Address addr = base + op.addr;  // new translate(): no modulo
+        const auto access = ctx.access(addr, op.kind == mem::OpKind::kStore, cycles);
+        cost = unit_mlp ? std::max<Cycles>(1, access.latency)
+                        : std::max<Cycles>(
+                              1, static_cast<Cycles>(
+                                     static_cast<double>(access.latency) * inv_mlp + 0.5));
+        if (access.llc_miss) ++stats.llc_misses;
+      }
+      cycles += cost;
+    }
+    done += len;
+  }
+  stats.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stats.instructions = ops;
+  stats.accesses = memory.l1(0).stats().accesses;
+  stats.l1_hits = memory.l1(0).stats().hits;
+  stats.sim_cycles = cycles;
+  return stats;
+}
+
+/// Mixes for one machine, with working sets derived from its geometry
+/// so both machines exercise the same regimes.
+std::vector<Mix> mixes_for(const cache::MemSystemConfig& cfg) {
+  return {
+      // C1-style streams resident in the private caches.
+      {"stream_l1", cfg.l1.size / 2, 0.6, 0.3, true, 2.0},
+      {"stream_l2", cfg.l2.size / 2, 0.6, 0.3, true, 2.0},
+      // C2-style stream through the LLC.
+      {"stream_llc", cfg.llc.size / 2, 0.6, 0.3, true, 2.0},
+      // C3-style blockie: uniform random over 3x the LLC.
+      {"random_mem", cfg.llc.size * 3, 0.8, 0.3, false, 1.0},
+  };
+}
+
+/// Footprint-query microbench: the monitor-tick path.  The old engine
+/// answered footprint_lines(vm)/occupancy() with O(total-lines) scans
+/// — polled per tick per VM by pollution monitors, that scan grows
+/// linearly with machine size.  The new engine answers from counters
+/// maintained on fill/evict/invalidate.
+struct FootprintStats {
+  double base_mqueries = 0.0;  // million queries/sec, old engine
+  double cur_mqueries = 0.0;   // million queries/sec, new engine
+  double speedup() const { return cur_mqueries / base_mqueries; }
+};
+
+FootprintStats run_footprint(const cache::MemSystemConfig& cfg, std::uint64_t queries) {
+  // Warm both LLCs with the same 8-VM occupancy pattern.
+  cache::ReferenceSetAssocCache ref("LLC", cfg.llc, cfg.llc_replacement, 1);
+  cache::SetAssocCache cur("LLC", cfg.llc, cfg.llc_replacement, 1);
+  Rng rng(99);
+  const Bytes span = cfg.llc.size * 2;
+  for (std::uint64_t i = 0; i < cfg.llc.size / 16; ++i) {
+    const Address addr = rng.below(span / mem::kLineBytes) * mem::kLineBytes;
+    const cache::Requester req{0, static_cast<int>(i % 8)};
+    ref.access(addr, false, req);
+    cur.access(addr, false, req);
+  }
+  FootprintStats out;
+  std::uint64_t sink = 0;
+  {
+    // The O(lines) scan is slow enough that a small query count gives
+    // a stable rate.
+    const std::uint64_t n = std::max<std::uint64_t>(queries / 1000, 200);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t q = 0; q < n; ++q) sink += ref.footprint_lines(q % 8);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    out.base_mqueries = static_cast<double>(n) / s / 1e6;
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t q = 0; q < queries; ++q) sink += cur.footprint_lines(q % 8);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    out.cur_mqueries = static_cast<double>(queries) / s / 1e6;
+  }
+  // Keep the compiler honest and verify the counters agree with the scan.
+  bool agree = true;
+  for (int vm = 0; vm < 8; ++vm) agree &= ref.footprint_lines(vm) == cur.footprint_lines(vm);
+  if (!agree || sink == 0xdeadbeef) {
+    std::cerr << "footprint counters diverge from scans\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_throughput.json";
+  double min_mops = 0.0;
+  double min_speedup = 0.0;
+  bool quick = bench::quick_mode();
+  std::uint64_t ops = 0;  // 0 = pick per mode
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") json_path = value();
+    else if (arg == "--min-mops") min_mops = std::stod(value());
+    else if (arg == "--min-speedup") min_speedup = std::stod(value());
+    else if (arg == "--ops") ops = std::stoull(value());
+    else if (arg == "--quick") quick = true;
+    else {
+      std::cerr << "usage: bench_throughput [--json PATH] [--min-mops X] "
+                   "[--min-speedup X] [--ops N] [--quick]\n";
+      return 2;
+    }
+  }
+  if (ops == 0) ops = quick ? 2'000'000ull : 10'000'000ull;
+
+  bench::header("BENCH throughput", "access-engine speed (not a paper figure)",
+                "the overhauled engine sustains a multiple of the pre-overhaul "
+                "accesses/sec on the fig-1 streaming/random mixes, with "
+                "bit-identical simulated results");
+
+  struct MachineUnderTest {
+    std::string name;
+    cache::MemSystemConfig cfg;
+  };
+  const std::vector<MachineUnderTest> machines = {
+      {"scaled", cache::scaled_mem_system()},  // figure-bench machine (1/64)
+      {"paper", cache::paper_mem_system()},    // production Table 1 machine
+  };
+
+  TextTable table({"machine", "mix", "engine", "Maccess/s", "ns/access", "speedup"});
+  bool all_ok = true;
+  struct Row {
+    std::string machine, mix;
+    RunStats base, cur;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& m : machines) {
+    for (const Mix& mix : mixes_for(m.cfg)) {
+      const RunStats base = run_baseline(mix, m.cfg, ops);
+      const RunStats cur = run_current(mix, m.cfg, ops);
+      rows.push_back({m.name, mix.name, base, cur});
+      const double speedup = cur.mops() / base.mops();
+      table.add_row({m.name, mix.name, "baseline", fmt_double(base.mops(), 2),
+                     fmt_double(base.ns_per_access(), 1), ""});
+      table.add_row({m.name, mix.name, "current", fmt_double(cur.mops(), 2),
+                     fmt_double(cur.ns_per_access(), 1), fmt_double(speedup, 2) + "x"});
+
+      // The two engines must simulate the same machine: identical op
+      // stream, identical hit/miss outcome, identical stall cycles.
+      // Timing means nothing if this fails.
+      all_ok &= bench::check(
+          m.name + "/" + mix.name + ": engines agree (accesses, hits, misses, cycles)",
+          base.accesses == cur.accesses && base.l1_hits == cur.l1_hits &&
+              base.llc_misses == cur.llc_misses && base.sim_cycles == cur.sim_cycles);
+    }
+  }
+  std::cout << table << '\n';
+
+  // Aggregate throughput: total accesses over total wall time, the
+  // number a whole-figure replay experiences.
+  double base_acc = 0, base_sec = 0, cur_acc = 0, cur_sec = 0;
+  double worst_speedup = 1e30, best_speedup = 0, worst_mops = 1e30;
+  for (const Row& r : rows) {
+    base_acc += static_cast<double>(r.base.accesses);
+    base_sec += r.base.seconds;
+    cur_acc += static_cast<double>(r.cur.accesses);
+    cur_sec += r.cur.seconds;
+    const double speedup = r.cur.mops() / r.base.mops();
+    worst_speedup = std::min(worst_speedup, speedup);
+    best_speedup = std::max(best_speedup, speedup);
+    worst_mops = std::min(worst_mops, r.cur.mops());
+  }
+  const double agg_base = base_acc / base_sec / 1e6;
+  const double agg_cur = cur_acc / cur_sec / 1e6;
+  const double agg_speedup = agg_cur / agg_base;
+  std::cout << "  aggregate: " << fmt_double(agg_base, 2) << " -> " << fmt_double(agg_cur, 2)
+            << " Maccess/s, speedup " << fmt_double(agg_speedup, 2) << "x (per-mix "
+            << fmt_double(worst_speedup, 2) << "x .. " << fmt_double(best_speedup, 2)
+            << "x)\n";
+
+  // Monitor-tick path: footprint queries on the production-size LLC.
+  const FootprintStats fp = run_footprint(cache::paper_mem_system(), quick ? 500'000 : 2'000'000);
+  std::cout << "  footprint_lines (paper LLC): " << fmt_double(fp.base_mqueries * 1000, 1)
+            << " -> " << fmt_double(fp.cur_mqueries * 1000, 1) << " Kqueries/s, speedup "
+            << fmt_double(fp.speedup(), 0) << "x (O(lines) scan -> O(1) counter)\n";
+  all_ok &= bench::check("footprint query speedup >= 3x (monitor-tick path)",
+                         fp.speedup() >= 3.0);
+
+  if (min_mops > 0.0) {
+    all_ok &= bench::check("current engine >= " + fmt_double(min_mops, 1) +
+                               " Maccess/s floor (worst mix)",
+                           worst_mops >= min_mops);
+  }
+  if (min_speedup > 0.0) {
+    all_ok &= bench::check(
+        "aggregate speedup >= " + fmt_double(min_speedup, 1) + "x vs pre-overhaul engine",
+        agg_speedup >= min_speedup);
+  }
+
+  // JSON record for the perf trajectory (schema in README.md).
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 1,\n"
+       << "  \"ops_per_mix\": " << ops << ",\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    for (const auto* e : {&r.base, &r.cur}) {
+      json << "    {\"machine\": \"" << r.machine << "\", \"mix\": \"" << r.mix
+           << "\", \"engine\": \"" << (e == &r.base ? "baseline" : "current")
+           << "\", \"accesses\": " << e->accesses << ", \"seconds\": " << e->seconds
+           << ", \"accesses_per_sec\": "
+           << static_cast<std::uint64_t>(e->accesses / e->seconds)
+           << ", \"ns_per_access\": " << e->ns_per_access() << "}"
+           << (i + 1 == rows.size() && e == &r.cur ? "\n" : ",\n");
+    }
+  }
+  json << "  ],\n  \"aggregate_baseline_maccess_per_sec\": " << agg_base
+       << ",\n  \"aggregate_current_maccess_per_sec\": " << agg_cur
+       << ",\n  \"aggregate_speedup\": " << agg_speedup
+       << ",\n  \"worst_mix_speedup\": " << worst_speedup
+       << ",\n  \"best_mix_speedup\": " << best_speedup
+       << ",\n  \"worst_current_maccess_per_sec\": " << worst_mops
+       << ",\n  \"footprint_query_speedup\": " << fp.speedup() << "\n}\n";
+  json.close();
+  std::cout << "\n  JSON written to " << json_path << '\n';
+
+  return bench::verdict(all_ok);
+}

@@ -12,25 +12,40 @@ MemorySystem::MemorySystem(const Topology& topology, const MemSystemConfig& conf
   KYOTO_CHECK_MSG(topology.sockets >= 1 && topology.cores_per_socket >= 1,
                   "degenerate topology");
   const int cores = topology.total_cores();
+  // Per-core stat slots sized exactly from the topology, so the access
+  // path indexes them without growth checks firing.  Private caches
+  // run attribution-free: hardware PMCs count LLC events only and
+  // pollution accounting is an LLC concept, so nothing ever reads
+  // per-core/per-VM stats or footprints of an L1/L2.
+  const StatSlotHints slots{cores, 64};
   l1_.reserve(static_cast<std::size_t>(cores));
   l2_.reserve(static_cast<std::size_t>(cores));
   for (int c = 0; c < cores; ++c) {
     l1_.push_back(std::make_unique<SetAssocCache>("L1#" + std::to_string(c), config.l1,
                                                   config.private_replacement,
-                                                  seed * 1000003ull + static_cast<std::uint64_t>(c)));
+                                                  seed * 1000003ull + static_cast<std::uint64_t>(c),
+                                                  slots, /*track_attribution=*/false));
     l2_.push_back(std::make_unique<SetAssocCache>("L2#" + std::to_string(c), config.l2,
                                                   config.private_replacement,
-                                                  seed * 2000003ull + static_cast<std::uint64_t>(c)));
+                                                  seed * 2000003ull + static_cast<std::uint64_t>(c),
+                                                  slots, /*track_attribution=*/false));
   }
   llc_.reserve(static_cast<std::size_t>(topology.sockets));
   for (int s = 0; s < topology.sockets; ++s) {
     llc_.push_back(std::make_unique<SetAssocCache>("LLC#" + std::to_string(s), config.llc,
                                                    config.llc_replacement,
-                                                   seed * 4000037ull + static_cast<std::uint64_t>(s)));
+                                                   seed * 4000037ull + static_cast<std::uint64_t>(s),
+                                                   slots, /*track_attribution=*/true));
   }
   prefetches_.assign(static_cast<std::size_t>(cores), 0);
   bus_busy_until_.assign(static_cast<std::size_t>(topology.sockets), 0);
   bus_queue_cycles_.assign(static_cast<std::size_t>(topology.sockets), 0);
+}
+
+void MemorySystem::reserve_vm_slots(int vms) {
+  for (auto& c : l1_) c->reserve_vm_slots(vms);
+  for (auto& c : l2_) c->reserve_vm_slots(vms);
+  for (auto& c : llc_) c->reserve_vm_slots(vms);
 }
 
 void MemorySystem::prefetch_after_miss(int core, Address addr, int vm,
@@ -64,39 +79,54 @@ Cycles MemorySystem::bus_delay(int socket, std::int64_t now_cycle) {
   return wait;
 }
 
-AccessResult MemorySystem::access(int core, Address addr, bool write, int home_node, int vm,
-                                  std::int64_t now_cycle) {
-  KYOTO_DCHECK(core >= 0 && core < topology_.total_cores());
-  const Requester req{core, vm};
-  AccessResult result;
-
-  if (l1_[static_cast<std::size_t>(core)]->access(addr, write, req).hit) {
-    result.level = CacheLevel::kL1;
-    result.latency = config_.lat_l1;
-    return result;
-  }
-  if (l2_[static_cast<std::size_t>(core)]->access(addr, write, req).hit) {
-    result.level = CacheLevel::kL2;
-    result.latency = config_.lat_l2;
-    return result;
-  }
-  result.llc_reference = true;
-  const int socket = topology_.socket_of(core);
-  if (llc_[static_cast<std::size_t>(socket)]->access(addr, write, req).hit) {
-    result.level = CacheLevel::kLlc;
-    result.latency = config_.lat_llc;
-    return result;
-  }
-  result.llc_miss = true;
-  const bool remote = home_node != topology_.node_of(core);
-  result.level = remote ? CacheLevel::kMemRemote : CacheLevel::kMemLocal;
-  result.latency = remote ? config_.lat_mem_remote : config_.lat_mem_local;
+void MemorySystem::memory_miss_extras(int socket, const Requester& req, Address addr,
+                                      std::int64_t now_cycle, AccessResult& result) {
   if (config_.bus.enabled && now_cycle >= 0) {
     result.bus_queue_delay = bus_delay(socket, now_cycle);
     result.latency += result.bus_queue_delay;
   }
-  if (config_.prefetch.enabled) prefetch_after_miss(core, addr, vm, result);
-  return result;
+  if (config_.prefetch.enabled) prefetch_after_miss(req.core, addr, req.vm, result);
+}
+
+MemorySystem::AccessContext MemorySystem::context(int core, int home_node, int vm) {
+  KYOTO_CHECK(core >= 0 && core < topology_.total_cores());
+  AccessContext ctx;
+  ctx.sys_ = this;
+  ctx.l1_ = l1_[static_cast<std::size_t>(core)].get();
+  ctx.l2_ = l2_[static_cast<std::size_t>(core)].get();
+  ctx.socket_ = topology_.socket_of(core);
+  ctx.llc_ = llc_[static_cast<std::size_t>(ctx.socket_)].get();
+  ctx.req_ = Requester{core, vm};
+  ctx.remote_ = home_node != topology_.node_of(core);
+  ctx.miss_extras_ = config_.bus.enabled || config_.prefetch.enabled;
+  ctx.lat_l1_ = config_.lat_l1;
+  ctx.lat_l2_ = config_.lat_l2;
+  ctx.lat_llc_ = config_.lat_llc;
+  ctx.lat_mem_local_ = config_.lat_mem_local;
+  ctx.lat_mem_remote_ = config_.lat_mem_remote;
+  return ctx;
+}
+
+AccessResult MemorySystem::access(int core, Address addr, bool write, int home_node, int vm,
+                                  std::int64_t now_cycle) {
+  KYOTO_DCHECK(core >= 0 && core < topology_.total_cores());
+  return context(core, home_node, vm).access(addr, write, now_cycle);
+}
+
+void MemorySystem::access_batch(int core, int home_node, int vm, const BatchAccess* ops,
+                                AccessResult* results, std::size_t n,
+                                std::int64_t now_cycle) {
+  AccessContext ctx = context(core, home_node, vm);
+  if (now_cycle < 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = ctx.access(ops[i].addr, ops[i].write);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i] = ctx.access(ops[i].addr, ops[i].write, now_cycle);
+    now_cycle += results[i].latency;
+  }
 }
 
 std::uint64_t MemorySystem::prefetches_issued(int core) const {

@@ -30,30 +30,43 @@ const char* cache_level_name(CacheLevel level) {
 }
 
 SetAssocCache::SetAssocCache(std::string name, CacheGeometry geometry,
-                             ReplacementKind replacement, std::uint64_t seed)
+                             ReplacementKind replacement, std::uint64_t seed,
+                             StatSlotHints slots, bool track_attribution)
     : name_(std::move(name)),
       geometry_(geometry),
       replacement_(replacement),
       sets_(geometry.sets()),
-      lines_(static_cast<std::size_t>(sets_) * geometry.ways),
+      ways_(geometry.ways),
+      track_attribution_(track_attribution),
       rng_(seed) {
   KYOTO_CHECK_MSG(geometry_.ways >= 1, "cache must have at least one way");
+  KYOTO_CHECK_MSG(geometry_.ways <= 64,
+                  "associativity above 64 not supported (per-set bitmask words)");
+  const std::size_t lines = static_cast<std::size_t>(sets_) * ways_;
+  tags_.assign(lines, 0);
+  stamps_.assign(lines, 0);
+  owners_.assign(lines, -1);
+  valid_.assign(sets_, 0);
+  dirty_.assign(sets_, 0);
+
+  pow2_geometry_ = std::has_single_bit(static_cast<std::uint64_t>(geometry_.line)) &&
+                   std::has_single_bit(static_cast<std::uint64_t>(sets_));
+  if (pow2_geometry_) {
+    line_shift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(geometry_.line)));
+    set_mask_ = sets_ - 1;
+  }
+
+  per_core_.resize(static_cast<std::size_t>(std::max(slots.cores, 1)));
+  per_vm_.resize(static_cast<std::size_t>(std::max(slots.vms, 1)));
+  vm_footprint_.assign(per_vm_.size(), 0);
 }
 
-SetAssocCache::Line* SetAssocCache::find(unsigned set, Address tag) {
-  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  for (unsigned w = 0; w < geometry_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
-  }
-  return nullptr;
-}
-
-const SetAssocCache::Line* SetAssocCache::find(unsigned set, Address tag) const {
-  const Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  for (unsigned w = 0; w < geometry_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
-  }
-  return nullptr;
+void SetAssocCache::reserve_vm_slots(int vms) {
+  if (vms <= 0) return;
+  const auto n = static_cast<std::size_t>(vms);
+  if (per_vm_.size() < n) per_vm_.resize(n);
+  if (vm_footprint_.size() < n) vm_footprint_.resize(n, 0);
 }
 
 bool SetAssocCache::set_uses_bip(unsigned set) const {
@@ -67,58 +80,170 @@ bool SetAssocCache::set_uses_bip(unsigned set) const {
   return psel_ > kPselMax / 2;
 }
 
-void SetAssocCache::touch(unsigned set, unsigned way) {
-  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  if (replacement_ == ReplacementKind::kPlru) {
-    // Bit-PLRU: set the MRU bit; when every valid way is marked,
-    // clear all others.
-    base[way].stamp = 1;
-    bool all_set = true;
-    for (unsigned w = 0; w < geometry_.ways; ++w) {
-      if (base[w].valid && base[w].stamp == 0) {
-        all_set = false;
-        break;
-      }
+void SetAssocCache::plru_touch(unsigned set, unsigned way) {
+  // Bit-PLRU: set the MRU bit; when every valid way is marked, clear
+  // all others.
+  std::uint64_t* stamps = &stamps_[line_index(set, 0)];
+  stamps[way] = 1;
+  const std::uint64_t valid = valid_[set];
+  bool all_set = true;
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (((valid >> w) & 1u) && stamps[w] == 0) {
+      all_set = false;
+      break;
     }
-    if (all_set) {
-      for (unsigned w = 0; w < geometry_.ways; ++w) {
-        if (w != way) base[w].stamp = 0;
-      }
+  }
+  if (all_set) {
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (w != way) stamps[w] = 0;
     }
-  } else {
-    base[way].stamp = ++clock_;
   }
 }
 
 unsigned SetAssocCache::pick_victim(unsigned set, unsigned first_way, unsigned end_way) {
-  Line* base = &lines_[static_cast<std::size_t>(set) * geometry_.ways];
-  // Prefer an invalid way.
-  for (unsigned w = first_way; w < end_way; ++w) {
-    if (!base[w].valid) return w;
-  }
+  // Prefer the lowest-index invalid way (matches the old linear scan).
+  const std::uint64_t range_mask =
+      (end_way == 64 ? ~0ull : (1ull << end_way) - 1) & ~((1ull << first_way) - 1);
+  const std::uint64_t invalid = ~valid_[set] & range_mask;
+  if (invalid != 0) return static_cast<unsigned>(std::countr_zero(invalid));
+
   if (replacement_ == ReplacementKind::kRandom) {
     return first_way + static_cast<unsigned>(rng_.below(end_way - first_way));
   }
   // LRU-family and PLRU: smallest stamp wins (for PLRU the stamp is
   // the MRU bit, so any 0-bit way is a candidate; ties resolved by
-  // position which matches hardware's fixed scan order).
-  unsigned victim = first_way;
-  std::uint64_t best = lines_[static_cast<std::size_t>(set) * geometry_.ways + first_way].stamp;
-  for (unsigned w = first_way + 1; w < end_way; ++w) {
-    if (base[w].stamp < best) {
-      best = base[w].stamp;
-      victim = w;
+  // position which matches hardware's fixed scan order).  The strict
+  // `<` keeps the lowest index on ties, exactly like the old scan;
+  // conditional selects avoid data-dependent branch mispredicts.
+  const std::uint64_t* stamps = &stamps_[line_index(set, 0)];
+  if (first_way == 0 && end_way == ways_ && ways_ >= 8) {
+    // Unpartitioned set (the overwhelmingly common case): min-reduce
+    // in four independent lanes to break the compare-select chain.
+    // Lane j covers ways {j, j+4, j+8, ...} in ascending order, so
+    // the strict `<` keeps each lane's lowest index on ties; the
+    // lexicographic merges keep the globally lowest.
+    unsigned v0 = 0, v1 = 1, v2 = 2, v3 = 3;
+    std::uint64_t b0 = stamps[0], b1 = stamps[1], b2 = stamps[2], b3 = stamps[3];
+    unsigned w = 4;
+    for (; w + 4 <= ways_; w += 4) {
+      bool lt;
+      lt = stamps[w] < b0;     v0 = lt ? w : v0;     b0 = lt ? stamps[w] : b0;
+      lt = stamps[w + 1] < b1; v1 = lt ? w + 1 : v1; b1 = lt ? stamps[w + 1] : b1;
+      lt = stamps[w + 2] < b2; v2 = lt ? w + 2 : v2; b2 = lt ? stamps[w + 2] : b2;
+      lt = stamps[w + 3] < b3; v3 = lt ? w + 3 : v3; b3 = lt ? stamps[w + 3] : b3;
     }
+    for (; w < ways_; ++w) {
+      // Tail ways have the highest indices, so a strict `<` against
+      // lane 0 preserves lowest-index-on-tie.
+      const bool lt = stamps[w] < b0;
+      v0 = lt ? w : v0;
+      b0 = lt ? stamps[w] : b0;
+    }
+    bool take;
+    take = b1 < b0 || (b1 == b0 && v1 < v0);
+    v0 = take ? v1 : v0;
+    b0 = take ? b1 : b0;
+    take = b3 < b2 || (b3 == b2 && v3 < v2);
+    v2 = take ? v3 : v2;
+    b2 = take ? b3 : b2;
+    take = b2 < b0 || (b2 == b0 && v2 < v0);
+    return take ? v2 : v0;
+  }
+  unsigned victim = first_way;
+  std::uint64_t best = stamps[first_way];
+  for (unsigned w = first_way + 1; w < end_way; ++w) {
+    const bool lower = stamps[w] < best;
+    victim = lower ? w : victim;
+    best = lower ? stamps[w] : best;
   }
   return victim;
 }
 
-void SetAssocCache::fill(unsigned set, unsigned way, Address tag, bool write, int vm) {
-  Line* line = &lines_[static_cast<std::size_t>(set) * geometry_.ways + way];
-  line->tag = tag;
-  line->valid = true;
-  line->dirty = write;
-  line->owner_vm = vm;
+SetAssocCache::MissInfo SetAssocCache::miss_fill(unsigned set, Address tag, bool write,
+                                                 const Requester& requester) {
+  CacheStats* core_stats = nullptr;
+  CacheStats* vm_stats = nullptr;
+  if (track_attribution_) {
+    core_stats = &core_slot(requester.core);
+    ++core_stats->accesses;
+    ++core_stats->misses;
+    if (requester.vm >= 0) {
+      vm_stats = &vm_slot(requester.vm);
+      ++vm_stats->accesses;
+      ++vm_stats->misses;
+    }
+  }
+
+  // DIP leader-set bookkeeping: a miss in an LRU leader nudges psel
+  // toward BIP and vice versa.
+  if (replacement_ == ReplacementKind::kDip) {
+    const unsigned pos = set % kDuelModulus;
+    if (pos == 0) psel_ = std::min(psel_ + 1, kPselMax);
+    else if (pos == 1) psel_ = std::max(psel_ - 1, 0);
+  }
+
+  // Respect the requester VM's way partition, if any.
+  unsigned first_way = 0;
+  unsigned end_way = ways_;
+  if (!partitions_.empty() && requester.vm >= 0 &&
+      static_cast<std::size_t>(requester.vm) < partitions_.size()) {
+    const Partition& p = partitions_[static_cast<std::size_t>(requester.vm)];
+    if (p.n_ways > 0) {
+      first_way = p.first_way;
+      end_way = std::min(ways_, p.first_way + p.n_ways);
+    }
+  }
+
+  const unsigned victim = pick_victim(set, first_way, end_way);
+  const std::size_t idx = line_index(set, victim);
+  const std::uint64_t bit = 1ull << victim;
+
+  MissInfo info;
+  if (valid_[set] & bit) {
+    info.evicted = true;
+    info.evicted_tag = tags_[idx];
+    ++total_.evictions;
+    const bool was_dirty = (dirty_[set] & bit) != 0;
+    total_.writebacks += was_dirty ? 1 : 0;
+    if (core_stats != nullptr) {
+      ++core_stats->evictions;
+      core_stats->writebacks += was_dirty ? 1 : 0;
+      if (vm_stats != nullptr) {
+        ++vm_stats->evictions;
+        vm_stats->writebacks += was_dirty ? 1 : 0;
+      }
+    }
+    if (track_attribution_) {
+      // Displaced line's owner loses a footprint line.
+      const int old_vm = owners_[idx];
+      if (old_vm < 0) {
+        --unowned_lines_;
+      } else {
+        KYOTO_DCHECK(static_cast<std::size_t>(old_vm) < vm_footprint_.size());
+        --vm_footprint_[static_cast<std::size_t>(old_vm)];
+      }
+    }
+  } else {
+    ++valid_lines_;
+  }
+
+  // Fill.
+  tags_[idx] = tag;
+  valid_[set] |= bit;
+  dirty_[set] = write ? (dirty_[set] | bit) : (dirty_[set] & ~bit);
+  if (track_attribution_) {
+    const int vm = requester.vm;
+    owners_[idx] = vm;
+    if (vm < 0) {
+      ++unowned_lines_;
+    } else {
+      if (static_cast<std::size_t>(vm) >= vm_footprint_.size()) {
+        grow_vm_slots(vm);  // cold: only for ids beyond the reserved slots
+      }
+      ++vm_footprint_[static_cast<std::size_t>(vm)];
+    }
+  }
+
   // Insertion recency depends on the (possibly dueled) policy:
   //   LRU/PLRU/random: insert at MRU.
   //   LIP: insert at LRU (stamp 0 => next victim unless promoted).
@@ -136,98 +261,66 @@ void SetAssocCache::fill(unsigned set, unsigned way, Address tag, bool write, in
       break;
   }
   if (insert_mru) {
-    touch(set, way);
+    touch(set, victim);
   } else {
-    line->stamp = 0;
+    stamps_[idx] = 0;
   }
+  return info;
 }
 
 LookupResult SetAssocCache::access(Address addr, bool write, const Requester& requester) {
   const unsigned set = set_index(addr);
   const Address tag = tag_of(addr);
 
-  total_.accesses++;
-  CacheStats& core_stats = core_slot(requester.core);
-  core_stats.accesses++;
-  CacheStats* vm_stats = requester.vm >= 0 ? &vm_slot(requester.vm) : nullptr;
-  if (vm_stats) vm_stats->accesses++;
-
+  ++total_.accesses;
   LookupResult result;
-  if (Line* line = find(set, tag)) {
+  if (const unsigned way = find(set, tag); way != kNoWay) {
     result.hit = true;
-    total_.hits++;
-    core_stats.hits++;
-    if (vm_stats) vm_stats->hits++;
-    if (write) line->dirty = true;
-    touch(set, static_cast<unsigned>(line - &lines_[static_cast<std::size_t>(set) *
-                                                    geometry_.ways]));
+    ++total_.hits;
+    if (track_attribution_) attribute_hit(requester);
+    if (write) dirty_[set] |= 1ull << way;  // stores only: loads skip the RMW
+    touch(set, way);
     return result;
   }
 
-  total_.misses++;
-  core_stats.misses++;
-  if (vm_stats) vm_stats->misses++;
-
-  // DIP leader-set bookkeeping: a miss in an LRU leader nudges psel
-  // toward BIP and vice versa.
-  if (replacement_ == ReplacementKind::kDip) {
-    const unsigned pos = set % kDuelModulus;
-    if (pos == 0) psel_ = std::min(psel_ + 1, kPselMax);
-    else if (pos == 1) psel_ = std::max(psel_ - 1, 0);
-  }
-
-  // Respect the requester VM's way partition, if any.
-  unsigned first_way = 0;
-  unsigned end_way = geometry_.ways;
-  if (requester.vm >= 0 && static_cast<std::size_t>(requester.vm) < partitions_.size()) {
-    const Partition& p = partitions_[static_cast<std::size_t>(requester.vm)];
-    if (p.n_ways > 0) {
-      first_way = p.first_way;
-      end_way = std::min(geometry_.ways, p.first_way + p.n_ways);
-    }
-  }
-
-  const unsigned victim = pick_victim(set, first_way, end_way);
-  Line& line = lines_[static_cast<std::size_t>(set) * geometry_.ways + victim];
-  if (line.valid) {
-    result.evicted = line.tag * geometry_.line;
-    total_.evictions++;
-    core_stats.evictions++;
-    if (vm_stats) vm_stats->evictions++;
-    if (line.dirty) {
-      total_.writebacks++;
-      core_stats.writebacks++;
-      if (vm_stats) vm_stats->writebacks++;
-    }
-  }
-  fill(set, victim, tag, write, requester.vm);
+  ++total_.misses;
+  const MissInfo info = miss_fill(set, tag, write, requester);
+  if (info.evicted) result.evicted = info.evicted_tag * geometry_.line;
   return result;
 }
 
-bool SetAssocCache::probe(Address addr) const {
-  return find(set_index(addr), tag_of(addr)) != nullptr;
-}
-
 void SetAssocCache::invalidate_all() {
-  for (auto& line : lines_) line = Line{};
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  std::fill(owners_.begin(), owners_.end(), -1);
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  valid_lines_ = 0;
+  unowned_lines_ = 0;
+  std::fill(vm_footprint_.begin(), vm_footprint_.end(), 0);
 }
 
 void SetAssocCache::invalidate(Address addr) {
-  if (Line* line = find(set_index(addr), tag_of(addr))) *line = Line{};
-}
-
-double SetAssocCache::occupancy() const {
-  std::uint64_t valid = 0;
-  for (const auto& line : lines_) valid += line.valid ? 1 : 0;
-  return static_cast<double>(valid) / static_cast<double>(lines_.size());
-}
-
-std::uint64_t SetAssocCache::footprint_lines(int vm) const {
-  std::uint64_t count = 0;
-  for (const auto& line : lines_) {
-    if (line.valid && line.owner_vm == vm) ++count;
+  const unsigned set = set_index(addr);
+  const unsigned way = find(set, tag_of(addr));
+  if (way == kNoWay) return;
+  const std::size_t idx = line_index(set, way);
+  if (track_attribution_) {
+    const int owner = owners_[idx];
+    if (owner < 0) {
+      --unowned_lines_;
+    } else {
+      KYOTO_DCHECK(static_cast<std::size_t>(owner) < vm_footprint_.size());
+      --vm_footprint_[static_cast<std::size_t>(owner)];
+    }
   }
-  return count;
+  --valid_lines_;
+  const std::uint64_t bit = 1ull << way;
+  valid_[set] &= ~bit;
+  dirty_[set] &= ~bit;
+  tags_[idx] = 0;
+  stamps_[idx] = 0;
+  owners_[idx] = -1;
 }
 
 void SetAssocCache::set_partition(int vm, unsigned first_way, unsigned n_ways) {
@@ -244,20 +337,15 @@ void SetAssocCache::set_partition(int vm, unsigned first_way, unsigned n_ways) {
 
 void SetAssocCache::clear_partitions() { partitions_.clear(); }
 
-CacheStats& SetAssocCache::core_slot(int core) {
-  KYOTO_DCHECK(core >= 0);
-  if (static_cast<std::size_t>(core) >= per_core_.size()) {
-    per_core_.resize(static_cast<std::size_t>(core) + 1);
-  }
-  return per_core_[static_cast<std::size_t>(core)];
+void SetAssocCache::grow_core_slots(int core) {
+  per_core_.resize(static_cast<std::size_t>(core) + 1);
 }
 
-CacheStats& SetAssocCache::vm_slot(int vm) {
-  KYOTO_DCHECK(vm >= 0);
-  if (static_cast<std::size_t>(vm) >= per_vm_.size()) {
-    per_vm_.resize(static_cast<std::size_t>(vm) + 1);
-  }
-  return per_vm_[static_cast<std::size_t>(vm)];
+void SetAssocCache::grow_vm_slots(int vm) {
+  // Safety net for ids beyond the pre-sized slots (never taken when
+  // the owning MemorySystem reserves slots as VMs are admitted).
+  per_vm_.resize(static_cast<std::size_t>(vm) + 1);
+  vm_footprint_.resize(static_cast<std::size_t>(vm) + 1, 0);
 }
 
 const CacheStats& SetAssocCache::stats_for_core(int core) const {

@@ -6,8 +6,38 @@
 // requesting core (feeding the PMC layer) and to the owning VM
 // (ground-truth pollution accounting and the UCP-style [27]
 // way-partitioning ablation).
+//
+// Hot-path design.  Millions of simulated accesses per figure funnel
+// through this class, so the engine is built around four ideas:
+//
+//  * structure-of-arrays: line metadata lives in parallel arrays
+//    (tags / stamps / owners, row-major by set) plus one valid and
+//    one dirty bitmask word per set, so a probe touches contiguous
+//    words instead of `ways` 32-byte structs;
+//  * branch-free scans: tag matching builds a match bitmask and
+//    victim selection uses conditional-move min-reduction, so random
+//    hit/victim positions do not train-wreck the host branch
+//    predictor;
+//  * inline hit path: `access_hot` (hit test + stats + recency) lives
+//    in the header and returns a bare bool; the miss path is one
+//    out-of-line call.  The full LookupResult (evicted address as
+//    std::optional) is only materialized by the compat `access`;
+//  * O(1) observability: footprint_lines/occupancy are answered from
+//    counters maintained on fill/evict/invalidate, not O(lines)
+//    scans, so monitors can poll them per tick per VM.
+//
+// Private caches (L1/L2) skip per-core/per-VM attribution and owner
+// tracking entirely (`track_attribution = false`): nothing ever reads
+// them — hardware PMCs count LLC events only, and pollution
+// accounting is an LLC concept.
+//
+// The pre-overhaul engine is preserved verbatim in
+// reference_cache.hpp as a behavioral oracle; golden tests assert
+// both produce identical hit/miss/eviction sequences for every
+// replacement policy.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -15,6 +45,7 @@
 
 #include "cache/config.hpp"
 #include "cache/stats.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -33,19 +64,72 @@ struct LookupResult {
   std::optional<Address> evicted;
 };
 
+/// Pre-sizing hints for the per-core / per-VM statistics slots, so the
+/// access path indexes them without a resize.  The defaults
+/// comfortably cover direct construction in tests and tools;
+/// MemorySystem passes the exact core count from the topology and
+/// grows VM slots via reserve_vm_slots as the hypervisor admits VMs.
+struct StatSlotHints {
+  int cores = 64;
+  int vms = 64;
+};
+
 class SetAssocCache {
  public:
   /// `name` labels the cache in logs ("L1#3", "LLC#0"); `seed` drives
-  /// random/bimodal replacement decisions deterministically.
+  /// random/bimodal replacement decisions deterministically.  With
+  /// `track_attribution` false the cache keeps only aggregate stats:
+  /// per-core/per-VM counters stay zero and footprint_lines reports 0
+  /// (private-cache mode; the shared LLC must pass true).
   SetAssocCache(std::string name, CacheGeometry geometry, ReplacementKind replacement,
-                std::uint64_t seed = 1);
+                std::uint64_t seed = 1, StatSlotHints slots = {},
+                bool track_attribution = true);
 
   /// Looks up the line containing `addr`; on miss, fills it (evicting
   /// a victim if the set is full).  `write` marks the line dirty.
   LookupResult access(Address addr, bool write, const Requester& requester);
 
+  /// Hot-path variant of `access`: identical cache-state transition
+  /// and statistics, but reports only hit/miss instead of
+  /// materializing the evicted address.
+  bool access_hot(Address addr, bool write, const Requester& requester) {
+    const unsigned set = set_index(addr);
+    const Address tag = tag_of(addr);
+    ++total_.accesses;
+    const unsigned way = find(set, tag);
+    if (way != kNoWay) {
+      ++total_.hits;
+      if (track_attribution_) attribute_hit(requester);
+      if (write) dirty_[set] |= 1ull << way;  // stores only: loads skip the RMW
+      touch(set, way);
+      return true;
+    }
+    ++total_.misses;
+    miss_fill(set, tag, write, requester);
+    return false;
+  }
+
+  /// Hints the host CPU to pull the set holding `addr` into its own
+  /// cache.  Issued by the memory system for the next levels of the
+  /// hierarchy while the current level is still probing, hiding the
+  /// host-memory latency of large LLC metadata arrays.  Semantically
+  /// a no-op.
+  void prefetch_set(Address addr) const {
+    const unsigned set = set_index(addr);
+    const std::size_t row = line_index(set, 0);
+    __builtin_prefetch(&tags_[row]);
+    __builtin_prefetch(&stamps_[row]);
+    if (ways_ > 8) {  // rows longer than one host cache line
+      __builtin_prefetch(&tags_[row + 8]);
+      __builtin_prefetch(&stamps_[row + 8]);
+    }
+    __builtin_prefetch(&valid_[set]);
+  }
+
   /// Lookup without any state change (no fill, no recency update).
-  bool probe(Address addr) const;
+  bool probe(Address addr) const {
+    return find(set_index(addr), tag_of(addr)) != kNoWay;
+  }
 
   /// Drops every line (power-on state).  Statistics are preserved.
   void invalidate_all();
@@ -53,11 +137,25 @@ class SetAssocCache {
   /// Invalidates the single line containing `addr`, if present.
   void invalidate(Address addr);
 
-  /// Fraction of valid lines (for tests / warm-up detection).
-  double occupancy() const;
+  /// Fraction of valid lines (for tests / warm-up detection).  O(1):
+  /// answered from the incrementally maintained valid-line counter.
+  double occupancy() const {
+    return static_cast<double>(valid_lines_) / static_cast<double>(tags_.size());
+  }
 
   /// Number of valid lines owned by `vm` (ground-truth footprint).
-  std::uint64_t footprint_lines(int vm) const;
+  /// O(1): answered from per-VM counters maintained on fill/evict/
+  /// invalidate.  Always 0 when attribution is off.
+  std::uint64_t footprint_lines(int vm) const {
+    if (vm < 0) return unowned_lines_;
+    const auto idx = static_cast<std::size_t>(vm);
+    return idx < vm_footprint_.size() ? vm_footprint_[idx] : 0;
+  }
+
+  /// Ensures per-VM stat/footprint slots exist for vm ids < `vms`.
+  /// Called by the memory system when the hypervisor admits VMs, so
+  /// the access path never grows storage.
+  void reserve_vm_slots(int vms);
 
   // --- Way partitioning (UCP-style ablation) -------------------------
   /// Restricts fills by VM `vm` to ways [first_way, first_way+n_ways).
@@ -78,43 +176,144 @@ class SetAssocCache {
   const std::string& name() const { return name_; }
   const CacheGeometry& geometry() const { return geometry_; }
   ReplacementKind replacement() const { return replacement_; }
+  bool tracks_attribution() const { return track_attribution_; }
 
  private:
-  struct Line {
-    Address tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    int owner_vm = -1;
-    std::uint64_t stamp = 0;  // recency (LRU) or MRU bit (PLRU)
-  };
-
   struct Partition {
     unsigned first_way = 0;
     unsigned n_ways = 0;  // 0 = unrestricted
   };
 
+  /// What the miss path displaced (for the compat access()).
+  struct MissInfo {
+    bool evicted = false;
+    Address evicted_tag = 0;
+  };
+
+  static constexpr unsigned kNoWay = ~0u;
+
+  /// Line index of (set, way) in the parallel arrays.
+  std::size_t line_index(unsigned set, unsigned way) const {
+    return static_cast<std::size_t>(set) * ways_ + way;
+  }
+
   unsigned set_index(Address addr) const {
+    // Shift+mask when line size and set count are powers of two (they
+    // are for every real geometry); division fallback otherwise.
+    if (pow2_geometry_) {
+      return static_cast<unsigned>((addr >> line_shift_) & set_mask_);
+    }
     return static_cast<unsigned>((addr / geometry_.line) % sets_);
   }
-  Address tag_of(Address addr) const { return addr / geometry_.line; }
+  Address tag_of(Address addr) const {
+    return pow2_geometry_ ? addr >> line_shift_ : addr / geometry_.line;
+  }
 
-  Line* find(unsigned set, Address tag);
-  const Line* find(unsigned set, Address tag) const;
+  /// Match-mask scan with a compile-time way count: the constant trip
+  /// count lets the compiler unroll/vectorize, and four independent
+  /// accumulators break the or-chain dependency.
+  template <unsigned W>
+  static unsigned find_fixed(const Address* tags, std::uint64_t valid, Address tag) {
+    std::uint64_t m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+    unsigned w = 0;
+    for (; w + 4 <= W; w += 4) {
+      m0 |= static_cast<std::uint64_t>(tags[w] == tag) << w;
+      m1 |= static_cast<std::uint64_t>(tags[w + 1] == tag) << (w + 1);
+      m2 |= static_cast<std::uint64_t>(tags[w + 2] == tag) << (w + 2);
+      m3 |= static_cast<std::uint64_t>(tags[w + 3] == tag) << (w + 3);
+    }
+    std::uint64_t match = (m0 | m1) | (m2 | m3);
+    for (; w < W; ++w) {
+      match |= static_cast<std::uint64_t>(tags[w] == tag) << w;
+    }
+    match &= valid;
+    return match != 0 ? static_cast<unsigned>(std::countr_zero(match)) : kNoWay;
+  }
+
+  /// Way holding (set, tag), or kNoWay.  Branch-free: builds a match
+  /// bitmask over the contiguous tag row (a set never holds the same
+  /// tag twice, so the mask has at most one bit).  Dispatches to a
+  /// constant-way specialization for the common associativities.
+  unsigned find(unsigned set, Address tag) const {
+    const Address* tags = &tags_[line_index(set, 0)];
+    const std::uint64_t valid = valid_[set];
+    switch (ways_) {
+      case 4: return find_fixed<4>(tags, valid, tag);
+      case 8: return find_fixed<8>(tags, valid, tag);
+      case 16: return find_fixed<16>(tags, valid, tag);
+      case 20: return find_fixed<20>(tags, valid, tag);
+      default: break;
+    }
+    std::uint64_t match = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+      match |= static_cast<std::uint64_t>(tags[w] == tag) << w;
+    }
+    match &= valid;
+    return match != 0 ? static_cast<unsigned>(std::countr_zero(match)) : kNoWay;
+  }
+
+  /// Marks `way` most recently used (policy-dependent).
+  void touch(unsigned set, unsigned way) {
+    if (replacement_ == ReplacementKind::kPlru) {
+      plru_touch(set, way);
+      return;
+    }
+    stamps_[line_index(set, way)] = ++clock_;
+  }
+
+  void attribute_hit(const Requester& req) {
+    CacheStats& core_stats = core_slot(req.core);
+    ++core_stats.accesses;
+    ++core_stats.hits;
+    if (req.vm >= 0) {
+      CacheStats& vm_stats = vm_slot(req.vm);
+      ++vm_stats.accesses;
+      ++vm_stats.hits;
+    }
+  }
+
+  void plru_touch(unsigned set, unsigned way);
+  MissInfo miss_fill(unsigned set, Address tag, bool write, const Requester& requester);
   unsigned pick_victim(unsigned set, unsigned first_way, unsigned end_way);
-  void touch(unsigned set, unsigned way);
-  void fill(unsigned set, unsigned way, Address tag, bool write, int vm);
   bool set_uses_bip(unsigned set) const;
 
-  CacheStats& core_slot(int core);
-  CacheStats& vm_slot(int vm);
+  CacheStats& core_slot(int core) {
+    KYOTO_DCHECK(core >= 0);
+    if (static_cast<std::size_t>(core) >= per_core_.size()) grow_core_slots(core);
+    return per_core_[static_cast<std::size_t>(core)];
+  }
+  CacheStats& vm_slot(int vm) {
+    KYOTO_DCHECK(vm >= 0);
+    if (static_cast<std::size_t>(vm) >= per_vm_.size()) grow_vm_slots(vm);
+    return per_vm_[static_cast<std::size_t>(vm)];
+  }
+  void grow_core_slots(int core);  // cold path; never taken when pre-sized
+  void grow_vm_slots(int vm);      // cold path; never taken when pre-sized
 
   std::string name_;
   CacheGeometry geometry_;
   ReplacementKind replacement_;
   unsigned sets_ = 0;
-  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  unsigned ways_ = 0;
+  bool pow2_geometry_ = false;
+  bool track_attribution_ = true;
+  unsigned line_shift_ = 0;   // log2(line) when pow2_geometry_
+  Address set_mask_ = 0;      // sets-1 when pow2_geometry_
+
+  // SoA line state, row-major by set.
+  std::vector<Address> tags_;
+  std::vector<std::uint64_t> stamps_;   // recency (LRU) or MRU bit (PLRU)
+  std::vector<std::int32_t> owners_;    // owning vm id, -1 = unowned
+  std::vector<std::uint64_t> valid_;    // one bit per way, one word per set
+  std::vector<std::uint64_t> dirty_;    // one bit per way, one word per set
+
   Rng rng_;
   std::uint64_t clock_ = 0;  // recency stamp source
+
+  // Incremental footprint accounting (replaces O(lines) scans).
+  std::uint64_t valid_lines_ = 0;
+  std::uint64_t unowned_lines_ = 0;          // valid lines with owner -1
+  std::vector<std::uint64_t> vm_footprint_;  // valid lines per vm id
 
   // DIP set-dueling state: a handful of leader sets are pinned to LRU
   // and to BIP; a saturating counter tracks which leader family

@@ -66,6 +66,8 @@ class Hypervisor {
 
   std::vector<Vm*> vms();
   Vm& vm(int id) { return *vms_.at(static_cast<std::size_t>(id)); }
+  /// Number of admitted VMs (ids are dense in [0, vm_count())).
+  int vm_count() const { return static_cast<int>(vms_.size()); }
 
   /// Observers called after every tick (timeline sampling, monitors).
   using TickHook = std::function<void(Hypervisor&, Tick)>;

@@ -1,5 +1,6 @@
 #include "hv/machine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -39,23 +40,59 @@ Machine::RunResult Machine::run_vcpu(Vcpu& vcpu, int core, Cycles budget,
   const int home_node = space.home_node();
   const int vm_id = vcpu.vm().id();
   const double inv_mlp = 1.0 / spec.mlp;
-  const Bytes space_size = space.size();
+  // With mlp == 1 the stall is the raw latency; skip the
+  // floating-point scaling entirely.
+  const bool unit_mlp = spec.mlp == 1.0;
   pmc::CorePmu& core_pmu = pmus_[static_cast<std::size_t>(core)];
 
   const Instructions run_length = spec.length;
 
+  // Requester/socket/home-node resolution hoisted out of the per-op
+  // loop; ops are pulled from the workload in blocks (one virtual
+  // dispatch per block).  Leftover ops persist in the vCPU's buffer
+  // across bursts, so the consumed stream is exactly the workload
+  // stream and the executed simulation is identical to per-op
+  // replay.  (Monitors that clone() the live workload mid-run see
+  // its generator up to one block ahead of execution — see the
+  // OpBuffer note in vm.hpp.)
+  cache::MemorySystem::AccessContext mem_ctx = memory_->context(core, home_node, vm_id);
+  Vcpu::OpBuffer& ops = vcpu.op_buffer();
+
   while (result.cycles_used < budget) {
-    const mem::Op op = workload.next();
+    if (ops.empty()) {
+      std::size_t want = Vcpu::OpBuffer::kBlock;
+      if (run_length > 0) {
+        // Never generate past the end of the current run: completion
+        // restarts looping workloads, and a finite workload's stream
+        // must not be advanced beyond its length.
+        const Instructions remaining =
+            run_length - (vcpu.retired_in_run() + result.instructions);
+        want = std::min<std::size_t>(want, static_cast<std::size_t>(remaining));
+      }
+      ops.len = static_cast<std::uint32_t>(workload.next_batch(ops.ops.data(), want));
+      ops.pos = 0;
+      KYOTO_DCHECK(ops.len > 0);
+    }
+    const mem::Op op = ops.ops[ops.pos++];
     Cycles cost = 1;
     if (op.kind != mem::OpKind::kCompute) {
-      const Address addr = space.translate(op.addr % space_size);
+      // Workload offsets are already inside the VM's address space
+      // (patterns emit < working_set, the VM constructor enforces
+      // working_set <= memory), so no wrap-around modulo is needed —
+      // the old per-op 64-bit division was purely defensive and is
+      // now a DCHECK inside translate().
+      const Address addr = space.translate(op.addr);
       const cache::AccessResult access =
-          memory_->access(core, addr, op.kind == mem::OpKind::kStore, home_node, vm_id,
-                          wall_cycle_base + result.cycles_used);
+          mem_ctx.access(addr, op.kind == mem::OpKind::kStore,
+                         wall_cycle_base + result.cycles_used);
       // Memory-level parallelism: the core hides part of the latency
       // behind independent work (out-of-order window + prefetchers).
-      cost = std::max<Cycles>(
-          1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
+      // round_half_up == std::lround for these small positive values,
+      // without the libm call.
+      cost = unit_mlp ? std::max<Cycles>(1, access.latency)
+                      : std::max<Cycles>(
+                            1, static_cast<Cycles>(
+                                   static_cast<double>(access.latency) * inv_mlp + 0.5));
       if (access.llc_reference) {
         core_pmu.add(pmc::Counter::kLlcReferences, 1);
         if (access.llc_miss) {

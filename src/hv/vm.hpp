@@ -10,6 +10,7 @@
 // vCPUs).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,30 @@ class Vcpu {
   /// wall cycle `wall_cycle`; restarts the workload if looping.
   void note_run_complete(std::int64_t wall_cycle);
 
+  /// Block buffer between this vCPU's workload and the execution
+  /// engine.  The Machine refills it via Workload::next_batch (one
+  /// virtual dispatch per block, not per instruction); ops left over
+  /// when a cycle budget expires persist here, so the *consumed* op
+  /// sequence is exactly the workload stream regardless of burst
+  /// boundaries.  Refills never outrun a finite workload's run length,
+  /// so the buffer is always drained when a run completes.
+  ///
+  /// Caveat: between bursts the workload's generator sits up to
+  /// kBlock ops ahead of execution, so pin-style sampling that
+  /// clone()s the live workload (McSimMonitor / PinTracer) captures a
+  /// window starting at the generator position, not the execution
+  /// position.  At the monitors' 150k-instruction samples a <=256-op
+  /// shift is far inside sampling noise, which is why the replay
+  /// monitor keeps the simple clone() attach point.
+  struct OpBuffer {
+    static constexpr std::size_t kBlock = 256;
+    std::array<mem::Op, kBlock> ops;
+    std::uint32_t pos = 0;  // next op to consume
+    std::uint32_t len = 0;  // ops valid in `ops`
+    bool empty() const { return pos == len; }
+  };
+  OpBuffer& op_buffer() { return op_buffer_; }
+
  private:
   Vm* vm_;
   int index_;
@@ -105,6 +130,7 @@ class Vcpu {
   std::unique_ptr<workloads::Workload> workload_;
   int pinned_core_ = -1;
   pmc::VirtualCounters counters_;
+  OpBuffer op_buffer_;
 
   Instructions retired_in_run_ = 0;
   Instructions retired_total_ = 0;

@@ -12,10 +12,6 @@ namespace {
 /// VM's recent direct rate.
 constexpr double kEmaAlpha = 0.3;
 
-void grow(std::vector<double>& v, std::size_t size) {
-  if (v.size() < size) v.resize(size, -1.0);
-}
-
 }  // namespace
 
 // --------------------------------------------------------------------
@@ -42,6 +38,7 @@ void McSimMonitor::attach(hv::Hypervisor& hv) {
   PollutionMonitor::attach(hv);
   simulator_ = std::make_unique<mcsim::ReplaySimulator>(hv.machine().config().mem,
                                                         hv.machine().freq_khz());
+  sync_vm_slots(cache_);
 }
 
 void McSimMonitor::sample_vm(hv::Vm& vm) {
@@ -50,19 +47,22 @@ void McSimMonitor::sample_vm(hv::Vm& vm) {
   // each VM is considered" (§3.3).
   const auto result =
       simulator_->replay_live(vm.vcpu(0).workload(), params_.sample_instructions);
-  grow(cache_, static_cast<std::size_t>(vm.id()) + 1);
+  sync_vm_slots(cache_);
+  KYOTO_DCHECK(static_cast<std::size_t>(vm.id()) < cache_.size());
   cache_[static_cast<std::size_t>(vm.id())] = result.llc_cap_act(simulator_->freq_khz());
 }
 
 double McSimMonitor::pollution_rate(hv::Vcpu& vcpu, const hv::RunReport& /*report*/) {
   KYOTO_CHECK_MSG(simulator_ != nullptr, "monitor not attached");
   const auto vm_id = static_cast<std::size_t>(vcpu.vm().id());
-  grow(cache_, vm_id + 1);
+  if (vm_id >= cache_.size()) sync_vm_slots(cache_);  // cold: VM admitted mid-run
+  KYOTO_DCHECK(vm_id < cache_.size());
   if (cache_[vm_id] < 0.0) sample_vm(vcpu.vm());
   return cache_[vm_id];
 }
 
 void McSimMonitor::on_tick(hv::Hypervisor& hv, Tick now) {
+  sync_vm_slots(cache_);
   if (now == 0 || now % params_.sample_period_ticks != 0) return;
   for (hv::Vm* vm : hv.vms()) {
     if (!vm->done()) sample_vm(*vm);
@@ -91,6 +91,8 @@ void SocketDedicationMonitor::attach(hv::Hypervisor& hv) {
   KYOTO_CHECK_MSG(hv.machine().topology().sockets >= 2,
                   "socket dedication requires a multi-socket machine (vCPUs are "
                   "migrated to the other socket during sampling)");
+  sync_vm_slots(cache_);
+  sync_vm_slots(direct_ema_);
   next_event_ = params_.sample_period_ticks;
 }
 
@@ -102,8 +104,12 @@ double SocketDedicationMonitor::direct_rate(int vm_id) const {
 double SocketDedicationMonitor::pollution_rate(hv::Vcpu& vcpu, const hv::RunReport& report) {
   KYOTO_CHECK_MSG(hv_ != nullptr, "monitor not attached");
   const auto vm_id = static_cast<std::size_t>(vcpu.vm().id());
-  grow(direct_ema_, vm_id + 1);
-  grow(cache_, vm_id + 1);
+  if (vm_id >= direct_ema_.size() || vm_id >= cache_.size()) {
+    // Cold: a VM admitted since the last tick prologue.
+    sync_vm_slots(direct_ema_);
+    sync_vm_slots(cache_);
+  }
+  KYOTO_DCHECK(vm_id < direct_ema_.size() && vm_id < cache_.size());
   if (report.pmc_delta.get(pmc::Counter::kUnhaltedCycles) > 0) {
     const double direct = equation1(report.pmc_delta, hv_->machine().freq_khz());
     double& ema = direct_ema_[vm_id];
@@ -137,7 +143,8 @@ void SocketDedicationMonitor::begin_campaign_step(hv::Hypervisor& hv, Tick now) 
     return;
   }
 
-  grow(cache_, static_cast<std::size_t>(target->id()) + 1);
+  sync_vm_slots(cache_);
+  KYOTO_DCHECK(static_cast<std::size_t>(target->id()) < cache_.size());
   const double own_rate = direct_rate(target->id());
 
   // Skip heuristic 1 (Fig 10, first pair of bars): a very quiet vCPU
@@ -226,6 +233,8 @@ void SocketDedicationMonitor::return_displaced(hv::Hypervisor& hv) {
 }
 
 void SocketDedicationMonitor::on_tick(hv::Hypervisor& hv, Tick now) {
+  sync_vm_slots(cache_);
+  sync_vm_slots(direct_ema_);
   switch (phase_) {
     case Phase::kIdle:
       if (now >= next_event_) begin_campaign_step(hv, now);

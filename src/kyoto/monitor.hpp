@@ -62,6 +62,17 @@ class PollutionMonitor {
   }
 
  protected:
+  /// Pre-sizes a per-VM slot vector to the hypervisor's VM count
+  /// (slots start at -1 = "never sampled").  Called from cold spots —
+  /// attach, tick prologues, and the one-off moment right after a VM
+  /// is admitted — so the steady-state accounting path only indexes
+  /// (with a KYOTO_DCHECK) instead of growing storage.
+  void sync_vm_slots(std::vector<double>& v) const {
+    const std::size_t n =
+        hv_ == nullptr ? std::size_t{0} : static_cast<std::size_t>(hv_->vm_count());
+    if (v.size() < n) v.resize(n, -1.0);
+  }
+
   hv::Hypervisor* hv_ = nullptr;
 };
 

@@ -11,9 +11,8 @@ namespace kyoto::mcsim {
 std::vector<mem::Op> PinTracer::capture(const workloads::Workload& live, Instructions n) {
   KYOTO_CHECK_MSG(n > 0, "trace length must be positive");
   auto clone = live.clone();
-  std::vector<mem::Op> trace;
-  trace.reserve(static_cast<std::size_t>(n));
-  for (Instructions i = 0; i < n; ++i) trace.push_back(clone->next());
+  std::vector<mem::Op> trace(static_cast<std::size_t>(n));
+  clone->next_batch(trace.data(), trace.size());
   return trace;
 }
 
@@ -32,39 +31,48 @@ ReplayResult ReplaySimulator::replay_live(const workloads::Workload& live, Instr
 
 namespace {
 
-/// Replays `emit(i)` for n ops against a fresh hierarchy, counting
-/// only the post-warmup region.
-template <typename EmitOp>
+/// Block size of the batched replay loop (same batching idea as
+/// Machine::run_vcpu: one virtual workload dispatch per block).
+constexpr std::size_t kReplayBlock = 256;
+
+/// Replays blocks of ops delivered by `fill(buf, max)` against a
+/// fresh hierarchy, counting only the post-warmup region.
+template <typename FillBlock>
 ReplayResult replay_ops(const cache::MemSystemConfig& mem_config, std::uint64_t seed,
                         double warmup_fraction, const workloads::WorkloadSpec& spec,
-                        Instructions n, EmitOp&& emit) {
+                        Instructions n, FillBlock&& fill) {
   // A fresh single-core hierarchy per replay: the simulator's caches
   // start cold, exactly like McSimA+ replaying a sampled window.
   cache::MemorySystem memory(cache::Topology{1, 1}, mem_config, seed);
+  auto ctx = memory.context(/*core=*/0, /*home_node=*/0, /*vm=*/0);
   const double inv_mlp = 1.0 / std::max(1.0, spec.mlp);
   const Bytes ws = std::max<Bytes>(spec.working_set, mem::kLineBytes);
   const Instructions warmup = static_cast<Instructions>(
       warmup_fraction * static_cast<double>(n));
 
   ReplayResult result;
-  for (Instructions i = 0; i < n; ++i) {
-    const mem::Op op = emit(i);
-    const bool counted = i >= warmup;
-    Cycles cost = 1;
-    if (op.kind != mem::OpKind::kCompute) {
-      const auto access =
-          memory.access(0, (1ull << 30) + op.addr % ws, op.kind == mem::OpKind::kStore,
-                        /*home_node=*/0, /*vm=*/0);
-      cost = std::max<Cycles>(
-          1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
-      if (counted && access.llc_reference) {
-        ++result.llc_references;
-        if (access.llc_miss) ++result.llc_misses;
+  mem::Op block[kReplayBlock];
+  for (Instructions i = 0; i < n;) {
+    const std::size_t len =
+        fill(block, std::min<std::size_t>(kReplayBlock, static_cast<std::size_t>(n - i)));
+    for (std::size_t b = 0; b < len; ++b, ++i) {
+      const mem::Op op = block[b];
+      const bool counted = i >= warmup;
+      Cycles cost = 1;
+      if (op.kind != mem::OpKind::kCompute) {
+        const auto access =
+            ctx.access((1ull << 30) + op.addr % ws, op.kind == mem::OpKind::kStore);
+        cost = std::max<Cycles>(
+            1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
+        if (counted && access.llc_reference) {
+          ++result.llc_references;
+          if (access.llc_miss) ++result.llc_misses;
+        }
       }
-    }
-    if (counted) {
-      result.cycles += cost;
-      ++result.instructions;
+      if (counted) {
+        result.cycles += cost;
+        ++result.instructions;
+      }
     }
   }
   return result;
@@ -74,14 +82,23 @@ ReplayResult replay_ops(const cache::MemSystemConfig& mem_config, std::uint64_t 
 
 ReplayResult ReplaySimulator::run(workloads::Workload& clone, Instructions n) {
   return replay_ops(mem_config_, seed_, warmup_fraction_, clone.spec(), n,
-                    [&clone](Instructions) { return clone.next(); });
+                    [&clone](mem::Op* buf, std::size_t max) {
+                      return clone.next_batch(buf, max);
+                    });
 }
 
 ReplayResult ReplaySimulator::replay_trace(const std::vector<mem::Op>& trace,
                                            const workloads::WorkloadSpec& spec) {
+  std::size_t cursor = 0;
   return replay_ops(mem_config_, seed_, warmup_fraction_, spec,
                     static_cast<Instructions>(trace.size()),
-                    [&trace](Instructions i) { return trace[static_cast<std::size_t>(i)]; });
+                    [&trace, &cursor](mem::Op* buf, std::size_t max) {
+                      const std::size_t len = std::min(max, trace.size() - cursor);
+                      std::copy_n(trace.begin() + static_cast<std::ptrdiff_t>(cursor), len,
+                                  buf);
+                      cursor += len;
+                      return len;
+                    });
 }
 
 }  // namespace kyoto::mcsim

@@ -46,6 +46,26 @@ class PatternWorkload final : public Workload {
     return op;
   }
 
+ protected:
+  std::size_t do_next_batch(mem::Op* out, std::size_t n) override {
+    // Same draws in the same order as next(), with the per-op virtual
+    // dispatch and the spec_ field reloads hoisted out of the loop.
+    const double mem_ratio = spec_.mem_ratio;
+    const double write_ratio = spec_.write_ratio;
+    mem::Pattern* pattern = pattern_.get();
+    for (std::size_t i = 0; i < n; ++i) {
+      mem::Op op;
+      if (rng_.chance(mem_ratio)) {
+        op.kind = rng_.chance(write_ratio) ? mem::OpKind::kStore : mem::OpKind::kLoad;
+        op.addr = pattern->next_offset(rng_);
+      }
+      out[i] = op;
+    }
+    return n;
+  }
+
+ public:
+
   void reset() override {
     pattern_->reset();
     rng_.reseed(seed_);

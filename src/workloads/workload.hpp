@@ -49,6 +49,14 @@ class Workload {
   /// VM-local byte offset in [0, spec().working_set).
   virtual mem::Op next() = 0;
 
+  /// Fills `out` with the next `n` operations of the stream and
+  /// returns `n`.  Non-virtual on purpose: replay loops (the machine's
+  /// execution engine, the McSim simulator) pull ops in fixed-size
+  /// blocks so they pay one virtual dispatch per block instead of one
+  /// per simulated instruction.  The produced stream is identical to
+  /// `n` calls of next().
+  std::size_t next_batch(mem::Op* out, std::size_t n) { return do_next_batch(out, n); }
+
   /// Restarts the application from the beginning (including RNG).
   virtual void reset() = 0;
 
@@ -57,6 +65,14 @@ class Workload {
   virtual std::unique_ptr<Workload> clone() const = 0;
 
   virtual const WorkloadSpec& spec() const = 0;
+
+ protected:
+  /// Batch fallback: any workload works unmodified at one virtual
+  /// call per op; concrete classes override with a tight loop.
+  virtual std::size_t do_next_batch(mem::Op* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+    return n;
+  }
 };
 
 }  // namespace kyoto::workloads

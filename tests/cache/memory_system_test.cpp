@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cache/config.hpp"
 #include "cache/topology.hpp"
+#include "common/rng.hpp"
 #include "mem/access.hpp"
 
 namespace kyoto::cache {
@@ -177,6 +180,99 @@ TEST(MemorySystem, LevelNames) {
 
 TEST(MemorySystem, DegenerateTopologyRejected) {
   EXPECT_THROW(MemorySystem(Topology{0, 4}, small_config()), std::logic_error);
+}
+
+// --- batched access path ------------------------------------------------
+
+TEST(AccessBatch, MatchesPerAccessCalls) {
+  // access_batch / context() must be the same machine transition as a
+  // sequence of access() calls: identical results, identical stats.
+  MemorySystem a(Topology{1, 4}, small_config(), 11);
+  MemorySystem b(Topology{1, 4}, small_config(), 11);
+
+  Rng rng(5);
+  constexpr std::size_t kN = 4096;
+  std::vector<BatchAccess> ops(kN);
+  for (auto& op : ops) {
+    op.addr = rng.below(1024) * 64;
+    op.write = rng.chance(0.3);
+  }
+
+  std::vector<AccessResult> batched(kN);
+  a.access_batch(/*core=*/1, /*home_node=*/0, /*vm=*/2, ops.data(), batched.data(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const AccessResult r = b.access(1, ops[i].addr, ops[i].write, 0, 2);
+    ASSERT_EQ(batched[i].level, r.level) << i;
+    ASSERT_EQ(batched[i].latency, r.latency) << i;
+    ASSERT_EQ(batched[i].llc_reference, r.llc_reference) << i;
+    ASSERT_EQ(batched[i].llc_miss, r.llc_miss) << i;
+  }
+  EXPECT_EQ(a.llc(0).stats().accesses, b.llc(0).stats().accesses);
+  EXPECT_EQ(a.llc(0).stats().misses, b.llc(0).stats().misses);
+  EXPECT_EQ(a.llc(0).stats_for_vm(2).misses, b.llc(0).stats_for_vm(2).misses);
+  EXPECT_EQ(a.llc(0).footprint_lines(2), b.llc(0).footprint_lines(2));
+  EXPECT_EQ(a.l1(1).stats().hits, b.l1(1).stats().hits);
+}
+
+TEST(AccessBatch, TimedBatchAdvancesClockLikePerAccessCalls) {
+  // The now_cycle >= 0 branch self-advances by each access's latency,
+  // so the bus-queuing model must see exactly the timestamps a
+  // per-access caller advancing by latency would pass.
+  MemSystemConfig cfg = small_config();
+  cfg.bus.enabled = true;
+  // Longer than lat_mem_local so back-to-back misses actually queue.
+  cfg.bus.transfer_cycles = 400;
+  MemorySystem a(Topology{1, 1}, cfg, 11);
+  MemorySystem b(Topology{1, 1}, cfg, 11);
+
+  Rng rng(9);
+  constexpr std::size_t kN = 2048;
+  std::vector<BatchAccess> ops(kN);
+  for (auto& op : ops) {
+    op.addr = rng.below(4096) * 64;  // misses often => bus engages
+    op.write = rng.chance(0.3);
+  }
+
+  std::vector<AccessResult> batched(kN);
+  a.access_batch(0, 0, 0, ops.data(), batched.data(), kN, /*now_cycle=*/100);
+  std::int64_t now = 100;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const AccessResult r = b.access(0, ops[i].addr, ops[i].write, 0, 0, now);
+    ASSERT_EQ(batched[i].latency, r.latency) << i;
+    ASSERT_EQ(batched[i].bus_queue_delay, r.bus_queue_delay) << i;
+    now += r.latency;
+  }
+  EXPECT_GT(a.bus_queue_cycles(0), 0);  // the model actually engaged
+  EXPECT_EQ(a.bus_queue_cycles(0), b.bus_queue_cycles(0));
+}
+
+TEST(AccessBatch, ContextReusableAcrossBursts) {
+  MemorySystem m(Topology{1, 2}, small_config(), 3);
+  auto ctx = m.context(0, 0, 0);
+  for (int burst = 0; burst < 4; ++burst) {
+    for (Address line = 0; line < 64; ++line) ctx.access(line * 64, false);
+  }
+  EXPECT_EQ(m.l1(0).stats().accesses, 256u);
+}
+
+TEST(AccessBatch, PrivateCachesSkipAttribution) {
+  // Private L1/L2 run attribution-free; the shared LLC attributes.
+  MemorySystem m(Topology{1, 2}, small_config(), 3);
+  m.access(0, 0, false, 0, /*vm=*/1);
+  EXPECT_FALSE(m.l1(0).tracks_attribution());
+  EXPECT_FALSE(m.l2(0).tracks_attribution());
+  EXPECT_TRUE(m.llc(0).tracks_attribution());
+  EXPECT_EQ(m.llc(0).stats_for_vm(1).accesses, 1u);
+  EXPECT_EQ(m.llc(0).footprint_lines(1), 1u);
+}
+
+TEST(AccessBatch, ReserveVmSlotsPreSizesAttribution) {
+  MemorySystem m(Topology{1, 1}, small_config(), 3);
+  m.reserve_vm_slots(128);
+  // A VM id beyond the default hint works without surprises.
+  m.access(0, 0, false, 0, /*vm=*/100);
+  EXPECT_EQ(m.llc(0).stats_for_vm(100).accesses, 1u);
+  EXPECT_EQ(m.llc(0).footprint_lines(100), 1u);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 #include <set>
 #include <vector>
 
+#include "cache/reference_cache.hpp"
+#include "common/rng.hpp"
 #include "mem/access.hpp"
 
 namespace kyoto::cache {
@@ -283,6 +285,166 @@ TEST(Replacement, DipTracksBetterPolicyUnderThrash) {
   const double hit_rate = static_cast<double>(dip.stats().hits) /
                           static_cast<double>(dip.stats().accesses);
   EXPECT_GT(hit_rate, 0.10);
+}
+
+// --- golden equivalence vs the frozen pre-SoA engine --------------------
+//
+// The SoA rewrite must be *behaviorally invisible*: for every
+// replacement policy, the hit/miss/eviction sequence over a recorded
+// op trace must match the original array-of-structs engine line for
+// line (reference_cache.hpp keeps that engine frozen).  These tests
+// are the license to keep optimizing the hot path.
+
+struct GoldenOp {
+  Address addr;
+  bool write;
+  int core;
+  int vm;
+};
+
+/// A deterministic mixed trace: streaming, strided and random phases
+/// over a working set several times the cache, from several cores/VMs.
+std::vector<GoldenOp> golden_trace(std::size_t n, std::uint64_t seed, Bytes span) {
+  Rng rng(seed);
+  std::vector<GoldenOp> trace;
+  trace.reserve(n);
+  Address cursor = 0;
+  const std::uint64_t span_lines = span / kLine;
+  for (std::size_t i = 0; i < n; ++i) {
+    GoldenOp op;
+    switch ((i / 64) % 3) {
+      case 0:  // stream
+        cursor = (cursor + 1) % span_lines;
+        op.addr = cursor * kLine;
+        break;
+      case 1:  // stride 7 lines
+        cursor = (cursor + 7) % span_lines;
+        op.addr = cursor * kLine;
+        break;
+      default:  // uniform random
+        op.addr = rng.below(span_lines) * kLine;
+        break;
+    }
+    op.write = rng.chance(0.3);
+    op.core = static_cast<int>(rng.below(4));
+    op.vm = static_cast<int>(rng.below(3));
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+void expect_stats_equal(const CacheStats& a, const CacheStats& b, const char* what) {
+  EXPECT_EQ(a.accesses, b.accesses) << what;
+  EXPECT_EQ(a.hits, b.hits) << what;
+  EXPECT_EQ(a.misses, b.misses) << what;
+  EXPECT_EQ(a.evictions, b.evictions) << what;
+  EXPECT_EQ(a.writebacks, b.writebacks) << what;
+}
+
+/// Replays the trace through both engines and asserts identical
+/// hit/miss/eviction sequences and identical observable state.
+void run_golden(ReplacementKind kind, bool with_partitions = false) {
+  // 16 KiB, 8-way: large enough for interesting set behaviour, small
+  // enough that the trace overflows it constantly.
+  const CacheGeometry geometry{16_KiB, 8, kLine};
+  SetAssocCache soa("soa", geometry, kind, /*seed=*/123);
+  ReferenceSetAssocCache ref("ref", geometry, kind, /*seed=*/123);
+  if (with_partitions) {
+    soa.set_partition(0, 0, 3);
+    soa.set_partition(1, 3, 5);
+    ref.set_partition(0, 0, 3);
+    ref.set_partition(1, 3, 5);
+  }
+
+  const auto trace = golden_trace(60'000, /*seed=*/7, /*span=*/64_KiB);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const GoldenOp& op = trace[i];
+    const Requester req{op.core, op.vm};
+    const LookupResult a = soa.access(op.addr, op.write, req);
+    const LookupResult b = ref.access(op.addr, op.write, req);
+    ASSERT_EQ(a.hit, b.hit) << replacement_name(kind) << " op " << i;
+    ASSERT_EQ(a.evicted.has_value(), b.evicted.has_value())
+        << replacement_name(kind) << " op " << i;
+    if (a.evicted.has_value()) {
+      ASSERT_EQ(*a.evicted, *b.evicted) << replacement_name(kind) << " op " << i;
+    }
+    // Interleave the occasional invalidation and probe so those paths
+    // stay equivalent too.
+    if (i % 4096 == 4095) {
+      soa.invalidate(op.addr);
+      ref.invalidate(op.addr);
+    }
+    if (i % 1024 == 1023) {
+      ASSERT_EQ(soa.probe(trace[i / 2].addr), ref.probe(trace[i / 2].addr));
+    }
+  }
+
+  expect_stats_equal(soa.stats(), ref.stats(), replacement_name(kind));
+  for (int core = 0; core < 4; ++core) {
+    expect_stats_equal(soa.stats_for_core(core), ref.stats_for_core(core), "core");
+  }
+  for (int vm = 0; vm < 3; ++vm) {
+    expect_stats_equal(soa.stats_for_vm(vm), ref.stats_for_vm(vm), "vm");
+    EXPECT_EQ(soa.footprint_lines(vm), ref.footprint_lines(vm))
+        << replacement_name(kind) << " footprint vm " << vm;
+  }
+  EXPECT_DOUBLE_EQ(soa.occupancy(), ref.occupancy()) << replacement_name(kind);
+}
+
+TEST(GoldenEquivalence, Lru) { run_golden(ReplacementKind::kLru); }
+TEST(GoldenEquivalence, Plru) { run_golden(ReplacementKind::kPlru); }
+TEST(GoldenEquivalence, Random) { run_golden(ReplacementKind::kRandom); }
+TEST(GoldenEquivalence, Lip) { run_golden(ReplacementKind::kLip); }
+TEST(GoldenEquivalence, Bip) { run_golden(ReplacementKind::kBip); }
+TEST(GoldenEquivalence, Dip) { run_golden(ReplacementKind::kDip); }
+TEST(GoldenEquivalence, LruWithWayPartitions) {
+  run_golden(ReplacementKind::kLru, /*with_partitions=*/true);
+}
+TEST(GoldenEquivalence, DipWithWayPartitions) {
+  run_golden(ReplacementKind::kDip, /*with_partitions=*/true);
+}
+
+TEST(GoldenEquivalence, HotPathMatchesCompatAccess) {
+  // access_hot must be the same state transition as access().
+  const CacheGeometry geometry{4_KiB, 8, kLine};
+  SetAssocCache a("a", geometry, ReplacementKind::kLru, 5);
+  SetAssocCache b("b", geometry, ReplacementKind::kLru, 5);
+  const auto trace = golden_trace(20'000, /*seed=*/11, /*span=*/16_KiB);
+  for (const GoldenOp& op : trace) {
+    const Requester req{op.core, op.vm};
+    ASSERT_EQ(a.access_hot(op.addr, op.write, req), b.access(op.addr, op.write, req).hit);
+  }
+  expect_stats_equal(a.stats(), b.stats(), "hot-vs-compat");
+  for (int vm = 0; vm < 3; ++vm) {
+    EXPECT_EQ(a.footprint_lines(vm), b.footprint_lines(vm));
+  }
+}
+
+TEST(GoldenEquivalence, NonPowerOfTwoSetCountFallback) {
+  // 3 sets: exercises the division fallback of set_index.
+  const CacheGeometry geometry{3 * 4 * 64, 4, kLine};
+  SetAssocCache soa("soa", geometry, ReplacementKind::kLru, 9);
+  ReferenceSetAssocCache ref("ref", geometry, ReplacementKind::kLru, 9);
+  const auto trace = golden_trace(10'000, /*seed=*/3, /*span=*/8_KiB);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Requester req{trace[i].core, trace[i].vm};
+    ASSERT_EQ(soa.access(trace[i].addr, trace[i].write, req).hit,
+              ref.access(trace[i].addr, trace[i].write, req).hit)
+        << i;
+  }
+  expect_stats_equal(soa.stats(), ref.stats(), "non-pow2");
+}
+
+TEST(SetAssocCache, AttributionFreeModeKeepsTotalsOnly) {
+  SetAssocCache c("l1", toy_geometry(), ReplacementKind::kLru, 1, {}, false);
+  c.access(0, false, Requester{2, 3});
+  c.access(0, false, Requester{2, 3});
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_FALSE(c.tracks_attribution());
+  EXPECT_EQ(c.stats_for_core(2).accesses, 0u);
+  EXPECT_EQ(c.stats_for_vm(3).accesses, 0u);
+  EXPECT_EQ(c.footprint_lines(3), 0u);
 }
 
 TEST(Replacement, LipInsertsAtLruPosition) {

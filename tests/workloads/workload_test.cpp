@@ -213,5 +213,37 @@ TEST(PatternWorkload, WriteRatioRespected) {
   EXPECT_NEAR(static_cast<double>(stores) / n, 0.4, 0.02);
 }
 
+TEST(NextBatch, ProducesExactlyTheNextStream) {
+  // next_batch must emit the same ops as repeated next(), for any
+  // block size, including across block boundaries.
+  const auto a = make_app("gcc", kMem, 17);
+  const auto b = make_app("gcc", kMem, 17);
+  std::vector<mem::Op> batch(1000);
+  std::size_t got = 0;
+  for (std::size_t block : {1ul, 7ul, 256ul, 300ul}) {
+    const std::size_t n = a->next_batch(batch.data() + got, block);
+    EXPECT_EQ(n, block);
+    got += n;
+  }
+  for (std::size_t i = 0; i < got; ++i) {
+    const mem::Op expect = b->next();
+    EXPECT_EQ(batch[i].kind, expect.kind) << i;
+    EXPECT_EQ(batch[i].addr, expect.addr) << i;
+  }
+}
+
+TEST(NextBatch, CloneContinuesBatchedStream) {
+  const auto w = make_app("lbm", kMem, 3);
+  std::vector<mem::Op> buf(512);
+  w->next_batch(buf.data(), buf.size());  // advance via the batch path
+  const auto clone = w->clone();
+  for (int i = 0; i < 200; ++i) {
+    const mem::Op expect = w->next();
+    const mem::Op got = clone->next();
+    EXPECT_EQ(got.kind, expect.kind) << i;
+    EXPECT_EQ(got.addr, expect.addr) << i;
+  }
+}
+
 }  // namespace
 }  // namespace kyoto::workloads
