@@ -47,6 +47,9 @@
 #include "cache/reference_cache.hpp"
 #include "cache/topology.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/hypervisor.hpp"
 #include "mem/patterns.hpp"
 #include "workloads/pattern_workload.hpp"
 
@@ -295,12 +298,88 @@ FootprintStats run_footprint(const cache::MemSystemConfig& cfg, std::uint64_t qu
   return out;
 }
 
+// ------------------------------------------------------------------
+// Parallel tick engine: end-to-end hypervisor ticks on the 4-socket
+// Table-1 machine (scaled geometry, like the figure benches), the
+// same simulation once per engine width.  threads=1 is the serial
+// engine; threads=2/4 execute socket partitions concurrently.  Every
+// width must produce *bit-identical* per-VM counters and LLC
+// attribution — the exact-agreement check below and the integration
+// suite (parallel_equivalence_test) both enforce it — so the only
+// thing allowed to change is wall-clock time.
+// ------------------------------------------------------------------
+struct ParallelRun {
+  int threads = 1;
+  double seconds = 0.0;
+  std::uint64_t accesses = 0;  // hierarchy accesses in the measured window
+  std::vector<std::uint64_t> agreement;  // serialized end-state, compared across widths
+  double mops() const { return static_cast<double>(accesses) / seconds / 1e6; }
+};
+
+ParallelRun run_parallel_ticks(const cache::Topology& topo, int threads, Tick warmup,
+                               Tick measure) {
+  hv::MachineConfig config;  // scaled Table 1 socket geometry
+  config.topology = topo;
+  hv::Hypervisor hv(config, std::make_unique<hv::CreditScheduler>());
+  hv.set_execution_threads(threads);
+
+  // One looping VM per core, cycling through the fig-1 regimes so
+  // every socket carries the same mix of hit-heavy and miss-heavy
+  // lanes (the miss-heavy lanes dominate the serial tick time).
+  const std::vector<Mix> mixes = mixes_for(config.mem);
+  for (int core = 0; core < topo.total_cores(); ++core) {
+    const Mix& mix = mixes[static_cast<std::size_t>(core) % mixes.size()];
+    hv::VmConfig vm_config;
+    vm_config.name = mix.name + "#" + std::to_string(core);
+    vm_config.loop_workload = true;
+    vm_config.home_node = topo.socket_of(core);
+    hv.create_vm(vm_config, make_workload(mix, 42 + static_cast<std::uint64_t>(core)), core);
+  }
+
+  hv.run_ticks(warmup);
+  auto total_accesses = [&] {
+    std::uint64_t n = 0;
+    for (int core = 0; core < topo.total_cores(); ++core) {
+      n += hv.machine().memory().l1(core).stats().accesses;
+    }
+    return n;
+  };
+  const std::uint64_t before = total_accesses();
+  const auto t0 = std::chrono::steady_clock::now();
+  hv.run_ticks(measure);
+  ParallelRun run;
+  run.threads = threads;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  run.accesses = total_accesses() - before;
+
+  // End-state signature for the exact-agreement check.
+  for (hv::Vm* vm : hv.vms()) {
+    const pmc::CounterSet counters = vm->counters();
+    for (unsigned c = 0; c < pmc::kCounterCount; ++c) run.agreement.push_back(counters.values[c]);
+  }
+  for (int socket = 0; socket < topo.sockets; ++socket) {
+    const auto& llc = hv.machine().memory().llc(socket);
+    run.agreement.push_back(llc.stats().accesses);
+    run.agreement.push_back(llc.stats().hits);
+    run.agreement.push_back(llc.stats().misses);
+    run.agreement.push_back(llc.stats().evictions);
+    for (int vm = 0; vm < hv.vm_count(); ++vm) {
+      run.agreement.push_back(llc.stats_for_vm(vm).misses);
+      run.agreement.push_back(llc.footprint_lines(vm));
+    }
+  }
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_throughput.json";
   double min_mops = 0.0;
   double min_speedup = 0.0;
+  double min_parallel_speedup = 0.0;
+  int max_threads = 4;
   bool quick = bench::quick_mode();
   std::uint64_t ops = 0;  // 0 = pick per mode
 
@@ -316,11 +395,14 @@ int main(int argc, char** argv) {
     if (arg == "--json") json_path = value();
     else if (arg == "--min-mops") min_mops = std::stod(value());
     else if (arg == "--min-speedup") min_speedup = std::stod(value());
+    else if (arg == "--min-parallel-speedup") min_parallel_speedup = std::stod(value());
+    else if (arg == "--threads") max_threads = std::stoi(value());
     else if (arg == "--ops") ops = std::stoull(value());
     else if (arg == "--quick") quick = true;
     else {
       std::cerr << "usage: bench_throughput [--json PATH] [--min-mops X] "
-                   "[--min-speedup X] [--ops N] [--quick]\n";
+                   "[--min-speedup X] [--min-parallel-speedup X] [--threads N] "
+                   "[--ops N] [--quick]\n";
       return 2;
     }
   }
@@ -400,6 +482,51 @@ int main(int argc, char** argv) {
   all_ok &= bench::check("footprint query speedup >= 3x (monitor-tick path)",
                          fp.speedup() >= 3.0);
 
+  // Parallel tick engine on the 4-socket Table-1 machine: the
+  // per-socket partitioned Hypervisor::run_one_tick, swept over
+  // engine widths.  Exact agreement across widths is always enforced;
+  // the speedup is recorded for the trajectory and only *gated* when
+  // the host can actually run the lanes concurrently (ctest floors
+  // stay threads=1 so CI is hardware-agnostic).
+  const cache::Topology table1x4{4, 4};
+  const Tick par_warmup = 2;
+  const Tick par_measure = quick ? 8 : 24;
+  std::vector<int> widths = {1};
+  for (const int t : {2, 4}) {
+    if (t <= max_threads) widths.push_back(t);
+  }
+  std::vector<ParallelRun> par_runs;
+  for (const int threads : widths) {
+    par_runs.push_back(run_parallel_ticks(table1x4, threads, par_warmup, par_measure));
+  }
+  const int host_lanes = ThreadPool::hardware_lanes();
+  TextTable par_table({"machine", "threads", "Maccess/s", "seconds", "speedup"});
+  bool par_agree = true;
+  for (const ParallelRun& run : par_runs) {
+    par_agree &= run.agreement == par_runs.front().agreement;
+    par_table.add_row({"table1x4(scaled)", std::to_string(run.threads),
+                       fmt_double(run.mops(), 2), fmt_double(run.seconds, 2),
+                       fmt_double(run.mops() / par_runs.front().mops(), 2) + "x"});
+  }
+  std::cout << "\n  parallel tick engine (4-socket Table 1, " << par_measure
+            << " ticks, host cpus: " << host_lanes << ")\n"
+            << par_table;
+  all_ok &= bench::check(
+      "parallel engine agrees exactly with serial (per-VM counters, LLC attribution)",
+      par_agree);
+  const double par_best =
+      par_runs.back().mops() / par_runs.front().mops();
+  if (min_parallel_speedup > 0.0) {
+    if (host_lanes >= widths.back()) {
+      all_ok &= bench::check("threads=" + std::to_string(widths.back()) + " speedup >= " +
+                                 fmt_double(min_parallel_speedup, 1) + "x vs serial",
+                             par_best >= min_parallel_speedup);
+    } else {
+      std::cout << "  (parallel speedup gate skipped: host has " << host_lanes
+                << " cpu(s) for " << widths.back() << " lanes)\n";
+    }
+  }
+
   if (min_mops > 0.0) {
     all_ok &= bench::check("current engine >= " + fmt_double(min_mops, 1) +
                                " Maccess/s floor (worst mix)",
@@ -413,7 +540,7 @@ int main(int argc, char** argv) {
 
   // JSON record for the perf trajectory (schema in README.md).
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 1,\n"
+  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 2,\n"
        << "  \"ops_per_mix\": " << ops << ",\n  \"quick\": " << (quick ? "true" : "false")
        << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -434,7 +561,23 @@ int main(int argc, char** argv) {
        << ",\n  \"worst_mix_speedup\": " << worst_speedup
        << ",\n  \"best_mix_speedup\": " << best_speedup
        << ",\n  \"worst_current_maccess_per_sec\": " << worst_mops
-       << ",\n  \"footprint_query_speedup\": " << fp.speedup() << "\n}\n";
+       << ",\n  \"footprint_query_speedup\": " << fp.speedup()
+       // Schema v2 (additive): the per-socket parallel tick sweep.
+       // speedups are only meaningful when host_cpus >= threads.
+       << ",\n  \"parallel\": {\n    \"machine\": \"table1x4_scaled\",\n    \"sockets\": "
+       << table1x4.sockets << ",\n    \"cores\": " << table1x4.total_cores()
+       << ",\n    \"ticks\": " << par_measure << ",\n    \"host_cpus\": " << host_lanes
+       << ",\n    \"exact_agreement\": " << (par_agree ? "true" : "false")
+       << ",\n    \"runs\": [\n";
+  for (std::size_t i = 0; i < par_runs.size(); ++i) {
+    const ParallelRun& r = par_runs[i];
+    json << "      {\"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+         << ", \"accesses\": " << r.accesses << ", \"accesses_per_sec\": "
+         << static_cast<std::uint64_t>(static_cast<double>(r.accesses) / r.seconds)
+         << ", \"speedup_vs_serial\": " << r.mops() / par_runs.front().mops() << "}"
+         << (i + 1 == par_runs.size() ? "\n" : ",\n");
+  }
+  json << "    ]\n  }\n}\n";
   json.close();
   std::cout << "\n  JSON written to " << json_path << '\n';
 

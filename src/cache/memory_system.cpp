@@ -37,9 +37,9 @@ MemorySystem::MemorySystem(const Topology& topology, const MemSystemConfig& conf
                                                    seed * 4000037ull + static_cast<std::uint64_t>(s),
                                                    slots, /*track_attribution=*/true));
   }
-  prefetches_.assign(static_cast<std::size_t>(cores), 0);
-  bus_busy_until_.assign(static_cast<std::size_t>(topology.sockets), 0);
-  bus_queue_cycles_.assign(static_cast<std::size_t>(topology.sockets), 0);
+  prefetches_.assign(static_cast<std::size_t>(cores), {});
+  bus_busy_until_.assign(static_cast<std::size_t>(topology.sockets), {});
+  bus_queue_cycles_.assign(static_cast<std::size_t>(topology.sockets), {});
 }
 
 void MemorySystem::reserve_vm_slots(int vms) {
@@ -65,17 +65,17 @@ void MemorySystem::prefetch_after_miss(int core, Address addr, int vm,
       ++result.prefetch_llc_misses;
     }
     l2_[static_cast<std::size_t>(core)]->access(next, false, req);
-    ++prefetches_[static_cast<std::size_t>(core)];
+    ++prefetches_[static_cast<std::size_t>(core)].value;
   }
 }
 
 Cycles MemorySystem::bus_delay(int socket, std::int64_t now_cycle) {
   // One line transfer occupies the socket's bus for transfer_cycles;
   // a request arriving while the bus is busy queues behind it.
-  auto& busy_until = bus_busy_until_[static_cast<std::size_t>(socket)];
+  auto& busy_until = bus_busy_until_[static_cast<std::size_t>(socket)].value;
   const Cycles wait = static_cast<Cycles>(std::max<std::int64_t>(0, busy_until - now_cycle));
   busy_until = std::max<std::int64_t>(busy_until, now_cycle) + config_.bus.transfer_cycles;
-  bus_queue_cycles_[static_cast<std::size_t>(socket)] += wait;
+  bus_queue_cycles_[static_cast<std::size_t>(socket)].value += wait;
   return wait;
 }
 
@@ -131,12 +131,12 @@ void MemorySystem::access_batch(int core, int home_node, int vm, const BatchAcce
 
 std::uint64_t MemorySystem::prefetches_issued(int core) const {
   KYOTO_CHECK(core >= 0 && static_cast<std::size_t>(core) < prefetches_.size());
-  return prefetches_[static_cast<std::size_t>(core)];
+  return prefetches_[static_cast<std::size_t>(core)].value;
 }
 
 Cycles MemorySystem::bus_queue_cycles(int socket) const {
   KYOTO_CHECK(socket >= 0 && static_cast<std::size_t>(socket) < bus_queue_cycles_.size());
-  return bus_queue_cycles_[static_cast<std::size_t>(socket)];
+  return bus_queue_cycles_[static_cast<std::size_t>(socket)].value;
 }
 
 void MemorySystem::invalidate_private(int core) {

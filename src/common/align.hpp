@@ -1,0 +1,31 @@
+// Cache-line alignment helpers for sharded hot counters.
+//
+// The per-socket parallel tick engine partitions all mutable
+// simulation state by socket, so two worker threads never write the
+// same *object* — but flat per-core / per-socket counter arrays can
+// still place two sockets' elements on one host cache line, and the
+// resulting false sharing serializes the very loops the partition was
+// built to parallelize.  Hot slots written from inside the execution
+// partition therefore live in Padded<T> elements: one slot per host
+// cache line, no two sockets writing the same line.
+#pragma once
+
+#include <cstddef>
+
+namespace kyoto {
+
+/// Host cache-line size used for sharding.  Pinned to 64 bytes (every
+/// x86-64/arm64 part this simulator runs on) rather than
+/// std::hardware_destructive_interference_size, whose value is an ABI
+/// hazard across compiler flags (gcc's -Winterference-size).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// A value padded out to its own cache line.  Used for per-core and
+/// per-socket counters written concurrently by different execution
+/// partitions.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+};
+
+}  // namespace kyoto

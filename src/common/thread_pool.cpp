@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace kyoto {
+
+ThreadPool::ThreadPool(int lanes) : lanes_(lanes < 1 ? 1 : lanes) {
+  workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+  for (int i = 1; i < lanes_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::hardware_lanes() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  bool retired_last = false;
+  while (next_task_ < tasks_) {
+    const std::size_t index = next_task_++;
+    lock.unlock();
+    (*fn_)(index);
+    lock.lock();
+    if (--unfinished_ == 0) retired_last = true;
+  }
+  return retired_last;
+}
+
+void ThreadPool::run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty()) {  // serial pool: no locking, no handoff
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  KYOTO_CHECK_MSG(fn_ == nullptr, "ThreadPool::run is not reentrant");
+  fn_ = &fn;
+  next_task_ = 0;
+  tasks_ = tasks;
+  unfinished_ = tasks;
+  ++batch_;
+  lock.unlock();
+  work_cv_.notify_all();
+  lock.lock();
+  drain(lock);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  fn_ = nullptr;
+  tasks_ = 0;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || (batch_ != seen_batch && fn_ != nullptr); });
+    if (stop_) return;
+    seen_batch = batch_;
+    if (drain(lock)) done_cv_.notify_all();
+  }
+}
+
+}  // namespace kyoto

@@ -1,0 +1,72 @@
+// A small reusable worker pool for partitioned simulation phases.
+//
+// The simulator's parallelism is coarse and deterministic: a tick (or
+// a sweep) splits into a handful of disjoint partitions — one per
+// socket — that are executed concurrently and then merged serially in
+// a fixed order.  The pool therefore offers exactly one primitive,
+// `run(n, fn)`: execute fn(0..n-1) across the workers *and the
+// calling thread*, returning only when every index has finished (the
+// barrier IS the merge point).  Task indices are claimed from a
+// shared counter, so which thread runs which partition is
+// non-deterministic — callers must keep partitions disjoint and do
+// all cross-partition folding after run() returns.  The hypervisor's
+// tick loop is the canonical caller (see README "Threading model").
+//
+// With `lanes == 1` the pool spawns no threads and run() executes
+// inline, so a threads=1 configuration is the serial engine, not a
+// one-worker simulation of it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kyoto {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `lanes` execution lanes total (the caller of
+  /// run() counts as one lane, so `lanes - 1` worker threads are
+  /// spawned).  `lanes < 1` is clamped to 1.
+  explicit ThreadPool(int lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int lanes() const { return lanes_; }
+
+  /// Executes fn(i) for every i in [0, tasks), distributing indices
+  /// over the workers and the calling thread; returns when all have
+  /// completed.  Not reentrant and not thread-safe: one run() at a
+  /// time, always from the owning thread.  `fn` must not throw (the
+  /// simulator's failure mode is KYOTO_CHECK, which aborts).
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+  /// Lanes that can actually run concurrently on this host.
+  static int hardware_lanes();
+
+ private:
+  void worker_loop();
+  /// Claims and runs batch tasks until the batch is drained; returns
+  /// true if this thread retired the last task.
+  bool drain(std::unique_lock<std::mutex>& lock);
+
+  int lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new batch
+  std::condition_variable done_cv_;  // run() waits for batch completion
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t next_task_ = 0;   // next index to claim
+  std::size_t tasks_ = 0;       // total indices in the current batch
+  std::size_t unfinished_ = 0;  // indices not yet retired
+  std::uint64_t batch_ = 0;     // generation counter (wakes workers once per run)
+  bool stop_ = false;
+};
+
+}  // namespace kyoto

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace kyoto::hv {
 
@@ -12,8 +13,11 @@ Hypervisor::Hypervisor(const MachineConfig& machine_config,
   KYOTO_CHECK(scheduler_ != nullptr);
   const auto cores = static_cast<std::size_t>(machine_->topology().total_cores());
   idle_ticks_.assign(cores, 0);
+  slots_.resize(cores);
   scheduler_->attach(*this);
 }
+
+Hypervisor::~Hypervisor() = default;
 
 Vm& Hypervisor::create_vm(const VmConfig& config,
                           std::vector<std::unique_ptr<workloads::Workload>> vcpu_workloads,
@@ -56,6 +60,10 @@ Vm& Hypervisor::create_vm(const VmConfig& config,
 }
 
 void Hypervisor::migrate(Vcpu& vcpu, int new_core) {
+  // Migration re-homes scheduler state and changes the vCPU's socket:
+  // it must happen at the merge points (tick hooks, accounting), never
+  // from inside a socket partition.
+  KYOTO_CHECK_MSG(!in_tick_execution_, "migrate called during tick execution");
   const int cores = machine_->topology().total_cores();
   KYOTO_CHECK_MSG(new_core >= 0 && new_core < cores, "migration target out of range");
   const int old_core = vcpu.pinned_core();
@@ -64,8 +72,23 @@ void Hypervisor::migrate(Vcpu& vcpu, int new_core) {
   scheduler_->vcpu_migrated(vcpu, old_core);
 }
 
+void Hypervisor::set_execution_threads(int threads) {
+  KYOTO_CHECK_MSG(threads >= 1, "execution threads must be >= 1");
+  exec_threads_ = threads;
+  // One partition per socket is the unit of parallelism; extra lanes
+  // would only idle.
+  const int lanes = std::min(threads, machine_->topology().sockets);
+  if (lanes <= 1) {
+    pool_.reset();
+    return;
+  }
+  if (pool_ == nullptr || pool_->lanes() != lanes) {
+    pool_ = std::make_unique<ThreadPool>(lanes);
+  }
+}
+
 void Hypervisor::run_ticks(Tick n) {
-  for (Tick i = 0; i < n; ++i) run_one_tick();
+  run_until([] { return false; }, n);
 }
 
 Tick Hypervisor::run_until(const std::function<bool()>& predicate, Tick max_ticks) {
@@ -77,22 +100,54 @@ Tick Hypervisor::run_until(const std::function<bool()>& predicate, Tick max_tick
   return executed;
 }
 
-void Hypervisor::run_one_tick() {
-  const int cores = machine_->topology().total_cores();
+void Hypervisor::execute_partition(int socket, CoreSlot* slots) {
+  const cache::Topology& topo = machine_->topology();
+  const int cores = topo.total_cores();
+  const int base = topo.first_core(socket);
+  const int per = topo.cores_per_socket;
   const Cycles cpt = machine_->cycles_per_tick();
   const Cycles chunk = std::max<Cycles>(1, cpt / kSubQuantaPerTick);
+  const std::int64_t wall_base = now_ * cpt;
 
-  struct Slot {
-    Vcpu* vcpu = nullptr;
-    Cycles remaining = 0;
-    Cycles ran = 0;
-    pmc::CounterSet pmu_before;
-  };
-  std::vector<Slot> slots(static_cast<std::size_t>(cores));
+  // Interleaved execution: the socket's cores advance in lockstep
+  // sub-quanta so that parallel LLC contention happens at fine grain.
+  // The serial engine rotates the starting core every sub-quantum so
+  // no core systematically goes first (which would give it de-facto
+  // priority at the shared memory bus); restricted to this socket's
+  // contiguous core block, that global rotation is a rotation of the
+  // block starting at the global origin when it falls inside the
+  // block and at the block head otherwise.  Reproducing it here makes
+  // the per-socket execution order — and therefore every LLC/bus/RNG
+  // state transition — identical to the serial engine's.
+  for (int sub = 0; sub < kSubQuantaPerTick; ++sub) {
+    const int origin = sub % cores;
+    const int local = (origin > base && origin < base + per) ? origin - base : 0;
+    for (int j = 0; j < per; ++j) {
+      const int core = base + (local + j) % per;
+      CoreSlot& slot = slots[core];
+      if (slot.vcpu == nullptr || slot.remaining <= 0) continue;
+      const Cycles budget = std::min(chunk, slot.remaining);
+      const auto result =
+          machine_->run_vcpu(*slot.vcpu, core, budget, wall_base + slot.ran);
+      slot.ran += result.cycles_used;
+      slot.remaining -= std::max<Cycles>(result.cycles_used, 1);
+      if (result.vcpu_halted) slot.remaining = 0;  // completed, core idles out the tick
+    }
+  }
+}
 
+void Hypervisor::run_one_tick() {
+  const int cores = machine_->topology().total_cores();
+  const int sockets = machine_->topology().sockets;
+  const Cycles cpt = machine_->cycles_per_tick();
+
+  // --- prologue (serial, fixed core order): scheduler decisions are
+  // frozen before any execution so partitions never touch scheduler
+  // state.
   for (int core = 0; core < cores; ++core) {
+    auto& slot = slots_[static_cast<std::size_t>(core)];
+    slot = CoreSlot{};
     Vcpu* v = scheduler_->pick(core, now_);
-    auto& slot = slots[static_cast<std::size_t>(core)];
     if (v == nullptr) {
       ++idle_ticks_[static_cast<std::size_t>(core)];
       continue;
@@ -107,28 +162,31 @@ void Hypervisor::run_one_tick() {
     ++sched_tick_count_[static_cast<std::size_t>(v->id())];
   }
 
-  // Interleaved execution: cores advance in lockstep sub-quanta so
-  // that parallel LLC contention happens at fine grain.  The starting
-  // core rotates every sub-quantum so no core systematically goes
-  // first (which would give it de-facto priority at the shared
-  // memory bus).
-  const std::int64_t wall_base = now_ * cpt;
-  for (int sub = 0; sub < kSubQuantaPerTick; ++sub) {
-    for (int i = 0; i < cores; ++i) {
-      const int core = (i + sub) % cores;
-      auto& slot = slots[static_cast<std::size_t>(core)];
-      if (slot.vcpu == nullptr || slot.remaining <= 0) continue;
-      const Cycles budget = std::min(chunk, slot.remaining);
-      const auto result =
-          machine_->run_vcpu(*slot.vcpu, core, budget, wall_base + slot.ran);
-      slot.ran += result.cycles_used;
-      slot.remaining -= std::max<Cycles>(result.cycles_used, 1);
-      if (result.vcpu_halted) slot.remaining = 0;  // completed, core idles out the tick
-    }
+  // --- execution: one partition per socket.  Serial when no pool is
+  // configured (or the machine has one socket); the pool barrier
+  // otherwise.  Either way the post-execution state is bit-identical:
+  // partitions share no mutable state, and within a partition the
+  // sub-quantum order matches the serial engine.
+  CoreSlot* slots = slots_.data();
+  in_tick_execution_ = true;
+  if (pool_ != nullptr && sockets > 1) {
+    ThreadPool& pool = *pool_;
+    pool.run(static_cast<std::size_t>(sockets),
+             [this, slots](std::size_t socket) {
+               execute_partition(static_cast<int>(socket), slots);
+             });
+  } else {
+    for (int socket = 0; socket < sockets; ++socket) execute_partition(socket, slots);
   }
+  in_tick_execution_ = false;
 
+  // --- epilogue (serial, fixed core order): the deterministic merge.
+  // Per-socket results are folded back through PMC switch-out and
+  // scheduler accounting in core order, so scheduler events, monitor
+  // attributions and any stats the hooks read are ordered exactly as
+  // in the serial engine regardless of which thread ran which socket.
   for (int core = 0; core < cores; ++core) {
-    auto& slot = slots[static_cast<std::size_t>(core)];
+    auto& slot = slots_[static_cast<std::size_t>(core)];
     if (slot.vcpu == nullptr) continue;
     slot.vcpu->counters().switch_out(machine_->pmu(core));
     RunReport report;

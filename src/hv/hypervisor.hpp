@@ -9,6 +9,16 @@
 // vanish).  After execution, each vCPU's burst is accounted to the
 // scheduler together with its perfctr PMC delta; every third tick the
 // slice ends (Xen's 30 ms accounting period).
+//
+// Execution is partitioned per socket (see README "Threading model"):
+// cores of different sockets share no mutable state during a tick —
+// private L1/L2 and PMU per core, LLC / memory bus / replacement RNG
+// per socket, scheduler decisions frozen in the serial prologue — so
+// each socket's sub-quantum interleaving can run on its own thread
+// while producing bit-identical results to the serial engine.  The
+// prologue (scheduler picks) and epilogue (PMC accounting, tick
+// hooks) always run serially in fixed core order: they ARE the
+// deterministic merge.
 #pragma once
 
 #include <functional>
@@ -16,9 +26,14 @@
 #include <string>
 #include <vector>
 
+#include "common/align.hpp"
 #include "hv/machine.hpp"
 #include "hv/scheduler.hpp"
 #include "hv/vm.hpp"
+
+namespace kyoto {
+class ThreadPool;
+}
 
 namespace kyoto::hv {
 
@@ -28,6 +43,7 @@ class Hypervisor {
   static constexpr int kSubQuantaPerTick = 64;
 
   Hypervisor(const MachineConfig& machine_config, std::unique_ptr<Scheduler> scheduler);
+  ~Hypervisor();
 
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
@@ -49,6 +65,13 @@ class Hypervisor {
   /// accesses now pay the remote latency if the new core is on
   /// another node (Fig 9's overhead).
   void migrate(Vcpu& vcpu, int new_core);
+
+  /// Tick-execution worker threads.  1 (default) runs the serial
+  /// engine; N > 1 executes up to min(N, sockets) socket partitions
+  /// concurrently — results are bit-identical either way, which
+  /// tests/integration/parallel_equivalence_test.cpp enforces.
+  void set_execution_threads(int threads);
+  int execution_threads() const { return exec_threads_; }
 
   /// Advances virtual time.
   void run_ticks(Tick n);
@@ -79,7 +102,25 @@ class Hypervisor {
   std::int64_t sched_ticks(const Vcpu& vcpu) const;
 
  private:
+  /// Per-core execution state of the tick in flight.  Padded to a
+  /// cache line: `ran`/`remaining` are written from inside the socket
+  /// partitions, and adjacent cores across a socket boundary must not
+  /// share a host line.
+  struct alignas(kCacheLineBytes) CoreSlot {
+    Vcpu* vcpu = nullptr;
+    Cycles remaining = 0;
+    Cycles ran = 0;
+    pmc::CounterSet pmu_before;
+  };
+
+  /// The single tick entry point (run_ticks and run_until both funnel
+  /// here, so instrumentation cannot diverge between them): serial
+  /// prologue -> per-socket execution -> serial merge/epilogue.
   void run_one_tick();
+  /// Executes one socket's cores through the tick's sub-quantum
+  /// interleaving.  Touches only socket-local state; safe to run
+  /// concurrently for different sockets.
+  void execute_partition(int socket, CoreSlot* slots);
 
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -90,6 +131,10 @@ class Hypervisor {
   int next_default_core_ = 0;
   std::vector<std::int64_t> idle_ticks_;        // per core
   std::vector<std::int64_t> sched_tick_count_;  // per vcpu id
+  std::vector<CoreSlot> slots_;                 // per core, reused every tick
+  int exec_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // non-null only when partitions run concurrently
+  bool in_tick_execution_ = false;    // guards structural mutation from partitions
 };
 
 }  // namespace kyoto::hv

@@ -15,6 +15,12 @@
 // KS4Pisces all embed one and differ only in which base scheduler
 // they extend — mirroring how the paper ported ~110 LOCs across Xen,
 // Linux/CFS and Pisces.
+//
+// All controller entry points (account from scheduler accounting,
+// on_tick from the tick hooks, slice_end) execute in the tick's
+// serial epilogue in fixed core/VM order, so quota debits and
+// punishment transitions are deterministic regardless of how many
+// threads executed the tick's socket partitions.
 #pragma once
 
 #include <cstdint>

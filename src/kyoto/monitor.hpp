@@ -27,6 +27,17 @@
 //    VM's instruction stream and replay it in a McSimA+-style
 //    simulator with a private cache hierarchy on a dedicated host;
 //    the replayed PMCs are intrinsic by construction.
+//
+// Threading contract (see README "Threading model"): both monitor
+// entry points run at the hypervisor tick's *merge points*, never
+// inside a socket execution partition — pollution_rate() from the
+// scheduler's accounting in the serial epilogue (fixed core order),
+// on_tick() from the serial tick hooks after accounting.  Monitors
+// therefore always observe fully merged machine state and may freely
+// migrate vCPUs across sockets (SocketDedicationMonitor does), read
+// any socket's LLC attribution, or clone workloads — the parallel
+// equivalence suite pins that none of this can observe a
+// half-executed tick.
 #pragma once
 
 #include <cstdint>

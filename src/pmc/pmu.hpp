@@ -7,11 +7,16 @@
 // monotonically increasing core counts into per-vCPU counts.
 #pragma once
 
+#include "common/align.hpp"
 #include "pmc/counters.hpp"
 
 namespace kyoto::pmc {
 
-class CorePmu {
+/// Padded to a host cache line: PMUs of adjacent cores are written
+/// concurrently when the hypervisor executes socket partitions on
+/// separate threads, and cores across a socket boundary must not
+/// false-share a line.
+class alignas(kCacheLineBytes) CorePmu {
  public:
   void add(Counter c, std::uint64_t n) { counters_.add(c, n); }
 

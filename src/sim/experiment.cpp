@@ -34,6 +34,7 @@ VmMetrics metrics_from_delta(const std::string& name, const pmc::CounterSet& del
 std::unique_ptr<hv::Hypervisor> build_scenario(const RunSpec& spec,
                                                const std::vector<VmPlan>& plans) {
   auto hv = std::make_unique<hv::Hypervisor>(spec.machine, spec.scheduler());
+  hv->set_execution_threads(spec.threads);
   std::uint64_t seed = spec.seed;
   for (const auto& plan : plans) {
     KYOTO_CHECK_MSG(!plan.pinned_cores.empty(), "VmPlan needs at least one pinned core");

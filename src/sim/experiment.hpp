@@ -40,6 +40,12 @@ struct RunSpec {
   /// Measurement window length.
   Tick measure_ticks = 60;
   std::uint64_t seed = 42;
+  /// Tick-execution threads (Hypervisor::set_execution_threads): 1 =
+  /// serial engine, N > 1 runs up to min(N, sockets) socket
+  /// partitions concurrently.  Results are bit-identical either way
+  /// (tests/integration/parallel_equivalence_test.cpp), so this is
+  /// purely a wall-clock knob.
+  int threads = 1;
 };
 
 /// One VM to place.
