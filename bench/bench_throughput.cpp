@@ -539,10 +539,13 @@ int main(int argc, char** argv) {
   }
 
   // JSON record for the perf trajectory (schema in README.md).
+  // Schema v3 (additive over v2): host_cpus at the top level, so a
+  // trajectory reader never has to dig into the `parallel` sub-object
+  // to learn what hardware recorded the point.
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 2,\n"
+  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 3,\n"
        << "  \"ops_per_mix\": " << ops << ",\n  \"quick\": " << (quick ? "true" : "false")
-       << ",\n  \"runs\": [\n";
+       << ",\n  \"host_cpus\": " << host_lanes << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     for (const auto* e : {&r.base, &r.cur}) {

@@ -13,9 +13,10 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "kyoto/ks4xen.hpp"
 #include "kyoto/monitor.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
@@ -91,7 +92,6 @@ int main() {
   auto factory = [&](const std::string& app) {
     return [app, mem](std::uint64_t s) { return workloads::make_app(app, mem, s); };
   };
-  const auto victim_solo = sim::run_solo(spec, factory(kVictim.app), kVictim.app);
   const double standard_permit = 15.0;
   auto booked_permit = [&](const hv::Vm* vm) {
     if (vm == polluter) return standard_permit;
@@ -119,15 +119,26 @@ int main() {
     return plans;
   };
 
-  spec.scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
-  const auto before = sim::run_scenario(spec, build_plans(false));
+  // The solo baseline and the before/after colocations are three
+  // independent scenarios — one sharded sweep, one lane per job.
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  const std::size_t solo_job = sweep.add_solo(spec, factory(kVictim.app), kVictim.app,
+                                              kVictim.app);
+  sim::RunSpec xcs_spec = spec;
+  xcs_spec.scheduler = [] { return std::make_unique<hv::CreditScheduler>(); };
+  const std::size_t before_job = sweep.add(xcs_spec, build_plans(false), "xcs");
   // Attribution matters on a 4-tenant host: with raw per-vCPU PMCs the
   // victim would be blamed for misses its neighbours induce (§3.3), so
   // production KS4Xen runs with the replay monitor.
-  spec.scheduler = [] {
+  sim::RunSpec ks_spec = spec;
+  ks_spec.scheduler = [] {
     return std::make_unique<core::Ks4Xen>(std::make_unique<core::McSimMonitor>());
   };
-  const auto after = sim::run_scenario(spec, build_plans(true));
+  const std::size_t after_job = sweep.add(ks_spec, build_plans(true), "ks4xen");
+  const auto results = sweep.run();
+  const auto& victim_solo = results.at(solo_job).vms.at(0);
+  const auto& before = results.at(before_job);
+  const auto& after = results.at(after_job);
 
   TextTable outcome({"VM", "norm. perf before", "norm. perf after (KS4Xen)",
                      "punished ticks"});

@@ -5,15 +5,21 @@
 // (gcc) sharing the LLC with a disruptive one (lbm).  Prints how much
 // of gcc's solo performance survives under each scheduler.
 //
+// The three runs are independent scenarios, so they execute as one
+// sharded sweep (sim::SweepRunner): each comparison requests the gcc
+// solo baseline it normalizes against, and the runner's memoized solo
+// cache simulates it exactly once.
+//
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <iostream>
 #include <memory>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "hv/credit_scheduler.hpp"
 #include "kyoto/ks4xen.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
@@ -28,8 +34,11 @@ int main() {
   const auto gcc = [mem](std::uint64_t seed) { return workloads::make_app("gcc", mem, seed); };
   const auto lbm = [mem](std::uint64_t seed) { return workloads::make_app("lbm", mem, seed); };
 
-  // 1. gcc alone: the baseline its owner paid for.
-  const auto solo = sim::run_solo(spec, gcc, "gcc");
+  // 1. gcc alone: the baseline its owner paid for.  Batch 1, because
+  //    the KS4Xen permit below is sized from the solo pollution level.
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  sweep.add_solo(spec, gcc, "gcc", "gcc");
+  const auto solo = sweep.run().at(0).vms.at(0);
 
   // 2. gcc + lbm on two cores of the same socket, vanilla credit scheduler.
   sim::VmPlan sen;
@@ -43,16 +52,25 @@ int main() {
   dis.workload = lbm;
   dis.pinned_cores = {1};
 
-  const auto xcs = sim::run_scenario(spec, {sen, dis});
+  // Each comparison row books its own baseline request; the memo
+  // cache answers both from step 1's simulation.
+  sweep.add_solo(spec, gcc, "gcc", "gcc");
+  const std::size_t xcs_job = sweep.add(spec, {sen, dis}, "xcs");
 
   // 3. Same colocation under KS4Xen: both VMs book a pollution permit
   //    sized from gcc's solo pollution level — gcc stays within it,
   //    lbm blows through it and gets punished.
   const double permit = solo.llc_cap_act * 1.5 + 5.0;
-  spec.scheduler = [] { return std::make_unique<core::Ks4Xen>(); };
+  sim::RunSpec ks_spec = spec;
+  ks_spec.scheduler = [] { return std::make_unique<core::Ks4Xen>(); };
   sen.config.llc_cap = permit;
   dis.config.llc_cap = permit;
-  const auto ks = sim::run_scenario(spec, {sen, dis});
+  sweep.add_solo(spec, gcc, "gcc", "gcc");
+  const std::size_t ks_job = sweep.add(ks_spec, {sen, dis}, "ks4xen");
+
+  const auto results = sweep.run();
+  const auto& xcs = results.at(xcs_job);
+  const auto& ks = results.at(ks_job);
 
   TextTable table({"scenario", "gcc IPC", "degradation vs solo", "lbm punished ticks"});
   table.add_row({"gcc alone", fmt_double(solo.ipc, 3), "-", "-"});
@@ -68,5 +86,9 @@ int main() {
 
   std::cout << "gcc solo pollution (Equation 1): " << fmt_double(solo.llc_cap_act, 1)
             << " misses/ms; booked permit: " << fmt_double(permit, 0) << " misses/ms\n";
+  std::cout << "sweep: " << sweep.lanes() << " lane(s); solo baselines "
+            << sweep.solo_requests() << " requested, "
+            << (sweep.solo_requests() - sweep.solo_memo_hits())
+            << " simulated (memoized solo cache)\n";
   return 0;
 }

@@ -1,6 +1,13 @@
 // Scenario-file runner: the simulator as a standalone tool.
 //
-//   ./scenario_runner my-experiment.kyoto
+//   ./scenario_runner sweep-a.kyoto sweep-b.kyoto ...   # one job per file
+//   ./scenario_runner --lanes 4 fig6-*.kyoto            # sharded execution
+//
+// Every scenario file is an independent job, so a multi-file
+// invocation runs as a sharded sweep (sim::SweepRunner, one private
+// hypervisor per lane) and prints the reports in argument order —
+// results are byte-identical at any lane count.  --lanes defaults to
+// the host CPU count.
 //
 // Without an argument it writes a demonstration scenario next to the
 // binary, prints it, and runs it — so the example is self-contained.
@@ -10,8 +17,11 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/scenario_file.hpp"
+#include "sim/sweep_runner.hpp"
 
 using namespace kyoto;
 
@@ -55,27 +65,64 @@ measure_ticks = 90
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string path;
-  if (argc > 1) {
-    path = argv[1];
-  } else {
-    path = "demo_scenario.kyoto";
+  int lanes = ThreadPool::hardware_lanes();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lanes") {
+      if (i + 1 >= argc) {
+        std::cerr << "--lanes needs a value\n";
+        return 2;
+      }
+      try {
+        lanes = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "--lanes needs an integer, got '" << argv[i] << "'\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: scenario_runner [--lanes N] [scenario.kyoto ...]\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    const std::string path = "demo_scenario.kyoto";
     std::ofstream out(path);
     out << kDemoScenario;
     std::cout << "No scenario given; wrote and running the demo scenario '" << path
               << "':\n\n"
               << kDemoScenario << '\n';
+    paths.push_back(path);
   }
 
   try {
-    const sim::Scenario scenario = sim::load_scenario_file(path);
-    std::cout << "Running " << scenario.plans.size() << " VM(s) for "
-              << scenario.spec.warmup_ticks << "+" << scenario.spec.measure_ticks
-              << " ticks...\n\n";
-    std::cout << sim::run_scenario_report(scenario) << '\n';
+    // Parse everything first (strict errors before any simulation),
+    // then run the files as one sharded sweep and report in argument
+    // order.
+    std::vector<sim::Scenario> scenarios;
+    scenarios.reserve(paths.size());
+    sim::SweepRunner sweep(lanes);
+    for (const std::string& path : paths) {
+      scenarios.push_back(sim::load_scenario_file(path));
+      sweep.add(scenarios.back().spec, scenarios.back().plans, path);
+    }
+    if (paths.size() > 1) {
+      std::cout << "Running " << paths.size() << " scenario(s) over " << sweep.lanes()
+                << " lane(s)...\n\n";
+    }
+    const auto outcomes = sweep.run();
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      std::cout << paths[i] << ": " << scenarios[i].plans.size() << " VM(s), "
+                << scenarios[i].spec.warmup_ticks << "+"
+                << scenarios[i].spec.measure_ticks << " ticks\n\n"
+                << sim::scenario_report(scenarios[i], outcomes[i]) << '\n';
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
   return 0;
 }
+

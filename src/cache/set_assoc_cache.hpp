@@ -209,23 +209,29 @@ class SetAssocCache {
     return pow2_geometry_ ? addr >> line_shift_ : addr / geometry_.line;
   }
 
-  /// Match-mask scan with a compile-time way count: the constant trip
-  /// count lets the compiler unroll/vectorize, and four independent
-  /// accumulators break the or-chain dependency.
+  /// Four-lane vector of tag words (GCC/Clang vector extension: lowers
+  /// to AVX2/SSE/NEON where available, scalar otherwise — the computed
+  /// match mask is identical either way).
+  typedef Address TagVec __attribute__((vector_size(4 * sizeof(Address))));
+
+  /// Word-wise branch-free tag probe with a compile-time way count:
+  /// each step compares four tag words at once, converts the lane
+  /// compare result (~0 per equal lane) into that lane's way bit while
+  /// still in the vector domain, and OR-accumulates — one horizontal
+  /// reduction at the end yields the same match bitmask the scalar
+  /// loop builds (at most one bit: a set never holds a tag twice).
   template <unsigned W>
   static unsigned find_fixed(const Address* tags, std::uint64_t valid, Address tag) {
-    std::uint64_t m0 = 0, m1 = 0, m2 = 0, m3 = 0;
-    unsigned w = 0;
-    for (; w + 4 <= W; w += 4) {
-      m0 |= static_cast<std::uint64_t>(tags[w] == tag) << w;
-      m1 |= static_cast<std::uint64_t>(tags[w + 1] == tag) << (w + 1);
-      m2 |= static_cast<std::uint64_t>(tags[w + 2] == tag) << (w + 2);
-      m3 |= static_cast<std::uint64_t>(tags[w + 3] == tag) << (w + 3);
+    static_assert(W % 4 == 0 && W <= 64, "vector probe needs a multiple of 4 ways");
+    const TagVec splat = {tag, tag, tag, tag};
+    TagVec acc = {0, 0, 0, 0};
+    for (unsigned w = 0; w < W; w += 4) {
+      TagVec row;
+      __builtin_memcpy(&row, tags + w, sizeof(row));  // rows are 8-byte aligned only
+      const TagVec lane_bit = {1ull << w, 2ull << w, 4ull << w, 8ull << w};
+      acc |= TagVec(row == splat) & lane_bit;  // lane compare reinterpreted unsigned
     }
-    std::uint64_t match = (m0 | m1) | (m2 | m3);
-    for (; w < W; ++w) {
-      match |= static_cast<std::uint64_t>(tags[w] == tag) << w;
-    }
+    std::uint64_t match = (acc[0] | acc[1]) | (acc[2] | acc[3]);
     match &= valid;
     return match != 0 ? static_cast<unsigned>(std::countr_zero(match)) : kNoWay;
   }

@@ -25,6 +25,9 @@ VmMetrics metrics_from_delta(const std::string& name, const pmc::CounterSet& del
   m.llc_cap_act = core::equation1(delta, freq_khz);
   if (window_ticks > 0) {
     m.throughput = static_cast<double>(m.instructions) / static_cast<double>(window_ticks);
+    const double budget =
+        static_cast<double>(window_ticks) * static_cast<double>(cycles_per_tick(freq_khz));
+    m.cpu_share_pct = static_cast<double>(m.cycles) / budget * 100.0;
   }
   return m;
 }

@@ -71,13 +71,24 @@ struct VmMetrics {
   /// for degradation percentages (captures both IPC loss and CPU
   /// deprivation).
   double throughput = 0.0;
+  /// On-CPU cycles as a percentage of ONE core's cycle budget over the
+  /// window (so a multi-vCPU VM can exceed 100).  The CPU-share lever
+  /// the schedulers pull: punished VMs show it dropping.
+  double cpu_share_pct = 0.0;
   std::int64_t punish_events = 0;
   std::int64_t punished_ticks = 0;
+
+  /// Exact equality — the simulator is deterministic, so equal runs
+  /// produce bit-equal metrics (the sweep determinism gate relies on
+  /// this; never weaken it to tolerances).
+  bool operator==(const VmMetrics&) const = default;
 };
 
 struct RunOutcome {
   std::vector<VmMetrics> vms;  // in VmPlan order
   Tick measured_ticks = 0;
+
+  bool operator==(const RunOutcome&) const = default;
 };
 
 /// Builds the hypervisor, creates the planned VMs and returns it

@@ -272,6 +272,10 @@ Scenario parse_scenario(const std::string& text) {
           scenario.spec.measure_ticks = parse_int(value, line_no);
         } else if (key == "seed") {
           scenario.spec.seed = static_cast<std::uint64_t>(parse_int(value, line_no));
+        } else if (key == "threads") {
+          const long threads = parse_int(value, line_no);
+          if (threads < 1) fail(line_no, "threads must be >= 1");
+          scenario.spec.threads = static_cast<int>(threads);
         } else {
           fail(line_no, "unknown [run] key '" + key + "'");
         }
@@ -367,8 +371,9 @@ Scenario load_scenario_file(const std::string& path) {
   return parse_scenario(buffer.str());
 }
 
-std::string run_scenario_report(const Scenario& scenario) {
-  const RunOutcome outcome = run_scenario(scenario.spec, scenario.plans);
+std::string scenario_report(const Scenario& scenario, const RunOutcome& outcome) {
+  KYOTO_CHECK_MSG(outcome.vms.size() == scenario.plans.size(),
+                  "outcome does not belong to this scenario");
   TextTable table({"VM", "IPC", "instr/tick", "llc_cap_act (miss/ms)", "punish events",
                    "punished ticks"});
   for (const auto& vm : outcome.vms) {
@@ -377,6 +382,10 @@ std::string run_scenario_report(const Scenario& scenario) {
                    fmt_count(vm.punished_ticks)});
   }
   return table.to_string();
+}
+
+std::string run_scenario_report(const Scenario& scenario) {
+  return scenario_report(scenario, run_scenario(scenario.spec, scenario.plans));
 }
 
 }  // namespace kyoto::sim

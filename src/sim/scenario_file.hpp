@@ -25,6 +25,7 @@
 //   [run]
 //   warmup_ticks = 6
 //   measure_ticks = 60
+//   threads = 1               # per-job tick-execution threads (RunSpec::threads)
 //
 // Parsing is strict: unknown sections/keys, malformed values and
 // unknown applications raise std::logic_error with a line number.
@@ -52,6 +53,12 @@ Scenario parse_scenario(const std::string& text);
 
 /// Reads and parses a scenario file from disk.
 Scenario load_scenario_file(const std::string& path);
+
+/// Renders an already-computed outcome of `scenario` as an ASCII
+/// table (one row per VM) — the formatting half of
+/// run_scenario_report, so sweep drivers can execute scenarios
+/// through sim::SweepRunner and format afterwards.
+std::string scenario_report(const Scenario& scenario, const RunOutcome& outcome);
 
 /// Runs a parsed scenario and renders the per-VM metrics as an ASCII
 /// table (one row per VM).

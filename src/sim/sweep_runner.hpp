@@ -1,0 +1,125 @@
+// Sharded sweep execution: one hypervisor per lane.
+//
+// Every paper figure is a *sweep* — N VM mixes × M schedulers, each
+// needing its own solo baseline — and the jobs are completely
+// independent: each one builds a private Hypervisor from its
+// (RunSpec, VmPlans) and never shares simulator state with any other.
+// SweepRunner exploits exactly that: jobs are submitted in order,
+// executed over the common ThreadPool with whole-job granularity
+// (shards share *nothing*, unlike the per-socket intra-tick
+// parallelism of PR 2, which still composes: a job's RunSpec::threads
+// keeps working inside a shard), and results always land in
+// submission order regardless of which lane finished first.
+//
+// Because every job is deterministic given its spec (and
+// lane-count-independent — the parallel tick engine is bit-identical
+// to serial), sharded results are byte-for-byte the ones the serial
+// loop produces; tests/sim/sweep_runner_test.cpp is the gate.
+//
+// Solo-baseline memoization.  Figure drivers re-simulate the same
+// solo run once per comparison (quickstart, scheduler_tour and the
+// fig benches all normalize several scenarios against one baseline).
+// add_solo() therefore memoizes outcomes under a canonical key —
+// (machine config, workload id, seed, measurement window) — so
+// duplicate baselines simulate once and every requester gets a copy.
+// The cache persists across run() batches; RunSpec::threads is
+// deliberately *excluded* from the key (parallel == serial by the
+// PR-2 contract, so the outcome cannot depend on it).  The scheduler
+// factory is not hashable, so add_solo makes the key honest by
+// construction: solo baselines always execute under the *default*
+// scheduler (spec.scheduler is ignored) — baselining under a specific
+// scheduler setup is a one-VM scenario, expressed with add().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace kyoto {
+class ThreadPool;
+}
+
+namespace kyoto::sim {
+
+/// Canonical memoization key for a solo-baseline run: serializes the
+/// machine config (topology, cache geometry, latencies, policies,
+/// prefetch/bus, clock, machine seed), the workload identity, the
+/// workload seed and the measurement window.  Excludes
+/// RunSpec::threads (bit-identical by contract) and the scheduler
+/// factory (see header comment).
+std::string solo_memo_key(const RunSpec& spec, const std::string& workload_id,
+                          const std::string& vm_name);
+
+class SweepRunner {
+ public:
+  /// `lanes` execution lanes (the calling thread counts as one, as in
+  /// ThreadPool); values < 1 clamp to 1, where run() degenerates to
+  /// the plain serial loop with no pool and no locking.
+  explicit SweepRunner(int lanes = 1);
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  int lanes() const { return lanes_; }
+
+  /// Enqueues one scenario job; returns its index into the vector
+  /// run() returns.  Plans are validated here, on the calling thread,
+  /// so malformed jobs throw at submission rather than inside a lane.
+  std::size_t add(RunSpec spec, std::vector<VmPlan> plans, std::string label = "");
+
+  /// Enqueues a solo-baseline job (single VM named `vm_name`, pinned
+  /// to core 0, exactly like run_solo) — always executed under the
+  /// default scheduler; `spec.scheduler` is ignored (see header
+  /// comment).  `workload_id` identifies the workload for memoization
+  /// — two add_solo calls with equal keys simulate once and both
+  /// receive the outcome.  The solo VM's metrics are outcome.vms[0].
+  std::size_t add_solo(const RunSpec& spec, const WorkloadFactory& factory,
+                       const std::string& workload_id, const std::string& vm_name = "solo");
+
+  /// Number of jobs submitted and not yet run.
+  std::size_t pending() const { return jobs_.size(); }
+
+  /// Executes every pending job — deduplicated solos once, everything
+  /// else one hypervisor per job — across the lanes, and returns the
+  /// outcomes *in submission order* (index = the value add/add_solo
+  /// returned).  Clears the batch; the solo memo cache persists, so a
+  /// later batch reuses earlier baselines without re-running them.
+  /// If a job throws inside a lane, the first error (in submission
+  /// order) is rethrown here after the batch barrier.
+  std::vector<RunOutcome> run();
+
+  // Memoization accounting (cumulative over the runner's lifetime).
+  std::uint64_t solo_requests() const { return solo_requests_; }
+  std::uint64_t solo_memo_hits() const { return solo_memo_hits_; }
+  /// Fraction of solo requests answered from the cache (0 when none).
+  double solo_hit_rate() const {
+    return solo_requests_ == 0
+               ? 0.0
+               : static_cast<double>(solo_memo_hits_) / static_cast<double>(solo_requests_);
+  }
+
+ private:
+  struct Job {
+    RunSpec spec;
+    std::vector<VmPlan> plans;
+    std::string label;
+    /// Memo key for solo jobs; empty for plain scenario jobs.
+    std::string memo_key;
+  };
+
+  int lanes_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // non-null only when lanes_ > 1
+  std::vector<Job> jobs_;
+  /// Outcomes of executed solo baselines, by memo key.
+  std::unordered_map<std::string, RunOutcome> solo_cache_;
+  std::uint64_t solo_requests_ = 0;
+  std::uint64_t solo_memo_hits_ = 0;
+};
+
+}  // namespace kyoto::sim

@@ -7,6 +7,7 @@
 
 #include "hv/credit_scheduler.hpp"
 #include "kyoto/ks4xen.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace kyoto::sim {
 namespace {
@@ -60,6 +61,32 @@ TEST(ScenarioFile, RunsEndToEnd) {
   const auto report = run_scenario_report(s);
   EXPECT_NE(report.find("tenant-a"), std::string::npos);
   EXPECT_NE(report.find("noisy"), std::string::npos);
+}
+
+TEST(ScenarioFile, SweptScenariosMatchSerialReports) {
+  // The scenario_runner path: several files executed as one sharded
+  // sweep must render exactly the reports the serial path renders.
+  const Scenario a = parse_scenario(kBasic);
+  const Scenario b = parse_scenario(
+      "[machine]\ntopology = 1x4\nscale = 64\n[vm solo]\napp = hmmer\n"
+      "[run]\nwarmup_ticks = 3\nmeasure_ticks = 9\n");
+  SweepRunner sweep(2);
+  sweep.add(a.spec, a.plans, "a");
+  sweep.add(b.spec, b.plans, "b");
+  const auto outcomes = sweep.run();
+  EXPECT_EQ(scenario_report(a, outcomes.at(0)), run_scenario_report(a));
+  EXPECT_EQ(scenario_report(b, outcomes.at(1)), run_scenario_report(b));
+  // The formatter refuses an outcome that does not belong to the
+  // scenario (wrong VM count).
+  EXPECT_THROW(scenario_report(a, outcomes.at(1)), std::logic_error);
+}
+
+TEST(ScenarioFile, ThreadsKeyWiresRunSpec) {
+  const Scenario s = parse_scenario(
+      "[vm a]\napp = gcc\n[run]\nthreads = 4\nmeasure_ticks = 6\n");
+  EXPECT_EQ(s.spec.threads, 4);
+  EXPECT_EQ(s.spec.measure_ticks, 6);
+  EXPECT_EQ(parse_scenario("[vm a]\napp = gcc\n").spec.threads, 1);
 }
 
 TEST(ScenarioFile, DefaultsWhenSectionsOmitted) {
@@ -127,6 +154,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"bad_punish", "[scheduler]\npunish = flog\n", "punish"},
         BadCase{"no_vms", "[machine]\ntopology = 1x4\n", "no [vm]"},
         BadCase{"bad_bool", "[vm a]\napp = gcc\nloop = perhaps\n", "boolean"},
+        BadCase{"bad_threads", "[vm a]\napp = gcc\n[run]\nthreads = 0\n",
+                "threads must be >= 1"},
         BadCase{"bad_replacement", "[machine]\nllc_replacement = FIFO\n",
                 "replacement"}),
     [](const auto& info) { return std::string(info.param.name); });

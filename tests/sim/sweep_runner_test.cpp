@@ -1,0 +1,218 @@
+// SweepRunner acceptance gate: sharded execution must be
+// *byte-identical* to the serial loop at every lane count — same
+// per-job RunOutcomes, same ordering — including with solo
+// memoization collapsing duplicate baselines.  Exact equality by
+// design; never weaken to tolerances.
+#include "sim/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kyoto/ks4xen.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+VmPlan plan_for(const char* app, const RunSpec& spec, int core, bool loop,
+                double llc_cap = 0.0) {
+  VmPlan plan;
+  plan.config.name = app;
+  plan.config.loop_workload = loop;
+  plan.config.llc_cap = llc_cap;
+  plan.workload = test::app_factory(app, spec.machine);
+  plan.pinned_cores = {core};
+  return plan;
+}
+
+/// A figure-style batch: mixes × schedulers across two machines, with
+/// duplicated solo baselines sprinkled between scenario jobs.  The
+/// constructor computes, per job index, what the serial loop produces
+/// (plain run_scenario/run_solo — the oracle); submit() enqueues the
+/// identical jobs into a SweepRunner.
+class Batch {
+ public:
+  Batch() {
+    // Mix 1 on the default scaled machine, XCS then KS4Xen.
+    RunSpec spec = test::quick_spec(3, 12);
+    scenario(spec, {plan_for("gcc", spec, 0, false), plan_for("lbm", spec, 1, true)});
+    solo(spec, "gcc");
+    RunSpec kyoto_spec = spec;
+    kyoto_spec.scheduler = [] { return std::make_unique<core::Ks4Xen>(); };
+    scenario(kyoto_spec, {plan_for("gcc", kyoto_spec, 0, false, 20.0),
+                          plan_for("lbm", kyoto_spec, 1, true, 20.0)});
+    solo(spec, "gcc");  // duplicate: must memoize
+
+    // Mix 2 on the NUMA machine with a different window and seed.
+    RunSpec numa = test::quick_spec(2, 9);
+    numa.machine = test::test_numa_machine();
+    numa.seed = 7;
+    scenario(numa, {plan_for("omnetpp", numa, 0, true), plan_for("xalan", numa, 4, true)});
+    solo(numa, "omnetpp");
+    solo(spec, "gcc");  // third request of the same baseline
+  }
+
+  void submit(SweepRunner& sweep) const {
+    for (const auto& job : jobs_) {
+      if (job.solo_app.empty()) {
+        sweep.add(job.spec, job.plans);
+      } else {
+        sweep.add_solo(job.spec, test::app_factory(job.solo_app, job.spec.machine),
+                       job.solo_app, job.solo_app);
+      }
+    }
+  }
+
+  const std::vector<RunOutcome>& expected() const { return expected_; }
+
+ private:
+  struct JobSpec {
+    RunSpec spec;
+    std::vector<VmPlan> plans;
+    std::string solo_app;  // empty for scenario jobs
+  };
+
+  void scenario(const RunSpec& spec, std::vector<VmPlan> plans) {
+    expected_.push_back(run_scenario(spec, plans));
+    jobs_.push_back({spec, std::move(plans), ""});
+  }
+  void solo(const RunSpec& spec, const char* app) {
+    RunOutcome outcome;
+    outcome.vms.push_back(run_solo(spec, test::app_factory(app, spec.machine), app));
+    outcome.measured_ticks = spec.measure_ticks;
+    expected_.push_back(std::move(outcome));
+    jobs_.push_back({spec, {}, app});
+  }
+
+  std::vector<JobSpec> jobs_;
+  std::vector<RunOutcome> expected_;
+};
+
+TEST(SweepRunner, ShardedResultsMatchSerialLoopAtEveryLaneCount) {
+  const Batch batch;  // serial oracle, computed once
+  for (const int lanes : {1, 2, 4}) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    SweepRunner sweep(lanes);
+    batch.submit(sweep);
+    ASSERT_EQ(sweep.pending(), batch.expected().size());
+    const auto results = sweep.run();
+    ASSERT_EQ(results.size(), batch.expected().size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE("job " + std::to_string(i));
+      EXPECT_EQ(results[i], batch.expected()[i]);  // exact, field-for-field
+    }
+    // Duplicate gcc baselines collapsed: 4 solo requests, 2 simulated.
+    EXPECT_EQ(sweep.solo_requests(), 4u);
+    EXPECT_EQ(sweep.solo_memo_hits(), 2u);
+  }
+}
+
+TEST(SweepRunner, SoloIgnoresSchedulerFactorySoTheKeyIsHonest) {
+  // The memo key cannot see the scheduler, so add_solo always runs
+  // under the default scheduler: a spec carrying a Kyoto factory must
+  // produce the same solo outcome (and the same cache entry) as the
+  // default spec — no silent cache poisoning either way round.
+  const RunSpec spec = test::quick_spec(3, 12);
+  RunSpec kyoto_spec = spec;
+  kyoto_spec.scheduler = [] { return std::make_unique<core::Ks4Xen>(); };
+
+  SweepRunner sweep(2);
+  sweep.add_solo(kyoto_spec, test::app_factory("gcc", spec.machine), "gcc");
+  sweep.add_solo(spec, test::app_factory("gcc", spec.machine), "gcc");
+  const auto results = sweep.run();
+  EXPECT_EQ(sweep.solo_memo_hits(), 1u);  // same key, one simulation
+  const RunOutcome expected = [&] {
+    RunOutcome outcome;
+    outcome.vms.push_back(run_solo(spec, test::app_factory("gcc", spec.machine)));
+    outcome.measured_ticks = spec.measure_ticks;
+    return outcome;
+  }();
+  EXPECT_EQ(results.at(0), expected);  // default-scheduler outcome, exactly
+  EXPECT_EQ(results.at(1), expected);
+}
+
+TEST(SweepRunner, MemoCachePersistsAcrossBatches) {
+  SweepRunner sweep(2);
+  const RunSpec spec = test::quick_spec(3, 12);
+  sweep.add_solo(spec, test::app_factory("gcc", spec.machine), "gcc");
+  const auto first = sweep.run();
+  EXPECT_EQ(sweep.solo_memo_hits(), 0u);
+
+  sweep.add_solo(spec, test::app_factory("gcc", spec.machine), "gcc");
+  const auto second = sweep.run();
+  EXPECT_EQ(sweep.solo_memo_hits(), 1u);
+  EXPECT_EQ(sweep.solo_requests(), 2u);
+  EXPECT_DOUBLE_EQ(sweep.solo_hit_rate(), 0.5);
+  EXPECT_EQ(first.at(0), second.at(0));
+}
+
+TEST(SweepRunner, MemoKeySeparatesMachinesSeedsAndWindows) {
+  const RunSpec base = test::quick_spec(3, 12);
+  const std::string key = solo_memo_key(base, "gcc", "solo");
+  EXPECT_EQ(key, solo_memo_key(base, "gcc", "solo"));
+
+  RunSpec other = base;
+  other.seed = base.seed + 1;
+  EXPECT_NE(key, solo_memo_key(other, "gcc", "solo"));
+  other = base;
+  other.measure_ticks = base.measure_ticks + 1;
+  EXPECT_NE(key, solo_memo_key(other, "gcc", "solo"));
+  other = base;
+  other.machine = test::test_numa_machine();
+  EXPECT_NE(key, solo_memo_key(other, "gcc", "solo"));
+  EXPECT_NE(key, solo_memo_key(base, "lbm", "solo"));
+  EXPECT_NE(key, solo_memo_key(base, "gcc", "other-name"));
+
+  // threads is NOT part of the key: parallel == serial bit-identically
+  // (the PR-2 contract), so the outcome cannot depend on it.
+  other = base;
+  other.threads = 4;
+  EXPECT_EQ(key, solo_memo_key(other, "gcc", "solo"));
+}
+
+TEST(SweepRunner, ComposesWithPerJobTickThreads) {
+  // A job may itself use the per-socket parallel tick engine inside a
+  // shard; results still match the fully serial loop.
+  RunSpec spec = test::quick_spec(2, 9);
+  spec.machine = test::test_numa_machine();  // 2 sockets: threads=2 is real
+  const std::vector<VmPlan> plans = {plan_for("gcc", spec, 0, true),
+                                     plan_for("lbm", spec, 4, true)};
+  const RunOutcome serial = run_scenario(spec, plans);
+
+  RunSpec threaded = spec;
+  threaded.threads = 2;
+  SweepRunner sweep(2);
+  sweep.add(threaded, plans);
+  sweep.add(spec, plans);
+  const auto results = sweep.run();
+  EXPECT_EQ(results.at(0), serial);
+  EXPECT_EQ(results.at(1), serial);
+}
+
+TEST(SweepRunner, ValidatesJobsAtSubmission) {
+  SweepRunner sweep(2);
+  const RunSpec spec = test::quick_spec();
+  EXPECT_THROW(sweep.add(spec, {}), std::logic_error);
+  VmPlan no_cores;
+  no_cores.workload = test::app_factory("gcc", spec.machine);
+  no_cores.pinned_cores = {};
+  EXPECT_THROW(sweep.add(spec, {no_cores}), std::logic_error);
+  VmPlan no_workload;
+  EXPECT_THROW(sweep.add(spec, {no_workload}), std::logic_error);
+  EXPECT_EQ(sweep.pending(), 0u);
+}
+
+TEST(SweepRunner, EmptyBatchAndReuse) {
+  SweepRunner sweep(4);
+  EXPECT_TRUE(sweep.run().empty());
+  const RunSpec spec = test::quick_spec(2, 6);
+  sweep.add(spec, {plan_for("hmmer", spec, 0, false)});
+  EXPECT_EQ(sweep.run().size(), 1u);
+  EXPECT_EQ(sweep.pending(), 0u);  // batch cleared after run
+}
+
+}  // namespace
+}  // namespace kyoto::sim
