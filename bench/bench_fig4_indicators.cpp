@@ -8,6 +8,11 @@
 // here with Kendall's tau exactly as the paper does [36]: the
 // Equation-1 order o3 is closer to the real-aggressiveness order o1
 // than the LLCM order o2 is.
+//
+// The solo-profiling runs and the 90 ordered co-run pairs are all
+// independent, so the whole grid fans out over sim::SweepRunner (one
+// hypervisor per lane, results in submission order, byte-identical to
+// the serial loop) — the same path the ablation benches use.
 #include <algorithm>
 #include <iostream>
 #include <map>
@@ -16,7 +21,8 @@
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "sim/experiment.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
@@ -43,24 +49,20 @@ int main() {
     };
   };
 
-  // --- solo profiling ---------------------------------------------------
-  std::map<std::string, double> eq1;        // misses/ms (Equation 1)
-  std::map<std::string, double> llcm_k;     // total misses of one run, in thousands
-  std::map<std::string, double> solo_ipc;
+  // --- submit the whole grid as one sweep --------------------------------
+  // 10 solo-profiling jobs + 90 ordered co-run pairs, all independent:
+  // one SweepRunner batch, results in submission order.
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  std::map<std::string, std::size_t> solo_job;
   for (const auto& name : apps) {
-    const auto m = sim::run_solo(spec, factory(name), name);
-    solo_ipc[name] = m.ipc;
-    eq1[name] = m.llc_cap_act;
-    const double miss_per_instr =
-        m.instructions ? static_cast<double>(m.llc_misses) / static_cast<double>(m.instructions)
-                       : 0.0;
-    const double run_length =
-        static_cast<double>(workloads::app_profile(name).length);
-    llcm_k[name] = miss_per_instr * run_length / 1000.0;
+    solo_job[name] = sweep.add_solo(spec, factory(name), name, name);
   }
-
-  // --- pairwise real aggressiveness --------------------------------------
-  std::map<std::string, RunningStats> aggressivity;
+  struct PairJob {
+    std::string aggressor;
+    std::string victim;
+    std::size_t job = 0;
+  };
+  std::vector<PairJob> pairs;
   for (const auto& aggressor : apps) {
     for (const auto& victim : apps) {
       if (victim == aggressor) continue;
@@ -74,10 +76,33 @@ int main() {
       a.config.loop_workload = true;
       a.workload = factory(aggressor);
       a.pinned_cores = {1};
-      const auto outcome = sim::run_scenario(spec, {v, a});
-      aggressivity[aggressor].add(
-          std::max(0.0, sim::degradation_pct(solo_ipc[victim], outcome.vms[0].ipc)));
+      pairs.push_back(PairJob{aggressor, victim,
+                              sweep.add(spec, {v, a}, aggressor + "_vs_" + victim)});
     }
+  }
+  const auto outcomes = sweep.run();
+
+  // --- solo profiling ---------------------------------------------------
+  std::map<std::string, double> eq1;        // misses/ms (Equation 1)
+  std::map<std::string, double> llcm_k;     // total misses of one run, in thousands
+  std::map<std::string, double> solo_ipc;
+  for (const auto& name : apps) {
+    const auto& m = outcomes[solo_job[name]].vms[0];
+    solo_ipc[name] = m.ipc;
+    eq1[name] = m.llc_cap_act;
+    const double miss_per_instr =
+        m.instructions ? static_cast<double>(m.llc_misses) / static_cast<double>(m.instructions)
+                       : 0.0;
+    const double run_length =
+        static_cast<double>(workloads::app_profile(name).length);
+    llcm_k[name] = miss_per_instr * run_length / 1000.0;
+  }
+
+  // --- pairwise real aggressiveness --------------------------------------
+  std::map<std::string, RunningStats> aggressivity;
+  for (const PairJob& pair : pairs) {
+    aggressivity[pair.aggressor].add(std::max(
+        0.0, sim::degradation_pct(solo_ipc[pair.victim], outcomes[pair.job].vms[0].ipc)));
   }
 
   // --- orders -------------------------------------------------------------

@@ -60,6 +60,7 @@ SetAssocCache::SetAssocCache(std::string name, CacheGeometry geometry,
   per_core_.resize(static_cast<std::size_t>(std::max(slots.cores, 1)));
   per_vm_.resize(static_cast<std::size_t>(std::max(slots.vms, 1)));
   vm_footprint_.assign(per_vm_.size(), 0);
+  vm_pollution_.assign(per_vm_.size(), VmPollution{});
 }
 
 void SetAssocCache::reserve_vm_slots(int vms) {
@@ -67,6 +68,7 @@ void SetAssocCache::reserve_vm_slots(int vms) {
   const auto n = static_cast<std::size_t>(vms);
   if (per_vm_.size() < n) per_vm_.resize(n);
   if (vm_footprint_.size() < n) vm_footprint_.resize(n, 0);
+  if (vm_pollution_.size() < n) vm_pollution_.resize(n);
 }
 
 bool SetAssocCache::set_uses_bip(unsigned set) const {
@@ -171,6 +173,20 @@ SetAssocCache::MissInfo SetAssocCache::miss_fill(unsigned set, Address tag, bool
       vm_stats = &vm_slot(requester.vm);
       ++vm_stats->accesses;
       ++vm_stats->misses;
+      // Ground-truth miss classification: if another requester
+      // displaced this VM's copy of the line since it last held it,
+      // this re-miss is contention-induced, not intrinsic.
+      if (requester.vm < kPollutionVmTracked && !displaced_.empty()) {
+        const auto it = displaced_.find(tag);
+        if (it != displaced_.end()) {
+          const std::uint64_t vm_bit = 1ull << requester.vm;
+          if (it->second & vm_bit) {
+            ++pollution_slot(requester.vm).contention_misses;
+            it->second &= ~vm_bit;
+            if (it->second == 0) displaced_.erase(it);
+          }
+        }
+      }
     }
   }
 
@@ -221,6 +237,16 @@ SetAssocCache::MissInfo SetAssocCache::miss_fill(unsigned set, Address tag, bool
       } else {
         KYOTO_DCHECK(static_cast<std::size_t>(old_vm) < vm_footprint_.size());
         --vm_footprint_[static_cast<std::size_t>(old_vm)];
+        if (old_vm != requester.vm) {
+          // Cross-VM eviction: the ground-truth pollution event.
+          ++pollution_slot(old_vm).cross_evictions_suffered;
+          if (requester.vm >= 0) {
+            ++pollution_slot(requester.vm).cross_evictions_inflicted;
+          }
+          if (old_vm < kPollutionVmTracked) {
+            displaced_[info.evicted_tag] |= 1ull << old_vm;
+          }
+        }
       }
     }
   } else {
@@ -298,6 +324,10 @@ void SetAssocCache::invalidate_all() {
   valid_lines_ = 0;
   unowned_lines_ = 0;
   std::fill(vm_footprint_.begin(), vm_footprint_.end(), 0);
+  // The displaced-line index describes lines relative to the current
+  // contents; after a power-on flush every future miss is intrinsic.
+  // The pollution *counters* are statistics and survive, like stats().
+  displaced_.clear();
 }
 
 void SetAssocCache::invalidate(Address addr) {
@@ -346,6 +376,33 @@ void SetAssocCache::grow_vm_slots(int vm) {
   // the owning MemorySystem reserves slots as VMs are admitted).
   per_vm_.resize(static_cast<std::size_t>(vm) + 1);
   vm_footprint_.resize(static_cast<std::size_t>(vm) + 1, 0);
+  vm_pollution_.resize(static_cast<std::size_t>(vm) + 1);
+}
+
+const VmPollution& SetAssocCache::pollution_for_vm(int vm) const {
+  static const VmPollution kEmpty{};
+  if (vm < 0 || static_cast<std::size_t>(vm) >= vm_pollution_.size()) return kEmpty;
+  return vm_pollution_[static_cast<std::size_t>(vm)];
+}
+
+std::uint64_t SetAssocCache::recount_footprint_lines(int vm) const {
+  std::uint64_t count = 0;
+  for (unsigned set = 0; set < sets_; ++set) {
+    for (unsigned way = 0; way < ways_; ++way) {
+      if ((valid_[set] >> way) & 1u) {
+        count += owners_[line_index(set, way)] == vm ? 1 : 0;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t SetAssocCache::recount_valid_lines() const {
+  std::uint64_t count = 0;
+  for (unsigned set = 0; set < sets_; ++set) {
+    count += static_cast<std::uint64_t>(std::popcount(valid_[set]));
+  }
+  return count;
 }
 
 const CacheStats& SetAssocCache::stats_for_core(int core) const {

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/config.hpp"
@@ -55,6 +56,30 @@ namespace kyoto::cache {
 struct Requester {
   int core = 0;  // physical core issuing the access (PMC attribution)
   int vm = -1;   // owning VM, or -1 when unknown (partitioning + ground truth)
+};
+
+/// Ground-truth pollution events for one VM, maintained exactly by the
+/// simulated cache on its (already out-of-line) miss/eviction path.
+/// These are the quantities the paper's monitors can only *estimate*
+/// from PMCs; the simulator counts them by construction:
+///
+///  * cross_evictions_inflicted — valid lines owned by OTHER VMs that
+///    this VM's fills displaced (the act of polluting);
+///  * cross_evictions_suffered — this VM's valid lines displaced by
+///    another requester (being polluted);
+///  * contention_misses — misses on lines this VM held until another
+///    requester displaced them (the re-miss a cross-eviction causes).
+///    `misses - contention_misses` is therefore the VM's *intrinsic*
+///    miss count: what it would (to first order) have missed with the
+///    LLC to itself.
+///
+/// Only tracked when attribution is on; contention-miss classification
+/// covers vm ids < kPollutionVmTracked (footprints and the two
+/// eviction counters are exact for every id).
+struct VmPollution {
+  std::uint64_t cross_evictions_inflicted = 0;
+  std::uint64_t cross_evictions_suffered = 0;
+  std::uint64_t contention_misses = 0;
 };
 
 /// Result of one cache lookup-with-fill.
@@ -151,6 +176,24 @@ class SetAssocCache {
     const auto idx = static_cast<std::size_t>(vm);
     return idx < vm_footprint_.size() ? vm_footprint_[idx] : 0;
   }
+
+  /// Ground-truth pollution counters for `vm` (see VmPollution).
+  /// VMs never seen — and any vm when attribution is off — return
+  /// zeros.
+  const VmPollution& pollution_for_vm(int vm) const;
+
+  /// Contention-miss classification covers vm ids below this bound
+  /// (one bit per vm in the displaced-line index).  Eviction counters
+  /// and footprints are exact for every id.
+  static constexpr int kPollutionVmTracked = 64;
+
+  /// O(lines) recount of footprint_lines(vm) from the raw line state
+  /// (`vm` may be -1 for unowned lines).  Test/debug oracle for the
+  /// incremental counters; never called from simulation paths.
+  std::uint64_t recount_footprint_lines(int vm) const;
+
+  /// O(lines) recount of the valid-line counter behind occupancy().
+  std::uint64_t recount_valid_lines() const;
 
   /// Ensures per-VM stat/footprint slots exist for vm ids < `vms`.
   /// Called by the memory system when the hypervisor admits VMs, so
@@ -283,6 +326,11 @@ class SetAssocCache {
   unsigned pick_victim(unsigned set, unsigned first_way, unsigned end_way);
   bool set_uses_bip(unsigned set) const;
 
+  VmPollution& pollution_slot(int vm) {
+    KYOTO_DCHECK(vm >= 0);
+    if (static_cast<std::size_t>(vm) >= vm_pollution_.size()) grow_vm_slots(vm);
+    return vm_pollution_[static_cast<std::size_t>(vm)];
+  }
   CacheStats& core_slot(int core) {
     KYOTO_DCHECK(core >= 0);
     if (static_cast<std::size_t>(core) >= per_core_.size()) grow_core_slots(core);
@@ -320,6 +368,17 @@ class SetAssocCache {
   std::uint64_t valid_lines_ = 0;
   std::uint64_t unowned_lines_ = 0;          // valid lines with owner -1
   std::vector<std::uint64_t> vm_footprint_;  // valid lines per vm id
+
+  // Ground-truth pollution accounting (attribution mode only).  The
+  // displaced-line index maps a line's global tag to the bitmask of
+  // VMs (< kPollutionVmTracked) whose copy of that line was displaced
+  // by another requester and not yet re-referenced: an entry proves a
+  // later miss by that VM on that line is contention-induced, not
+  // intrinsic.  Touched only on the out-of-line miss path, and only
+  // by the socket partition that owns this cache, so it follows the
+  // same threading contract as every other per-LLC structure.
+  std::vector<VmPollution> vm_pollution_;            // by vm id
+  std::unordered_map<Address, std::uint64_t> displaced_;  // tag -> victim-vm bits
 
   // DIP set-dueling state: a handful of leader sets are pinned to LRU
   // and to BIP; a saturating counter tracks which leader family

@@ -195,6 +195,7 @@ void Hypervisor::run_one_tick() {
     report.ran = slot.ran;
     report.pmc_delta = machine_->pmu(core).read() - slot.pmu_before;
     scheduler_->account(*slot.vcpu, report);
+    for (const auto& hook : account_hooks_) hook(*slot.vcpu, report);
   }
 
   for (const auto& hook : tick_hooks_) hook(*this, now_);

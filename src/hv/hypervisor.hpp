@@ -96,6 +96,17 @@ class Hypervisor {
   using TickHook = std::function<void(Hypervisor&, Tick)>;
   void add_tick_hook(TickHook hook) { tick_hooks_.push_back(std::move(hook)); }
 
+  /// Observers of per-burst accounting, called in the tick's serial
+  /// epilogue immediately after the scheduler's own account() for the
+  /// same burst (fixed core order — the deterministic merge).  This is
+  /// the shadow-monitoring attach point: a hook sees exactly the
+  /// RunReports the scheduler's monitor sees, on fully merged machine
+  /// state, without being the scheduler's monitor.  Hooks must only
+  /// observe — mutating scheduler or machine state from here would
+  /// perturb the run they are shadowing.
+  using AccountHook = std::function<void(Vcpu&, const RunReport&)>;
+  void add_account_hook(AccountHook hook) { account_hooks_.push_back(std::move(hook)); }
+
   /// Per-core idle ticks so far (no runnable vCPU or punished VMs).
   std::int64_t idle_ticks(int core) const;
   /// Ticks in which `vcpu` was scheduled.
@@ -126,6 +137,7 @@ class Hypervisor {
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<TickHook> tick_hooks_;
+  std::vector<AccountHook> account_hooks_;
   Tick now_ = 0;
   int next_vcpu_id_ = 0;
   int next_default_core_ = 0;

@@ -54,7 +54,13 @@ std::unique_ptr<hv::Hypervisor> build_scenario(const RunSpec& spec,
 }
 
 RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans) {
+  return run_scenario(spec, plans, HvObserver{});
+}
+
+RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
+                        const HvObserver& observe) {
   auto hv = build_scenario(spec, plans);
+  if (observe != nullptr) observe(*hv);
   hv->run_ticks(spec.warmup_ticks);
 
   // Snapshot at window start.

@@ -96,8 +96,18 @@ struct RunOutcome {
 std::unique_ptr<hv::Hypervisor> build_scenario(const RunSpec& spec,
                                                const std::vector<VmPlan>& plans);
 
+/// Hook into a scenario's hypervisor right after construction (before
+/// warm-up): the attach point for pure observers — shadow monitors,
+/// timeline samplers.  An observer must not perturb the run (the
+/// shadow-mode conformance suite pins that attaching one leaves every
+/// trace byte-identical); state it allocates must outlive the run.
+using HvObserver = std::function<void(hv::Hypervisor&)>;
+
 /// Runs warm-up + measurement window and collects per-VM metrics.
 RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans);
+/// Same, invoking `observe` on the freshly built hypervisor first.
+RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
+                        const HvObserver& observe);
 
 /// Runs until VM index `target` completes one workload run (or
 /// `max_ticks` elapse); returns its execution time in virtual ms

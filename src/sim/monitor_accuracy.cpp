@@ -1,0 +1,131 @@
+#include "sim/monitor_accuracy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "kyoto/ks4linux.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+using Sample = core::GroundTruthShadow::Sample;
+
+/// Index of the largest value; lowest index wins ties (deterministic).
+std::size_t argmax(const std::vector<double>& values) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+MonitorAccuracy score_monitor_accuracy(const std::vector<std::vector<Sample>>& series,
+                                       Tick skip_ticks, double rel_floor) {
+  MonitorAccuracy acc;
+  const std::size_t vms = series.size();
+  if (vms == 0) return acc;
+  const std::size_t ticks = series[0].size();
+  for (const auto& s : series) {
+    KYOTO_CHECK_MSG(s.size() == ticks,
+                    "shadow series lengths differ (VMs admitted mid-run are not "
+                    "scoreable)");
+  }
+
+  // Pass 1 — the oracle's verdict: mean intrinsic rate per VM over the
+  // ticks it ran (inside the scoring window).
+  std::vector<RunningStats> true_stats(vms);
+  for (std::size_t vm = 0; vm < vms; ++vm) {
+    for (const Sample& s : series[vm]) {
+      if (s.tick >= skip_ticks && s.ran) true_stats[vm].add(s.true_rate);
+    }
+  }
+  acc.true_mean_rate.resize(vms);
+  for (std::size_t vm = 0; vm < vms; ++vm) acc.true_mean_rate[vm] = true_stats[vm].mean();
+  acc.true_aggressor = static_cast<int>(argmax(acc.true_mean_rate));
+
+  // Pass 2 — walk the ticks with carry-forward estimates (an estimator
+  // "currently ranks" a punished/descheduled VM at its last charged
+  // rate, exactly as the scheduler would if consulted).
+  std::vector<double> est_carry(vms, -1.0);
+  std::vector<RunningStats> est_stats(vms);
+  double abs_err_sum = 0.0;
+  double rel_err_sum = 0.0;
+  int top1_hits = 0;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const Tick tick = series[0][t].tick;
+    for (std::size_t vm = 0; vm < vms; ++vm) {
+      const Sample& s = series[vm][t];
+      if (!s.ran || s.estimator_rate < 0.0) continue;
+      est_carry[vm] = s.estimator_rate;
+      if (tick >= skip_ticks) {
+        est_stats[vm].add(s.estimator_rate);
+        const double err = std::abs(s.estimator_rate - s.true_rate);
+        abs_err_sum += err;
+        rel_err_sum += err / std::max(s.true_rate, rel_floor);
+        ++acc.error_samples;
+      }
+    }
+    if (tick < skip_ticks) continue;
+    const bool all_known =
+        std::all_of(est_carry.begin(), est_carry.end(), [](double e) { return e >= 0.0; });
+    if (!all_known) continue;
+    ++acc.scored_ticks;
+    if (static_cast<int>(argmax(est_carry)) == acc.true_aggressor) {
+      ++top1_hits;
+      if (acc.time_to_detect < 0) acc.time_to_detect = tick;
+    }
+  }
+  if (acc.error_samples > 0) {
+    acc.mean_abs_error = abs_err_sum / acc.error_samples;
+    acc.mean_rel_error = rel_err_sum / acc.error_samples;
+  }
+  if (acc.scored_ticks > 0) {
+    acc.top1_agreement = static_cast<double>(top1_hits) / acc.scored_ticks;
+  }
+  acc.estimator_mean_rate.resize(vms);
+  for (std::size_t vm = 0; vm < vms; ++vm) {
+    acc.estimator_mean_rate[vm] = est_stats[vm].mean();
+  }
+  if (vms >= 2) {
+    acc.rank_tau = kendall_tau(acc.estimator_mean_rate, acc.true_mean_rate);
+  }
+  return acc;
+}
+
+HvObserver shadow_observer(std::unique_ptr<core::GroundTruthShadow>* slot) {
+  KYOTO_CHECK_MSG(slot != nullptr, "shadow_observer needs a slot");
+  return [slot](hv::Hypervisor& hv) {
+    const core::PollutionController* controller = nullptr;
+    if (auto* ks = dynamic_cast<core::Ks4Xen*>(&hv.scheduler())) {
+      controller = &ks->kyoto();
+    } else if (auto* ksl = dynamic_cast<core::Ks4Linux*>(&hv.scheduler())) {
+      controller = &ksl->kyoto();
+    } else if (auto* ksp = dynamic_cast<core::Ks4Pisces*>(&hv.scheduler())) {
+      controller = &ksp->kyoto();
+    }
+    *slot = std::make_unique<core::GroundTruthShadow>(hv, controller);
+  };
+}
+
+ShadowRun run_with_shadow(const RunSpec& base, const std::vector<VmPlan>& plans,
+                          const MonitorFactory& monitor) {
+  KYOTO_CHECK_MSG(monitor != nullptr, "run_with_shadow needs a monitor factory");
+  RunSpec spec = base;
+  spec.scheduler = [monitor]() -> std::unique_ptr<hv::Scheduler> {
+    return std::make_unique<core::Ks4Xen>(monitor());
+  };
+  std::unique_ptr<core::GroundTruthShadow> shadow;
+  RunOutcome outcome = run_scenario(spec, plans, shadow_observer(&shadow));
+  ShadowRun run;
+  run.outcome = std::move(outcome);
+  run.series = shadow->samples();
+  return run;
+}
+
+}  // namespace kyoto::sim

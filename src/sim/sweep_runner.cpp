@@ -45,6 +45,11 @@ SweepRunner::SweepRunner(int lanes) : lanes_(lanes < 1 ? 1 : lanes) {
 SweepRunner::~SweepRunner() = default;
 
 std::size_t SweepRunner::add(RunSpec spec, std::vector<VmPlan> plans, std::string label) {
+  return add(std::move(spec), std::move(plans), HvObserver{}, std::move(label));
+}
+
+std::size_t SweepRunner::add(RunSpec spec, std::vector<VmPlan> plans, HvObserver observe,
+                             std::string label) {
   // The same validation build_scenario performs, hoisted to the
   // submission thread: a lane's job function must not throw.
   KYOTO_CHECK_MSG(!plans.empty(), "sweep job needs at least one VmPlan");
@@ -53,7 +58,8 @@ std::size_t SweepRunner::add(RunSpec spec, std::vector<VmPlan> plans, std::strin
     KYOTO_CHECK_MSG(plan.workload != nullptr, "VmPlan needs a workload factory");
   }
   KYOTO_CHECK_MSG(spec.scheduler != nullptr, "RunSpec needs a scheduler factory");
-  jobs_.push_back(Job{std::move(spec), std::move(plans), std::move(label), {}});
+  jobs_.push_back(
+      Job{std::move(spec), std::move(plans), std::move(label), {}, std::move(observe)});
   return jobs_.size() - 1;
 }
 
@@ -117,7 +123,7 @@ std::vector<RunOutcome> SweepRunner::run() {
   const auto run_one = [&](std::size_t e) {
     const std::size_t job = execute[e];
     try {
-      executed[job] = run_scenario(jobs_[job].spec, jobs_[job].plans);
+      executed[job] = run_scenario(jobs_[job].spec, jobs_[job].plans, jobs_[job].observe);
     } catch (...) {
       errors[e] = std::current_exception();
     }

@@ -73,6 +73,16 @@ class SweepRunner {
   /// so malformed jobs throw at submission rather than inside a lane.
   std::size_t add(RunSpec spec, std::vector<VmPlan> plans, std::string label = "");
 
+  /// Instrumented variant: `observe` runs on the job's private
+  /// hypervisor right after construction (see sim::HvObserver) —
+  /// inside whichever lane executes the job, so anything it captures
+  /// must be owned by this job alone (one recorder slot per job; the
+  /// batch barrier publishes them).  Observers never affect outcomes:
+  /// the shadow-mode conformance suite pins byte-identical results
+  /// with and without them, at every lane count.
+  std::size_t add(RunSpec spec, std::vector<VmPlan> plans, HvObserver observe,
+                  std::string label = "");
+
   /// Enqueues a solo-baseline job (single VM named `vm_name`, pinned
   /// to core 0, exactly like run_solo) — always executed under the
   /// default scheduler; `spec.scheduler` is ignored (see header
@@ -111,6 +121,9 @@ class SweepRunner {
     std::string label;
     /// Memo key for solo jobs; empty for plain scenario jobs.
     std::string memo_key;
+    /// Observer for instrumented jobs; null otherwise.  Never set on
+    /// solo jobs (memoized outcomes could not replay the observation).
+    HvObserver observe;
   };
 
   int lanes_ = 1;

@@ -171,5 +171,127 @@ TEST(RandomizedOracle, TwoHundredRandomConfigsMatchReferenceExactly) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Incremental-counter oracle: footprint_lines / occupancy and the
+// ground-truth pollution counters must stay exact under arbitrary
+// interleavings of accesses, single-line invalidations, full flushes,
+// partition changes and VM "migrations" (a VM's accesses suddenly
+// issuing from different cores — at the cache level, exactly what a
+// hypervisor migration looks like).  The oracle is a recount from the
+// raw line state plus conservation laws the event counters must obey.
+// ---------------------------------------------------------------------
+
+void check_against_recount(const SetAssocCache& cache, const RandomConfig& config,
+                           std::size_t op) {
+  const std::uint64_t lines =
+      static_cast<std::uint64_t>(config.geometry.sets()) * config.geometry.ways;
+  std::uint64_t owned_sum = 0;
+  for (int vm = 0; vm < config.vms; ++vm) {
+    const std::uint64_t recount = cache.recount_footprint_lines(vm);
+    ASSERT_EQ(recount, cache.footprint_lines(vm))
+        << config.describe() << " footprint vm " << vm << " after op " << op;
+    owned_sum += recount;
+  }
+  ASSERT_EQ(cache.recount_footprint_lines(-1), cache.footprint_lines(-1))
+      << config.describe() << " unowned after op " << op;
+  const std::uint64_t valid = cache.recount_valid_lines();
+  ASSERT_DOUBLE_EQ(static_cast<double>(valid) / static_cast<double>(lines),
+                   cache.occupancy())
+      << config.describe() << " occupancy after op " << op;
+  ASSERT_EQ(owned_sum + cache.footprint_lines(-1), valid)
+      << config.describe() << " footprint conservation after op " << op;
+
+  // Pollution-counter conservation: every cross-VM eviction has
+  // exactly one victim and (all requesters being VMs here) one
+  // inflictor; a contention miss is a miss on a previously displaced
+  // line, so it can never outnumber either side.
+  std::uint64_t inflicted = 0;
+  std::uint64_t suffered = 0;
+  std::uint64_t contention = 0;
+  for (int vm = 0; vm < config.vms; ++vm) {
+    const VmPollution& p = cache.pollution_for_vm(vm);
+    inflicted += p.cross_evictions_inflicted;
+    suffered += p.cross_evictions_suffered;
+    contention += p.contention_misses;
+    ASSERT_LE(p.contention_misses, cache.stats_for_vm(vm).misses)
+        << config.describe() << " vm " << vm << " after op " << op;
+  }
+  ASSERT_EQ(inflicted, suffered) << config.describe() << " after op " << op;
+  ASSERT_LE(suffered, cache.stats().evictions) << config.describe() << " after op " << op;
+  ASSERT_LE(contention, suffered) << config.describe() << " after op " << op;
+}
+
+void replay_with_disruptions(const RandomConfig& config, std::size_t ops) {
+  SetAssocCache cache("recount", config.geometry, config.policy, config.engine_seed);
+  Rng stream(config.stream_seed);
+  const std::uint64_t lines_in_cache =
+      static_cast<std::uint64_t>(config.geometry.sets()) * config.geometry.ways;
+  const std::uint64_t span_lines = lines_in_cache * (2 + stream.below(4)) + 1;
+
+  // Mutable VM -> core mapping ("pinning"): migrations remap it.
+  std::vector<int> vm_core(static_cast<std::size_t>(config.vms));
+  for (int vm = 0; vm < config.vms; ++vm) {
+    vm_core[static_cast<std::size_t>(vm)] = static_cast<int>(
+        stream.below(static_cast<std::uint64_t>(config.cores)));
+  }
+
+  const std::size_t checkpoint = 1 + ops / 7;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const Address addr = stream.below(span_lines) * config.geometry.line +
+                         stream.below(config.geometry.line);
+    const int vm = static_cast<int>(stream.below(static_cast<std::uint64_t>(config.vms)));
+    cache.access(addr, stream.chance(0.3),
+                 Requester{vm_core[static_cast<std::size_t>(vm)], vm});
+
+    if (stream.chance(0.02)) {
+      cache.invalidate(stream.below(span_lines) * config.geometry.line);
+    }
+    if (stream.chance(0.004)) {
+      cache.invalidate_all();
+    }
+    if (stream.chance(0.01)) {
+      // Partition change mid-stream (UCP-style reconfiguration).
+      if (stream.chance(0.3)) {
+        cache.clear_partitions();
+      } else {
+        const int vm_p = static_cast<int>(
+            stream.below(static_cast<std::uint64_t>(config.vms)));
+        const unsigned first =
+            static_cast<unsigned>(stream.below(config.geometry.ways));
+        const unsigned n =
+            1 + static_cast<unsigned>(stream.below(config.geometry.ways - first));
+        cache.set_partition(vm_p, first, n);
+      }
+    }
+    if (stream.chance(0.01)) {
+      // VM migration: its accesses now issue from another core.
+      const int vm_m = static_cast<int>(
+          stream.below(static_cast<std::uint64_t>(config.vms)));
+      vm_core[static_cast<std::size_t>(vm_m)] = static_cast<int>(
+          stream.below(static_cast<std::uint64_t>(config.cores)));
+    }
+    if (i % checkpoint == 0) {
+      check_against_recount(cache, config, i);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  check_against_recount(cache, config, ops);
+}
+
+TEST(RandomizedOracle, IncrementalCountersMatchRecountUnderDisruptions) {
+  Rng master(0xabad1dea2026ull);
+  for (int i = 0; i < 80; ++i) {
+    const RandomConfig config = draw_config(master);
+    const std::uint64_t lines =
+        static_cast<std::uint64_t>(config.geometry.sets()) * config.geometry.ways;
+    const std::size_t ops = lines < 64 ? 2500 : (lines < 2048 ? 1200 : 500);
+    replay_with_disruptions(config, ops);
+    if (HasFatalFailure()) {
+      FAIL() << "config #" << i << " diverged: " << config.describe();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kyoto::cache
+
