@@ -40,6 +40,14 @@ MemorySystem::MemorySystem(const Topology& topology, const MemSystemConfig& conf
   prefetches_.assign(static_cast<std::size_t>(cores), {});
   bus_busy_until_.assign(static_cast<std::size_t>(topology.sockets), {});
   bus_queue_cycles_.assign(static_cast<std::size_t>(topology.sockets), {});
+
+  // Fused-walk geometry screen: with one common line size and pow2
+  // set counts everywhere, a single line number (addr >> shift)
+  // yields every level's set index by masking — the precondition for
+  // hoisting the per-level indices out of the walk.
+  fused_ok_ = l1_[0]->pow2_geometry() && l2_[0]->pow2_geometry() &&
+              llc_[0]->pow2_geometry() &&
+              config.l1.line == config.l2.line && config.l2.line == config.llc.line;
 }
 
 void MemorySystem::reserve_vm_slots(int vms) {
@@ -99,6 +107,13 @@ MemorySystem::AccessContext MemorySystem::context(int core, int home_node, int v
   ctx.req_ = Requester{core, vm};
   ctx.remote_ = home_node != topology_.node_of(core);
   ctx.miss_extras_ = config_.bus.enabled || config_.prefetch.enabled;
+  if (fused_enabled_ && fused_ok_) {
+    ctx.fused_ = true;
+    ctx.line_shift_ = ctx.l1_->line_shift();
+    ctx.l1_mask_ = ctx.l1_->geometry().sets() - 1;
+    ctx.l2_mask_ = ctx.l2_->geometry().sets() - 1;
+    ctx.llc_mask_ = ctx.llc_->geometry().sets() - 1;
+  }
   ctx.lat_l1_ = config_.lat_l1;
   ctx.lat_l2_ = config_.lat_l2;
   ctx.lat_llc_ = config_.lat_llc;

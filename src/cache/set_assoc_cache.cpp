@@ -49,6 +49,12 @@ SetAssocCache::SetAssocCache(std::string name, CacheGeometry geometry,
   valid_.assign(sets_, 0);
   dirty_.assign(sets_, 0);
 
+  fast_fill_ = replacement_ == ReplacementKind::kLru;  // && no partitions yet
+  nibble_lru_ = replacement_ == ReplacementKind::kLru && ways_ <= 16;
+  if (nibble_lru_) {
+    lru_order_.resize(sets_);
+    reset_lru_order();
+  }
   pow2_geometry_ = std::has_single_bit(static_cast<std::uint64_t>(geometry_.line)) &&
                    std::has_single_bit(static_cast<std::uint64_t>(sets_));
   if (pow2_geometry_) {
@@ -163,135 +169,14 @@ unsigned SetAssocCache::pick_victim(unsigned set, unsigned first_way, unsigned e
 
 SetAssocCache::MissInfo SetAssocCache::miss_fill(unsigned set, Address tag, bool write,
                                                  const Requester& requester) {
-  CacheStats* core_stats = nullptr;
-  CacheStats* vm_stats = nullptr;
+  // Four-way dispatch over the compile-time-pruned fill bodies (see
+  // miss_fill_impl in the header).
   if (track_attribution_) {
-    core_stats = &core_slot(requester.core);
-    ++core_stats->accesses;
-    ++core_stats->misses;
-    if (requester.vm >= 0) {
-      vm_stats = &vm_slot(requester.vm);
-      ++vm_stats->accesses;
-      ++vm_stats->misses;
-      // Ground-truth miss classification: if another requester
-      // displaced this VM's copy of the line since it last held it,
-      // this re-miss is contention-induced, not intrinsic.
-      if (requester.vm < kPollutionVmTracked && !displaced_.empty()) {
-        const auto it = displaced_.find(tag);
-        if (it != displaced_.end()) {
-          const std::uint64_t vm_bit = 1ull << requester.vm;
-          if (it->second & vm_bit) {
-            ++pollution_slot(requester.vm).contention_misses;
-            it->second &= ~vm_bit;
-            if (it->second == 0) displaced_.erase(it);
-          }
-        }
-      }
-    }
+    return fast_fill_ ? miss_fill_impl<true, true>(set, tag, write, requester)
+                      : miss_fill_impl<false, true>(set, tag, write, requester);
   }
-
-  // DIP leader-set bookkeeping: a miss in an LRU leader nudges psel
-  // toward BIP and vice versa.
-  if (replacement_ == ReplacementKind::kDip) {
-    const unsigned pos = set % kDuelModulus;
-    if (pos == 0) psel_ = std::min(psel_ + 1, kPselMax);
-    else if (pos == 1) psel_ = std::max(psel_ - 1, 0);
-  }
-
-  // Respect the requester VM's way partition, if any.
-  unsigned first_way = 0;
-  unsigned end_way = ways_;
-  if (!partitions_.empty() && requester.vm >= 0 &&
-      static_cast<std::size_t>(requester.vm) < partitions_.size()) {
-    const Partition& p = partitions_[static_cast<std::size_t>(requester.vm)];
-    if (p.n_ways > 0) {
-      first_way = p.first_way;
-      end_way = std::min(ways_, p.first_way + p.n_ways);
-    }
-  }
-
-  const unsigned victim = pick_victim(set, first_way, end_way);
-  const std::size_t idx = line_index(set, victim);
-  const std::uint64_t bit = 1ull << victim;
-
-  MissInfo info;
-  if (valid_[set] & bit) {
-    info.evicted = true;
-    info.evicted_tag = tags_[idx];
-    ++total_.evictions;
-    const bool was_dirty = (dirty_[set] & bit) != 0;
-    total_.writebacks += was_dirty ? 1 : 0;
-    if (core_stats != nullptr) {
-      ++core_stats->evictions;
-      core_stats->writebacks += was_dirty ? 1 : 0;
-      if (vm_stats != nullptr) {
-        ++vm_stats->evictions;
-        vm_stats->writebacks += was_dirty ? 1 : 0;
-      }
-    }
-    if (track_attribution_) {
-      // Displaced line's owner loses a footprint line.
-      const int old_vm = owners_[idx];
-      if (old_vm < 0) {
-        --unowned_lines_;
-      } else {
-        KYOTO_DCHECK(static_cast<std::size_t>(old_vm) < vm_footprint_.size());
-        --vm_footprint_[static_cast<std::size_t>(old_vm)];
-        if (old_vm != requester.vm) {
-          // Cross-VM eviction: the ground-truth pollution event.
-          ++pollution_slot(old_vm).cross_evictions_suffered;
-          if (requester.vm >= 0) {
-            ++pollution_slot(requester.vm).cross_evictions_inflicted;
-          }
-          if (old_vm < kPollutionVmTracked) {
-            displaced_[info.evicted_tag] |= 1ull << old_vm;
-          }
-        }
-      }
-    }
-  } else {
-    ++valid_lines_;
-  }
-
-  // Fill.
-  tags_[idx] = tag;
-  valid_[set] |= bit;
-  dirty_[set] = write ? (dirty_[set] | bit) : (dirty_[set] & ~bit);
-  if (track_attribution_) {
-    const int vm = requester.vm;
-    owners_[idx] = vm;
-    if (vm < 0) {
-      ++unowned_lines_;
-    } else {
-      if (static_cast<std::size_t>(vm) >= vm_footprint_.size()) {
-        grow_vm_slots(vm);  // cold: only for ids beyond the reserved slots
-      }
-      ++vm_footprint_[static_cast<std::size_t>(vm)];
-    }
-  }
-
-  // Insertion recency depends on the (possibly dueled) policy:
-  //   LRU/PLRU/random: insert at MRU.
-  //   LIP: insert at LRU (stamp 0 => next victim unless promoted).
-  //   BIP: LIP with a 1/32 chance of MRU insertion.
-  bool insert_mru = true;
-  switch (replacement_) {
-    case ReplacementKind::kLip:
-      insert_mru = false;
-      break;
-    case ReplacementKind::kBip:
-    case ReplacementKind::kDip:
-      if (set_uses_bip(set)) insert_mru = rng_.below(32) == 0;
-      break;
-    default:
-      break;
-  }
-  if (insert_mru) {
-    touch(set, victim);
-  } else {
-    stamps_[idx] = 0;
-  }
-  return info;
+  return fast_fill_ ? miss_fill_impl<true, false>(set, tag, write, requester)
+                    : miss_fill_impl<false, false>(set, tag, write, requester);
 }
 
 LookupResult SetAssocCache::access(Address addr, bool write, const Requester& requester) {
@@ -315,7 +200,49 @@ LookupResult SetAssocCache::access(Address addr, bool write, const Requester& re
   return result;
 }
 
+void SetAssocCache::reset_lru_order() {
+  // Identity permutation per set (nibble i = way i), matching the
+  // all-zero-stamp power-on state: victim order is only consulted for
+  // full sets, and a set can only fill up through touches, which
+  // rebuild both recency mirrors in lockstep.  Unused high nibbles
+  // keep ids >= ways, which never collide with a real way.
+  std::fill(lru_order_.begin(), lru_order_.end(), 0xFEDCBA9876543210ull);
+}
+
+void SetAssocCache::set_fill_fast_paths(bool enabled) {
+  fast_fill_allowed_ = enabled;
+  if (!enabled) {
+    fast_fill_ = false;
+    nibble_lru_ = false;
+    return;
+  }
+  fast_fill_ = replacement_ == ReplacementKind::kLru && partitions_.empty();
+  const bool want_nibble = replacement_ == ReplacementKind::kLru && ways_ <= 16;
+  if (want_nibble && !nibble_lru_) {
+    // Rebuild the nibble order from the authoritative stamps: ways
+    // sorted by descending stamp (unique when nonzero), stable by way
+    // index for the untouched ones — order among those is never
+    // consulted (a full set has every way touched).
+    lru_order_.resize(sets_);
+    for (unsigned set = 0; set < sets_; ++set) {
+      const std::uint64_t* stamps = &stamps_[line_index(set, 0)];
+      unsigned order[16];
+      for (unsigned w = 0; w < ways_; ++w) order[w] = w;
+      std::stable_sort(order, order + ways_,
+                       [stamps](unsigned a, unsigned b) { return stamps[a] > stamps[b]; });
+      std::uint64_t word = 0xFEDCBA9876543210ull;  // unused high nibbles keep ids >= ways
+      for (unsigned pos = 0; pos < ways_; ++pos) {
+        word &= ~(0xFull << (pos * 4));
+        word |= static_cast<std::uint64_t>(order[pos]) << (pos * 4);
+      }
+      lru_order_[set] = word;
+    }
+  }
+  nibble_lru_ = want_nibble;
+}
+
 void SetAssocCache::invalidate_all() {
+  if (nibble_lru_) reset_lru_order();
   std::fill(tags_.begin(), tags_.end(), 0);
   std::fill(stamps_.begin(), stamps_.end(), 0);
   std::fill(owners_.begin(), owners_.end(), -1);
@@ -363,9 +290,13 @@ void SetAssocCache::set_partition(int vm, unsigned first_way, unsigned n_ways) {
     partitions_.resize(static_cast<std::size_t>(vm) + 1);
   }
   partitions_[static_cast<std::size_t>(vm)] = Partition{first_way, n_ways};
+  fast_fill_ = false;
 }
 
-void SetAssocCache::clear_partitions() { partitions_.clear(); }
+void SetAssocCache::clear_partitions() {
+  partitions_.clear();
+  fast_fill_ = fast_fill_allowed_ && replacement_ == ReplacementKind::kLru;
+}
 
 void SetAssocCache::grow_core_slots(int core) {
   per_core_.resize(static_cast<std::size_t>(core) + 1);

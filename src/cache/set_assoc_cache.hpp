@@ -120,35 +120,139 @@ class SetAssocCache {
   bool access_hot(Address addr, bool write, const Requester& requester) {
     const unsigned set = set_index(addr);
     const Address tag = tag_of(addr);
-    ++total_.accesses;
     const unsigned way = find(set, tag);
     if (way != kNoWay) {
-      ++total_.hits;
-      if (track_attribution_) attribute_hit(requester);
-      if (write) dirty_[set] |= 1ull << way;  // stores only: loads skip the RMW
-      touch(set, way);
+      commit_hit(set, way, write, requester);
       return true;
     }
-    ++total_.misses;
-    miss_fill(set, tag, write, requester);
+    commit_miss(set, tag, write, requester);
     return false;
   }
+
+  // --- engine-internal split of access_hot ---------------------------
+  // The fused multi-level miss walk (AccessContext::
+  // access_line_multilevel) probes every level with precomputed set
+  // indices before performing any fill, so the probe/commit halves of
+  // access_hot are exposed individually.  commit_hit(probe result) or
+  // commit_miss composed after probe_way is exactly access_hot — the
+  // walk reorders work *across* caches, never within one, which is
+  // why fused results are bit-identical (golden + random-oracle
+  // suites pin it).
+
+  /// Sentinel returned by probe_way when the tag is not resident.
+  static constexpr unsigned kWayMiss = ~0u;
+
+  /// Pure lookup: way holding (set, tag) or kWayMiss.  No state
+  /// change, no statistics.
+  unsigned probe_way(unsigned set, Address tag) const { return find(set, tag); }
+
+  /// Completes a hit found by probe_way: statistics + dirty + recency.
+  void commit_hit(unsigned set, unsigned way, bool write, const Requester& requester) {
+    ++total_.accesses;
+    ++total_.hits;
+    if (track_attribution_) attribute_hit(requester);
+    // Branchless dirty update: OR-ing 0 for loads leaves the word
+    // unchanged, and the store/load decision is data-random in every
+    // mix — a branch here mispredicts constantly.
+    dirty_[set] |= static_cast<std::uint64_t>(write) << way;
+    touch(set, way);
+  }
+
+  /// Completes a miss: statistics + victim selection + fill.
+  void commit_miss(unsigned set, Address tag, bool write, const Requester& requester) {
+    ++total_.accesses;
+    ++total_.misses;
+    miss_fill(set, tag, write, requester);
+  }
+
+  /// Inline commit_miss for attribution-free caches (the private
+  /// L1/L2): when the cache is plain-LRU/unpartitioned, the whole
+  /// fill runs inline via miss_fill_impl<true, false> — no
+  /// out-of-line call, so the fused walk's L1+L2 fills schedule as
+  /// straight-line code.  Anything else (non-LRU policy, partitions
+  /// installed, attribution on) falls back to the general miss_fill;
+  /// the guard re-checks the live flags, so a partition installed
+  /// later is honored on the next access, exactly like the
+  /// out-of-line path.
+  void commit_miss_private_hot(unsigned set, Address tag, bool write,
+                               const Requester& requester) {
+    ++total_.accesses;
+    ++total_.misses;
+    if (!fast_fill_ || track_attribution_) [[unlikely]] {
+      miss_fill(set, tag, write, requester);
+      return;
+    }
+    miss_fill_impl<true, false>(set, tag, write, requester);
+  }
+
+  /// Same, for the attribution cache (the LLC): inline plain-LRU fill
+  /// with the full per-core/per-VM/pollution bookkeeping compiled in.
+  void commit_miss_attr_hot(unsigned set, Address tag, bool write,
+                            const Requester& requester) {
+    ++total_.accesses;
+    ++total_.misses;
+    if (!fast_fill_ || !track_attribution_) [[unlikely]] {
+      miss_fill(set, tag, write, requester);
+      return;
+    }
+    miss_fill_impl<true, true>(set, tag, write, requester);
+  }
+
+  /// True when fills run the compile-time-pruned LRU path (LRU
+  /// replacement, no way partitions).  Exposed for tests.
+  bool fast_fill() const { return fast_fill_; }
+
+  /// Engine knob for benches and equivalence tests: disables (or
+  /// re-enables) the fill fast paths — the compile-time-pruned LRU
+  /// fill and the nibble-order O(1) victim — so the cache executes
+  /// the general miss_fill_impl<false, *> bodies, exactly the PR 4
+  /// fill code.  Results are bit-identical either way (that is what
+  /// the knob lets tests assert).  Re-enabling rebuilds the nibble
+  /// order from the stamps, so it is valid at any point in a run.
+  void set_fill_fast_paths(bool enabled);
+
+  /// Set index of a *line number* (addr >> line-shift).  Only valid
+  /// for power-of-two geometries (set_mask() below); the fused walk
+  /// checks via MemorySystem's geometry screen.
+  unsigned set_of_line(Address line) const {
+    return static_cast<unsigned>(line & set_mask_);
+  }
+
+  bool pow2_geometry() const { return pow2_geometry_; }
+  unsigned line_shift() const { return line_shift_; }
 
   /// Hints the host CPU to pull the set holding `addr` into its own
   /// cache.  Issued by the memory system for the next levels of the
   /// hierarchy while the current level is still probing, hiding the
   /// host-memory latency of large LLC metadata arrays.  Semantically
   /// a no-op.
-  void prefetch_set(Address addr) const {
-    const unsigned set = set_index(addr);
+  void prefetch_set(Address addr) const { prefetch_row(set_index(addr)); }
+
+  /// Same, from a precomputed set index (the fused walk's form).
+  /// Covers the *whole* tags/stamps rows — 8 entries per host line,
+  /// so a 20-way row spans three lines and the probe/victim scan
+  /// touches all of them.
+  void prefetch_row(unsigned set) const {
     const std::size_t row = line_index(set, 0);
-    __builtin_prefetch(&tags_[row]);
-    __builtin_prefetch(&stamps_[row]);
-    if (ways_ > 8) {  // rows longer than one host cache line
-      __builtin_prefetch(&tags_[row + 8]);
-      __builtin_prefetch(&stamps_[row + 8]);
+    for (unsigned d = 0; d < ways_; d += 8) {
+      __builtin_prefetch(&tags_[row + d]);
+      __builtin_prefetch(&stamps_[row + d]);
     }
     __builtin_prefetch(&valid_[set]);
+  }
+
+  /// Stages the state a *fill* touches beyond the probe's rows: the
+  /// dirty word and (attribution caches only) the owners row.  The
+  /// fused walk issues this once it knows the level missed — issuing
+  /// it earlier would drag fill-only lines through the host cache on
+  /// every probe that hits.
+  void prefetch_fill_row(unsigned set) const {
+    __builtin_prefetch(&dirty_[set], 1);
+    if (track_attribution_) {
+      const std::size_t row = line_index(set, 0);
+      __builtin_prefetch(&owners_[row], 1);
+      if (ways_ > 16) __builtin_prefetch(&owners_[row + 16], 1);
+    }
   }
 
   /// Lookup without any state change (no fill, no recency update).
@@ -308,6 +412,33 @@ class SetAssocCache {
       return;
     }
     stamps_[line_index(set, way)] = ++clock_;
+    if (nibble_lru_) touch_nibble(set, way);
+  }
+
+  /// Nibble-order move-to-front (plain-LRU caches with <= 16 ways):
+  /// lru_order_[set] packs the set's ways by recency, nibble 0 = MRU
+  /// .. nibble ways-1 = LRU, maintained in lockstep with the stamps
+  /// by every touch.  Pure ALU: locate `way`'s nibble with a SWAR
+  /// zero-nibble detector, slide everything more recent back one
+  /// position, insert `way` at the front.
+  void touch_nibble(unsigned set, unsigned way) {
+    const std::uint64_t ord = lru_order_[set];
+    const std::uint64_t x = ord ^ (0x1111111111111111ull * way);
+    const std::uint64_t zero =
+        (x - 0x1111111111111111ull) & ~x & 0x8888888888888888ull;
+    const unsigned p4 = static_cast<unsigned>(std::countr_zero(zero)) & ~3u;
+    const std::uint64_t below = (1ull << p4) - 1;  // nibbles more recent than way
+    lru_order_[set] =
+        way | ((ord & below) << 4) | (ord & ~((below << 4) | 0xFull));
+  }
+
+  /// The LRU way of a *full* nibble-ordered set in O(1): the nibble
+  /// at position ways-1.  Bit-identical to the min-stamp scan — for a
+  /// full plain-LRU set every way was touched with a unique,
+  /// strictly increasing stamp, so stamp order and nibble order are
+  /// the same permutation.
+  unsigned victim_nibble(unsigned set) const {
+    return static_cast<unsigned>(lru_order_[set] >> ((ways_ - 1) * 4)) & 0xFu;
   }
 
   void attribute_hit(const Requester& req) {
@@ -322,8 +453,48 @@ class SetAssocCache {
   }
 
   void plru_touch(unsigned set, unsigned way);
+  /// Re-initializes every nibble-order word to the identity
+  /// permutation (construction / invalidate_all).
+  void reset_lru_order();
+  /// Victim selection + fill + eviction bookkeeping.  Dispatches to a
+  /// compile-time-pruned instantiation when the cache is plain LRU
+  /// with no partitions (fast_fill_): one body, two instantiations —
+  /// miss_fill_impl<true> has the DIP/partition/insertion-policy
+  /// branches folded away, miss_fill_impl<false> is the general form.
+  /// Bit-identical by construction and pinned by the golden +
+  /// random-oracle suites.
   MissInfo miss_fill(unsigned set, Address tag, bool write, const Requester& requester);
+  template <bool kFastLru, bool kAttr>
+  MissInfo miss_fill_impl(unsigned set, Address tag, bool write, const Requester& requester);
   unsigned pick_victim(unsigned set, unsigned first_way, unsigned end_way);
+  /// LRU min-stamp scan over a full unpartitioned set with a
+  /// compile-time way count (the fast-fill victim path): the 4-lane
+  /// min-reduction of pick_victim with the way count known at compile
+  /// time — identical tie-breaking (strict `<` per ascending lane,
+  /// lexicographic merges), fully unrolled.  In the header so the
+  /// inline fill paths can use it.
+  template <unsigned W>
+  unsigned pick_victim_lru_fixed(const std::uint64_t* stamps) const {
+    static_assert(W % 4 == 0 && W >= 8, "fixed victim scan wants 4-lane multiples");
+    unsigned v0 = 0, v1 = 1, v2 = 2, v3 = 3;
+    std::uint64_t b0 = stamps[0], b1 = stamps[1], b2 = stamps[2], b3 = stamps[3];
+    for (unsigned w = 4; w < W; w += 4) {
+      bool lt;
+      lt = stamps[w] < b0;     v0 = lt ? w : v0;     b0 = lt ? stamps[w] : b0;
+      lt = stamps[w + 1] < b1; v1 = lt ? w + 1 : v1; b1 = lt ? stamps[w + 1] : b1;
+      lt = stamps[w + 2] < b2; v2 = lt ? w + 2 : v2; b2 = lt ? stamps[w + 2] : b2;
+      lt = stamps[w + 3] < b3; v3 = lt ? w + 3 : v3; b3 = lt ? stamps[w + 3] : b3;
+    }
+    bool take;
+    take = b1 < b0 || (b1 == b0 && v1 < v0);
+    v0 = take ? v1 : v0;
+    b0 = take ? b1 : b0;
+    take = b3 < b2 || (b3 == b2 && v3 < v2);
+    v2 = take ? v3 : v2;
+    b2 = take ? b3 : b2;
+    take = b2 < b0 || (b2 == b0 && v2 < v0);
+    return take ? v2 : v0;
+  }
   bool set_uses_bip(unsigned set) const;
 
   VmPollution& pollution_slot(int vm) {
@@ -363,6 +534,22 @@ class SetAssocCache {
 
   Rng rng_;
   std::uint64_t clock_ = 0;  // recency stamp source
+  /// Fills may take the pruned LRU path: plain LRU and no partition
+  /// installed (maintained by the constructor and set_partition/
+  /// clear_partitions).
+  bool fast_fill_ = false;
+  /// User knob (set_fill_fast_paths): when false, the fast paths stay
+  /// off regardless of policy/partition state — set_partition/
+  /// clear_partitions recompute fast_fill_ from BOTH, so clearing a
+  /// partition cannot silently re-enable a disabled engine mode.
+  bool fast_fill_allowed_ = true;
+  /// Plain-LRU caches with <= 16 ways mirror recency into per-set
+  /// nibble-order words (lru_order_), so full-set victim selection is
+  /// two ALU ops instead of an O(ways) stamp scan.  Stamps stay
+  /// authoritative for every other policy and for partitioned victim
+  /// ranges.
+  bool nibble_lru_ = false;
+  std::vector<std::uint64_t> lru_order_;  // per set: ways by recency, 4-bit fields
 
   // Incremental footprint accounting (replaces O(lines) scans).
   std::uint64_t valid_lines_ = 0;
@@ -393,5 +580,179 @@ class SetAssocCache {
   std::vector<CacheStats> per_core_;
   std::vector<CacheStats> per_vm_;
 };
+
+/// Victim selection + fill + eviction bookkeeping — ONE body for
+/// every cache mode, pruned at compile time:
+///   kFastLru — plain LRU with no partitions (fast_fill_): the DIP
+///     bookkeeping, partition lookup and insertion-policy dispatch
+///     fold away and the victim scan unrolls for the common
+///     associativities;
+///   kAttr — mirrors track_attribution_: per-core/per-VM statistics,
+///     owner/footprint accounting and the ground-truth pollution
+///     bookkeeping compile in (LLC) or out (private caches).
+/// In the header so the fused walk's inline commit paths instantiate
+/// it directly; the out-of-line miss_fill dispatches over the same
+/// four instantiations, so every path executes this exact code.
+template <bool kFastLru, bool kAttr>
+inline SetAssocCache::MissInfo SetAssocCache::miss_fill_impl(unsigned set, Address tag,
+                                                             bool write,
+                                                             const Requester& requester) {
+  KYOTO_DCHECK(kAttr == track_attribution_);
+  CacheStats* core_stats = nullptr;
+  CacheStats* vm_stats = nullptr;
+  if constexpr (kAttr) {
+    core_stats = &core_slot(requester.core);
+    ++core_stats->accesses;
+    ++core_stats->misses;
+    if (requester.vm >= 0) {
+      vm_stats = &vm_slot(requester.vm);
+      ++vm_stats->accesses;
+      ++vm_stats->misses;
+      // Ground-truth miss classification: if another requester
+      // displaced this VM's copy of the line since it last held it,
+      // this re-miss is contention-induced, not intrinsic.
+      if (requester.vm < kPollutionVmTracked && !displaced_.empty()) {
+        const auto it = displaced_.find(tag);
+        if (it != displaced_.end()) {
+          const std::uint64_t vm_bit = 1ull << requester.vm;
+          if (it->second & vm_bit) {
+            ++pollution_slot(requester.vm).contention_misses;
+            it->second &= ~vm_bit;
+            if (it->second == 0) displaced_.erase(it);
+          }
+        }
+      }
+    }
+  }
+
+  unsigned victim;
+  if constexpr (kFastLru) {
+    // fast_fill_: plain LRU, no partitions — the DIP bookkeeping,
+    // partition lookup and insertion-policy dispatch all fold away.
+    const std::uint64_t invalid =
+        ~valid_[set] & (ways_ == 64 ? ~0ull : (1ull << ways_) - 1);
+    if (invalid != 0) {
+      victim = static_cast<unsigned>(std::countr_zero(invalid));
+    } else if (nibble_lru_) {
+      victim = victim_nibble(set);  // O(1): no stamp loads, no scan
+    } else {
+      const std::uint64_t* stamps = &stamps_[line_index(set, 0)];
+      switch (ways_) {
+        case 8: victim = pick_victim_lru_fixed<8>(stamps); break;
+        case 16: victim = pick_victim_lru_fixed<16>(stamps); break;
+        case 20: victim = pick_victim_lru_fixed<20>(stamps); break;
+        default: victim = pick_victim(set, 0, ways_); break;
+      }
+    }
+  } else {
+    // DIP leader-set bookkeeping: a miss in an LRU leader nudges psel
+    // toward BIP and vice versa.
+    if (replacement_ == ReplacementKind::kDip) {
+      const unsigned pos = set % kDuelModulus;
+      if (pos == 0) psel_ = std::min(psel_ + 1, kPselMax);
+      else if (pos == 1) psel_ = std::max(psel_ - 1, 0);
+    }
+
+    // Respect the requester VM's way partition, if any.
+    unsigned first_way = 0;
+    unsigned end_way = ways_;
+    if (!partitions_.empty() && requester.vm >= 0 &&
+        static_cast<std::size_t>(requester.vm) < partitions_.size()) {
+      const Partition& p = partitions_[static_cast<std::size_t>(requester.vm)];
+      if (p.n_ways > 0) {
+        first_way = p.first_way;
+        end_way = std::min(ways_, p.first_way + p.n_ways);
+      }
+    }
+
+    victim = pick_victim(set, first_way, end_way);
+  }
+  const std::size_t idx = line_index(set, victim);
+  const std::uint64_t bit = 1ull << victim;
+
+  MissInfo info;
+  if (valid_[set] & bit) {
+    info.evicted = true;
+    info.evicted_tag = tags_[idx];
+    ++total_.evictions;
+    const bool was_dirty = (dirty_[set] & bit) != 0;
+    total_.writebacks += was_dirty ? 1 : 0;
+    if constexpr (kAttr) {
+      ++core_stats->evictions;
+      core_stats->writebacks += was_dirty ? 1 : 0;
+      if (vm_stats != nullptr) {
+        ++vm_stats->evictions;
+        vm_stats->writebacks += was_dirty ? 1 : 0;
+      }
+      // Displaced line's owner loses a footprint line.
+      const int old_vm = owners_[idx];
+      if (old_vm < 0) {
+        --unowned_lines_;
+      } else {
+        KYOTO_DCHECK(static_cast<std::size_t>(old_vm) < vm_footprint_.size());
+        --vm_footprint_[static_cast<std::size_t>(old_vm)];
+        if (old_vm != requester.vm) {
+          // Cross-VM eviction: the ground-truth pollution event.
+          ++pollution_slot(old_vm).cross_evictions_suffered;
+          if (requester.vm >= 0) {
+            ++pollution_slot(requester.vm).cross_evictions_inflicted;
+          }
+          if (old_vm < kPollutionVmTracked) {
+            displaced_[info.evicted_tag] |= 1ull << old_vm;
+          }
+        }
+      }
+    }
+  } else {
+    ++valid_lines_;
+  }
+
+  // Fill.
+  tags_[idx] = tag;
+  valid_[set] |= bit;
+  dirty_[set] = write ? (dirty_[set] | bit) : (dirty_[set] & ~bit);
+  if constexpr (kAttr) {
+    const int vm = requester.vm;
+    owners_[idx] = vm;
+    if (vm < 0) {
+      ++unowned_lines_;
+    } else {
+      if (static_cast<std::size_t>(vm) >= vm_footprint_.size()) {
+        grow_vm_slots(vm);  // cold: only for ids beyond the reserved slots
+      }
+      ++vm_footprint_[static_cast<std::size_t>(vm)];
+    }
+  }
+
+  if constexpr (kFastLru) {
+    // LRU always inserts at MRU — in both recency mirrors.
+    stamps_[idx] = ++clock_;
+    if (nibble_lru_) touch_nibble(set, victim);
+    return info;
+  } else {
+    // Insertion recency depends on the (possibly dueled) policy:
+    //   LRU/PLRU/random: insert at MRU.
+    //   LIP: insert at LRU (stamp 0 => next victim unless promoted).
+    //   BIP: LIP with a 1/32 chance of MRU insertion.
+    bool insert_mru = true;
+    switch (replacement_) {
+      case ReplacementKind::kLip:
+        insert_mru = false;
+        break;
+      case ReplacementKind::kBip:
+      case ReplacementKind::kDip:
+        if (set_uses_bip(set)) insert_mru = rng_.below(32) == 0;
+        break;
+      default:
+        break;
+    }
+    if (insert_mru) {
+      touch(set, victim);
+    } else {
+      stamps_[idx] = 0;
+    }
+    return info;
+  }
+}
 
 }  // namespace kyoto::cache

@@ -1,0 +1,124 @@
+#include "mem/compiled_stream.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mem/access.hpp"
+
+namespace kyoto::mem {
+
+void SequentialStream::fill(Bytes* out, std::size_t n) {
+  std::uint64_t cursor = cursor_;
+  const std::uint64_t lines = lines_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cursor * kLineBytes;
+    ++cursor;
+    cursor = cursor == lines ? 0 : cursor;
+  }
+  cursor_ = cursor;
+}
+
+void StridedStream::fill(Bytes* out, std::size_t n) {
+  std::uint64_t cursor = cursor_;
+  const std::uint64_t lines = lines_;
+  const std::uint64_t stride = stride_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cursor * kLineBytes;
+    cursor += stride;
+    cursor = cursor >= lines ? cursor - lines : cursor;
+  }
+  cursor_ = cursor;
+}
+
+ChaseRingStream::ChaseRingStream(const std::vector<std::uint32_t>& next) {
+  KYOTO_CHECK_MSG(!next.empty(), "chase ring needs at least one line");
+  // Unroll the single cycle starting (like the pattern's cursor) at
+  // line 0.  Sattolo's construction guarantees one cycle covering
+  // every line, so the ring has exactly next.size() entries.
+  ring_.reserve(next.size());
+  std::uint32_t at = 0;
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    ring_.push_back(at);
+    at = next[at];
+  }
+  KYOTO_CHECK_MSG(at == 0, "chase successor table is not a single cycle");
+}
+
+void ChaseRingStream::fill(Bytes* out, std::size_t n) {
+  std::size_t cursor = cursor_;
+  const std::size_t lap = ring_.size();
+  const std::uint32_t* ring = ring_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<Bytes>(ring[cursor]) * kLineBytes;
+    ++cursor;
+    cursor = cursor == lap ? 0 : cursor;
+  }
+  cursor_ = cursor;
+}
+
+void UniformStream::fill(Bytes* out, std::size_t n) {
+  const std::uint64_t lines = lines_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rng_.below(lines) * kLineBytes;
+  }
+}
+
+ZipfStream::ZipfStream(std::shared_ptr<const std::vector<double>> cdf,
+                       std::shared_ptr<const std::vector<std::uint32_t>> perm,
+                       std::uint64_t seed)
+    : cdf_(std::move(cdf)), perm_(std::move(perm)), seed_(seed), rng_(seed) {
+  KYOTO_CHECK(cdf_ != nullptr && perm_ != nullptr && cdf_->size() == perm_->size());
+  quantile_ = QuantileIndex(*cdf_);
+}
+
+void ZipfStream::fill(Bytes* out, std::size_t n) {
+  const auto& cdf = *cdf_;
+  const auto& perm = *perm_;
+  const std::uint64_t lines = cdf.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng_.uniform();
+    // Same mapping as ZipfPattern::next_offset's full lower_bound
+    // (the quantile index restricts the scan, never the answer).
+    const std::uint64_t rank = quantile_.lookup(cdf, u);
+    out[i] = static_cast<Bytes>(perm[std::min(rank, lines - 1)]) * kLineBytes;
+  }
+}
+
+PhasedStream::PhasedStream(std::vector<Phase> phases) : phases_(std::move(phases)) {
+  KYOTO_CHECK_MSG(!phases_.empty(), "phased stream needs at least one phase");
+  for (const auto& phase : phases_) {
+    KYOTO_CHECK(phase.stream != nullptr && phase.accesses > 0);
+  }
+  remaining_ = phases_[0].accesses;
+}
+
+PhasedStream::PhasedStream(const PhasedStream& other)
+    : current_(other.current_), remaining_(other.remaining_) {
+  phases_.reserve(other.phases_.size());
+  for (const auto& phase : other.phases_) {
+    phases_.push_back(Phase{phase.stream->clone(), phase.accesses});
+  }
+}
+
+void PhasedStream::fill(Bytes* out, std::size_t n) {
+  while (n > 0) {
+    if (remaining_ == 0) {
+      current_ = (current_ + 1) % phases_.size();
+      remaining_ = phases_[current_].accesses;
+    }
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, remaining_));
+    phases_[current_].stream->fill(out, take);
+    out += take;
+    n -= take;
+    remaining_ -= take;
+  }
+}
+
+void PhasedStream::reset() {
+  current_ = 0;
+  remaining_ = phases_[0].accesses;
+  for (auto& phase : phases_) phase.stream->reset();
+}
+
+}  // namespace kyoto::mem

@@ -61,29 +61,34 @@ Bytes UniformRandomPattern::next_offset(Rng& rng) {
 }
 
 ZipfPattern::ZipfPattern(Bytes working_set, double exponent, std::uint64_t seed)
-    : lines_(lines_for(working_set)), cdf_(lines_), perm_(lines_) {
+    : lines_(lines_for(working_set)) {
   KYOTO_CHECK_MSG(exponent >= 0.0, "zipf exponent must be non-negative");
+  auto cdf = std::make_shared<std::vector<double>>(lines_);
+  auto perm = std::make_shared<std::vector<std::uint32_t>>(lines_);
   double total = 0.0;
   for (std::uint64_t r = 0; r < lines_; ++r) {
     total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
-    cdf_[r] = total;
+    (*cdf)[r] = total;
   }
-  for (auto& c : cdf_) c /= total;
+  for (auto& c : *cdf) c /= total;
   // Spread popularity ranks over lines so hot lines do not cluster in
   // the low sets of the cache.
-  std::iota(perm_.begin(), perm_.end(), 0u);
+  std::iota(perm->begin(), perm->end(), 0u);
   Rng rng(seed);
   for (std::uint64_t i = lines_; i > 1; --i) {
     const std::uint64_t j = rng.below(i);
-    std::swap(perm_[i - 1], perm_[j]);
+    std::swap((*perm)[i - 1], (*perm)[j]);
   }
+  cdf_ = std::move(cdf);
+  perm_ = std::move(perm);
 }
 
 Bytes ZipfPattern::next_offset(Rng& rng) {
   const double u = rng.uniform();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  const auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
-  return static_cast<Bytes>(perm_[std::min(rank, lines_ - 1)]) * kLineBytes;
+  const auto& cdf = *cdf_;
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const auto rank = static_cast<std::uint64_t>(it - cdf.begin());
+  return static_cast<Bytes>((*perm_)[std::min(rank, lines_ - 1)]) * kLineBytes;
 }
 
 PhasedPattern::PhasedPattern(std::vector<Phase> phases) : phases_(std::move(phases)) {
@@ -119,6 +124,40 @@ void PhasedPattern::reset() {
   current_ = 0;
   remaining_ = phases_[0].accesses;
   for (auto& phase : phases_) phase.pattern->reset();
+}
+
+// --- stream compilation (the v2 format; see compiled_stream.hpp) -------
+
+std::unique_ptr<CompiledStream> PointerChasePattern::compile(std::uint64_t /*seed*/) const {
+  return std::make_unique<ChaseRingStream>(next_);
+}
+
+std::unique_ptr<CompiledStream> SequentialPattern::compile(std::uint64_t /*seed*/) const {
+  return std::make_unique<SequentialStream>(lines_);
+}
+
+std::unique_ptr<CompiledStream> StridedPattern::compile(std::uint64_t /*seed*/) const {
+  return std::make_unique<StridedStream>(lines_, stride_);
+}
+
+std::unique_ptr<CompiledStream> UniformRandomPattern::compile(std::uint64_t seed) const {
+  return std::make_unique<UniformStream>(lines_, seed);
+}
+
+std::unique_ptr<CompiledStream> ZipfPattern::compile(std::uint64_t seed) const {
+  return std::make_unique<ZipfStream>(cdf_, perm_, seed);
+}
+
+std::unique_ptr<CompiledStream> PhasedPattern::compile(std::uint64_t seed) const {
+  std::vector<PhasedStream::Phase> phases;
+  phases.reserve(phases_.size());
+  std::uint64_t sub_seed = seed;
+  for (const auto& phase : phases_) {
+    auto child = phase.pattern->compile(splitmix64(sub_seed));
+    if (child == nullptr) return nullptr;  // uncompilable child: stay on v1
+    phases.push_back(PhasedStream::Phase{std::move(child), phase.accesses});
+  }
+  return std::make_unique<PhasedStream>(std::move(phases));
 }
 
 }  // namespace kyoto::mem

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "mem/access.hpp"
+#include "mem/compiled_stream.hpp"
 
 namespace kyoto::mem {
 
@@ -39,6 +40,19 @@ class Pattern {
 
   /// Size of the region this pattern touches.
   virtual Bytes working_set() const = 0;
+
+  /// Compiles this pattern's reference stream into block-generated
+  /// form (the `stream = v2` format; see compiled_stream.hpp):
+  /// deterministic walks compile to the identical sequence, the
+  /// stochastic ones to statistically equivalent batched draws seeded
+  /// by `seed`.  Starts from the pattern's *initial* state, not its
+  /// current cursor.  Returns nullptr if the pattern has no compiled
+  /// form (external subclasses) — callers fall back to the v1 per-op
+  /// stream.
+  virtual std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const {
+    (void)seed;
+    return nullptr;
+  }
 };
 
 /// Random circular pointer chase (Drepper's micro-benchmark [15]):
@@ -58,6 +72,9 @@ class PointerChasePattern final : public Pattern {
     return std::make_unique<PointerChasePattern>(*this);
   }
   Bytes working_set() const override { return lines_ * kLineBytes; }
+  /// Unrolls the cycle into a visit-order ring: the identical
+  /// sequence without the dependent next_[cursor] loads.
+  std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const override;
 
  private:
   std::uint64_t lines_ = 0;
@@ -77,6 +94,7 @@ class SequentialPattern final : public Pattern {
     return std::make_unique<SequentialPattern>(*this);
   }
   Bytes working_set() const override { return lines_ * kLineBytes; }
+  std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const override;
 
  private:
   std::uint64_t lines_ = 0;
@@ -95,6 +113,7 @@ class StridedPattern final : public Pattern {
     return std::make_unique<StridedPattern>(*this);
   }
   Bytes working_set() const override { return lines_ * kLineBytes; }
+  std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const override;
 
  private:
   std::uint64_t lines_ = 0;
@@ -115,6 +134,7 @@ class UniformRandomPattern final : public Pattern {
     return std::make_unique<UniformRandomPattern>(*this);
   }
   Bytes working_set() const override { return lines_ * kLineBytes; }
+  std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const override;
 
  private:
   std::uint64_t lines_ = 0;
@@ -133,11 +153,17 @@ class ZipfPattern final : public Pattern {
     return std::make_unique<ZipfPattern>(*this);
   }
   Bytes working_set() const override { return lines_ * kLineBytes; }
+  /// Shares this pattern's CDF and permutation with the stream, so
+  /// both formats draw from the identical distribution over the
+  /// identical line layout.
+  std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const override;
 
  private:
   std::uint64_t lines_ = 0;
-  std::vector<double> cdf_;           // cumulative popularity by rank
-  std::vector<std::uint32_t> perm_;   // rank -> line (so hot lines spread over sets)
+  // Shared immutable tables: clones (and compiled streams) reference
+  // the same CDF/permutation instead of copying megabyte arrays.
+  std::shared_ptr<const std::vector<double>> cdf_;   // cumulative popularity by rank
+  std::shared_ptr<const std::vector<std::uint32_t>> perm_;  // rank -> line
 };
 
 /// Composite pattern: cycles through phases, each running a child
@@ -160,6 +186,9 @@ class PhasedPattern final : public Pattern {
     return std::make_unique<PhasedPattern>(*this);
   }
   Bytes working_set() const override { return max_working_set_; }
+  /// Composes the children's compiled streams; nullptr if any child
+  /// lacks one.
+  std::unique_ptr<CompiledStream> compile(std::uint64_t seed) const override;
 
  private:
   std::vector<Phase> phases_;

@@ -91,7 +91,8 @@ struct SchedulerChoice {
 };
 
 WorkloadFactory app_factory_for(const std::string& value,
-                                const cache::MemSystemConfig& mem, int line) {
+                                const cache::MemSystemConfig& mem, int line,
+                                workloads::StreamVersion stream) {
   const std::string s = lower(value);
   if (s.rfind("micro:", 0) == 0) {
     const std::string which = s.substr(6);
@@ -105,9 +106,9 @@ WorkloadFactory app_factory_for(const std::string& value,
     if (!rep && which.substr(2) != "dis") {
       fail(line, "micro workload must end in rep or dis");
     }
-    return [cls, rep, mem](std::uint64_t seed) {
-      return rep ? workloads::micro_representative(cls, mem, seed)
-                 : workloads::micro_disruptive(cls, mem, seed);
+    return [cls, rep, mem, stream](std::uint64_t seed) {
+      return rep ? workloads::micro_representative(cls, mem, seed, stream)
+                 : workloads::micro_disruptive(cls, mem, seed, stream);
     };
   }
   // Validate the profile name now so errors carry the line number.
@@ -116,7 +117,9 @@ WorkloadFactory app_factory_for(const std::string& value,
   } catch (const std::logic_error&) {
     fail(line, "unknown application '" + value + "'");
   }
-  return [value, mem](std::uint64_t seed) { return workloads::make_app(value, mem, seed); };
+  return [value, mem, stream](std::uint64_t seed) {
+    return workloads::make_app(value, mem, seed, stream);
+  };
 }
 
 }  // namespace
@@ -138,7 +141,7 @@ Scenario parse_scenario(const std::string& text) {
   };
   std::vector<PendingVm> vms;
 
-  enum class Section { kNone, kMachine, kScheduler, kVm, kRun };
+  enum class Section { kNone, kMachine, kScheduler, kWorkload, kVm, kRun };
   Section section = Section::kNone;
 
   std::istringstream in(text);
@@ -163,6 +166,8 @@ Scenario parse_scenario(const std::string& text) {
       } else if (kind == "scheduler") {
         section = Section::kScheduler;
         sched.declared_line = line_no;
+      } else if (kind == "workload") {
+        section = Section::kWorkload;
       } else if (kind == "run") {
         section = Section::kRun;
       } else if (kind == "vm") {
@@ -234,6 +239,17 @@ Scenario parse_scenario(const std::string& text) {
           else fail(line_no, "punish must be block or demote");
         } else {
           fail(line_no, "unknown [scheduler] key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kWorkload: {
+        if (key == "stream") {
+          const std::string s = lower(value);
+          if (s == "v1") scenario.stream = workloads::StreamVersion::kV1;
+          else if (s == "v2") scenario.stream = workloads::StreamVersion::kV2;
+          else fail(line_no, "stream must be v1 or v2, got '" + value + "'");
+        } else {
+          fail(line_no, "unknown [workload] key '" + key + "'");
         }
         break;
       }
@@ -344,7 +360,10 @@ Scenario parse_scenario(const std::string& text) {
     if (vm.app.empty()) fail(vm.declared_line, "[vm " + vm.name + "] is missing app =");
     VmPlan plan;
     plan.config = vm.config;
-    plan.workload = app_factory_for(vm.app, scenario.spec.machine.mem, vm.app_line);
+    // Factories are built after the whole file is parsed, so a
+    // [workload] section applies wherever it appears in the file.
+    plan.workload =
+        app_factory_for(vm.app, scenario.spec.machine.mem, vm.app_line, scenario.stream);
     if (vm.cores.empty()) {
       plan.pinned_cores = {next_core};
       next_core = (next_core + 1) % total_cores;

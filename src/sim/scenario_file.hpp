@@ -16,6 +16,12 @@
 //   monitor = direct          # direct|mcsim|dedication (kyoto kinds only)
 //   punish = block            # block|demote
 //
+//   [workload]
+//   stream = v2               # v1 (default, bit-identical to seed
+//                             # behavior) | v2 (compiled streams —
+//                             # statistically equivalent, faster; see
+//                             # README "Stream versioning")
+//
 //   [vm tenant-a]
 //   app = gcc                 # catalog profile, or micro:c2rep etc.
 //   cores = 0                 # comma-separated, one per vCPU
@@ -45,6 +51,9 @@ struct Scenario {
   std::vector<VmPlan> plans;
   /// Section-order names, for reporting.
   std::vector<std::string> vm_names;
+  /// Reference-stream format every VM's workload factory was built
+  /// with ([workload] stream = ...; v1 default).
+  workloads::StreamVersion stream = workloads::StreamVersion::kV1;
 };
 
 /// Parses scenario text.  Throws std::logic_error on any syntax or

@@ -127,7 +127,7 @@ std::vector<AppProfile> build_profiles() {
 std::unique_ptr<Workload> make_micro(const char* name, PatternSpec::Kind kind, Bytes ws,
                                      double mem_ratio, double mlp,
                                      const cache::MemSystemConfig& /*mem*/,
-                                     std::uint64_t seed) {
+                                     std::uint64_t seed, StreamVersion stream) {
   std::unique_ptr<Pattern> pattern;
   switch (kind) {
     case PatternSpec::Kind::kChase:
@@ -151,6 +151,7 @@ std::unique_ptr<Workload> make_micro(const char* name, PatternSpec::Kind kind, B
   spec.write_ratio = 0.25;
   spec.length = 0;  // endless loop; experiments measure over a window
   spec.mlp = mlp;
+  spec.stream = stream;
   return std::make_unique<PatternWorkload>(std::move(spec), std::move(pattern), seed);
 }
 
@@ -158,18 +159,18 @@ std::unique_ptr<Workload> make_micro(const char* name, PatternSpec::Kind kind, B
 
 std::unique_ptr<Workload> micro_representative(MicroClass cls,
                                                const cache::MemSystemConfig& mem,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed, StreamVersion stream) {
   // Representatives are dependency-chained chases (mlp 1): every cycle
   // of added miss latency is fully exposed, making them the most
   // latency-sensitive programs possible for their class.
   switch (cls) {
     case MicroClass::kC1:
       return make_micro("v1rep", PatternSpec::Kind::kChase, mem.l2.size / 2, 0.30, 1.0,
-                        mem, seed);
+                        mem, seed, stream);
     case MicroClass::kC2:
       return make_micro("v2rep", PatternSpec::Kind::kChase,
                         static_cast<Bytes>(0.55 * static_cast<double>(mem.llc.size)), 0.30,
-                        1.0, mem, seed);
+                        1.0, mem, seed, stream);
     case MicroClass::kC3:
       // A working set beyond the LLC but with reuse locality (hot
       // structures inside a large footprint, like mcf/soplex): solo,
@@ -177,7 +178,7 @@ std::unique_ptr<Workload> micro_representative(MicroClass cls,
       // evicted and performance collapses.  A pure cyclic chase would
       // miss every access even solo and thus could not be hurt.
       return make_micro("v3rep", PatternSpec::Kind::kZipf, mem.llc.size * 2, 0.30, 1.0,
-                        mem, seed);
+                        mem, seed, stream);
   }
   KYOTO_CHECK_MSG(false, "unreachable micro class");
   return nullptr;
@@ -185,20 +186,20 @@ std::unique_ptr<Workload> micro_representative(MicroClass cls,
 
 std::unique_ptr<Workload> micro_disruptive(MicroClass cls,
                                            const cache::MemSystemConfig& mem,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed, StreamVersion stream) {
   switch (cls) {
     case MicroClass::kC1:
       // Hammers the ILC only: working set == L2, so it barely touches
       // the LLC — the paper shows this disturbs nobody.
       return make_micro("v1dis", PatternSpec::Kind::kRandom, mem.l2.size, 0.50, 1.5, mem,
-                        seed);
+                        seed, stream);
     case MicroClass::kC2:
       return make_micro("v2dis", PatternSpec::Kind::kRandom,
                         static_cast<Bytes>(0.90 * static_cast<double>(mem.llc.size)), 0.50,
-                        2.0, mem, seed);
+                        2.0, mem, seed, stream);
     case MicroClass::kC3:
       return make_micro("v3dis", PatternSpec::Kind::kSequential, mem.llc.size * 3, 0.55,
-                        3.0, mem, seed);
+                        3.0, mem, seed, stream);
   }
   KYOTO_CHECK_MSG(false, "unreachable micro class");
   return nullptr;
@@ -219,7 +220,8 @@ const AppProfile& app_profile(const std::string& name) {
 }
 
 std::unique_ptr<Workload> make_app(const AppProfile& profile,
-                                   const cache::MemSystemConfig& mem, std::uint64_t seed) {
+                                   const cache::MemSystemConfig& mem, std::uint64_t seed,
+                                   StreamVersion stream) {
   KYOTO_CHECK_MSG(!profile.phases.empty(), "profile without phases: " << profile.name);
   std::unique_ptr<Pattern> pattern;
   if (profile.phases.size() == 1) {
@@ -242,12 +244,14 @@ std::unique_ptr<Workload> make_app(const AppProfile& profile,
   spec.write_ratio = profile.write_ratio;
   spec.length = profile.length;
   spec.mlp = profile.mlp;
+  spec.stream = stream;
   return std::make_unique<PatternWorkload>(std::move(spec), std::move(pattern), seed);
 }
 
 std::unique_ptr<Workload> make_app(const std::string& name,
-                                   const cache::MemSystemConfig& mem, std::uint64_t seed) {
-  return make_app(app_profile(name), mem, seed);
+                                   const cache::MemSystemConfig& mem, std::uint64_t seed,
+                                   StreamVersion stream) {
+  return make_app(app_profile(name), mem, seed, stream);
 }
 
 const std::vector<std::string>& fig4_apps() {

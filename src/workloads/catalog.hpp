@@ -36,14 +36,18 @@ namespace kyoto::workloads {
 enum class MicroClass { kC1 = 1, kC2 = 2, kC3 = 3 };
 
 /// v^i_rep: latency-sensitive pointer chase sized for the class.
+/// `stream` selects the reference-stream format (v1 default; see
+/// workload.hpp).
 std::unique_ptr<Workload> micro_representative(MicroClass cls,
                                                const cache::MemSystemConfig& mem,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               StreamVersion stream = StreamVersion::kV1);
 
 /// v^i_dis: cache-hammering variant sized for the class.
 std::unique_ptr<Workload> micro_disruptive(MicroClass cls,
                                            const cache::MemSystemConfig& mem,
-                                           std::uint64_t seed);
+                                           std::uint64_t seed,
+                                           StreamVersion stream = StreamVersion::kV1);
 
 /// How one application's reference stream is synthesized.
 struct PatternSpec {
@@ -80,13 +84,16 @@ const std::vector<AppProfile>& app_profiles();
 /// Profile by name; throws std::logic_error for unknown names.
 const AppProfile& app_profile(const std::string& name);
 
-/// Instantiates an application on a given machine geometry.
+/// Instantiates an application on a given machine geometry.  `stream`
+/// selects the reference-stream format (v1 default; see workload.hpp).
 std::unique_ptr<Workload> make_app(const AppProfile& profile,
                                    const cache::MemSystemConfig& mem,
-                                   std::uint64_t seed);
+                                   std::uint64_t seed,
+                                   StreamVersion stream = StreamVersion::kV1);
 std::unique_ptr<Workload> make_app(const std::string& name,
                                    const cache::MemSystemConfig& mem,
-                                   std::uint64_t seed);
+                                   std::uint64_t seed,
+                                   StreamVersion stream = StreamVersion::kV1);
 
 /// The ten applications ranked in Fig 4, in the paper's plotting order.
 const std::vector<std::string>& fig4_apps();

@@ -12,6 +12,7 @@
 // — clone() is the "pin tool" attach point.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -20,6 +21,33 @@
 #include "mem/access.hpp"
 
 namespace kyoto::workloads {
+
+/// One memory reference plus the run of compute instructions that
+/// preceded it — the geometric-skip form of the op stream.  A batch
+/// of AccessRefs is equivalent to the Op stream with every compute
+/// run collapsed into `gap`: replay loops charge `gap` one-cycle
+/// instructions in one addition instead of iterating them.
+struct AccessRef {
+  Bytes addr = 0;           // VM-local byte offset of the access
+  std::uint32_t gap = 0;    // compute instructions retired before it
+  bool write = false;
+};
+
+/// Reference-stream format of a workload (seed-versioned; see
+/// README "Stream versioning"):
+///
+///  * kV1 — the frozen per-op format: one Bernoulli draw per
+///    instruction, one pattern dispatch per memory op.  Bit-identical
+///    to the seed behavior forever, so every committed figure and
+///    golden remains regenerable.
+///  * kV2 — the compiled format (mem/compiled_stream.hpp): block-
+///    generated offsets, fixed-point instruction-mix draws, a
+///    decorrelated RNG stream derived from the same user seed.
+///    Statistically equivalent to kV1 (chi-square line frequencies,
+///    miss rates within tolerance — tests/workloads/
+///    stream_equivalence_test.cpp) but not bit-identical; scenario
+///    files opt in via `[workload] stream = v2`.
+enum class StreamVersion : unsigned char { kV1 = 1, kV2 = 2 };
 
 /// Static description of a workload, used for reporting and for the
 /// execution model.
@@ -37,6 +65,8 @@ struct WorkloadSpec {
   /// address depends on the previous), streaming kernels 2-4.  The
   /// effective stall of an access with latency L is max(1, L/mlp).
   double mlp = 1.0;
+  /// Requested reference-stream format (see StreamVersion).
+  StreamVersion stream = StreamVersion::kV1;
 };
 
 /// One application instance.  Implementations are not thread-safe;
@@ -57,6 +87,41 @@ class Workload {
   /// `n` calls of next().
   std::size_t next_batch(mem::Op* out, std::size_t n) { return do_next_batch(out, n); }
 
+  /// Geometric-skip form: advances the stream by up to `max_ops`
+  /// instructions, writing one AccessRef per memory reference (at
+  /// most `max_refs`).  Returns {ops consumed, refs written}; a tail
+  /// of trailing compute ops that was consumed without a following
+  /// memory reference is reported in `*trailing_gap` (those
+  /// instructions are part of `ops` but belong to no ref).  The
+  /// described instruction stream is identical to next_batch over the
+  /// same window — this is a consumption format, not a different
+  /// stream.  The default implementation compresses do_next_batch
+  /// output; PatternWorkload's v2 engine overrides it to skip Op
+  /// materialization entirely.
+  struct RefBatch {
+    std::size_t ops = 0;
+    std::size_t refs = 0;
+  };
+  virtual RefBatch next_ref_batch(AccessRef* out, std::size_t max_refs, std::size_t max_ops,
+                                  std::uint32_t* trailing_gap) {
+    RefBatch batch;
+    std::uint32_t gap = 0;
+    mem::Op op;
+    while (batch.ops < max_ops && batch.refs < max_refs) {
+      op = next();
+      ++batch.ops;
+      if (op.kind == mem::OpKind::kCompute) {
+        ++gap;
+        continue;
+      }
+      out[batch.refs++] =
+          AccessRef{op.addr, gap, op.kind == mem::OpKind::kStore};
+      gap = 0;
+    }
+    *trailing_gap = gap;
+    return batch;
+  }
+
   /// Restarts the application from the beginning (including RNG).
   virtual void reset() = 0;
 
@@ -65,6 +130,11 @@ class Workload {
   virtual std::unique_ptr<Workload> clone() const = 0;
 
   virtual const WorkloadSpec& spec() const = 0;
+
+  /// The stream format this workload actually emits.  kV1 unless the
+  /// implementation honored a kV2 request (a workload whose pattern
+  /// has no compiled form serves v1 even when v2 was asked for).
+  virtual StreamVersion stream_version() const { return StreamVersion::kV1; }
 
  protected:
   /// Batch fallback: any workload works unmodified at one virtual

@@ -15,11 +15,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/memory_system.hpp"
 #include "cache/reference_cache.hpp"
 #include "cache/set_assoc_cache.hpp"
+#include "cache/topology.hpp"
 #include "common/rng.hpp"
 #include "mem/access.hpp"
 
@@ -289,6 +292,115 @@ TEST(RandomizedOracle, IncrementalCountersMatchRecountUnderDisruptions) {
     if (HasFatalFailure()) {
       FAIL() << "config #" << i << " diverged: " << config.describe();
     }
+  }
+}
+
+// --- multi-level engine equivalence ------------------------------------
+//
+// The fused miss walk (access_line_multilevel) and the fill fast
+// paths must be *bit-identical* to the serial three-call walk with
+// the general fills (the PR 4 engine).  Random multi-core op streams
+// — mixed loads/stores, several VMs, LLC partitions installed
+// mid-run, occasional invalidations, bus+prefetcher on for some
+// configs — are replayed through three MemorySystem engine modes and
+// every observable is compared exactly.
+namespace {
+
+struct EngineRun {
+  std::vector<std::uint64_t> observables;
+};
+
+EngineRun run_engine(const MemSystemConfig& cfg, const Topology& topo, bool fused,
+                     bool fast_fills, std::uint64_t stream_seed, bool partition_mid_run) {
+  MemorySystem memory(topo, cfg, /*seed=*/7);
+  memory.set_fused_miss_path(fused);
+  memory.set_fill_fast_paths(fast_fills);
+  const int cores = topo.total_cores();
+  const int vms = 4;
+  memory.reserve_vm_slots(vms);
+  Rng rng(stream_seed);
+  EngineRun run;
+  const Bytes span = cfg.llc.size * 3;
+  const std::uint64_t lines = span / cfg.llc.line;
+  std::int64_t now = 0;
+  for (int op = 0; op < 60'000; ++op) {
+    const int core = static_cast<int>(rng.below(static_cast<std::uint64_t>(cores)));
+    const int vm = static_cast<int>(rng.below(vms));
+    const Address addr = rng.below(lines) * cfg.llc.line;
+    const bool write = rng.chance(0.3);
+    const int home = static_cast<int>(rng.below(static_cast<std::uint64_t>(topo.sockets)));
+    const AccessResult result = memory.access(core, addr, write, home, vm, now);
+    now += result.latency;
+    run.observables.push_back(static_cast<std::uint64_t>(result.level));
+    run.observables.push_back(static_cast<std::uint64_t>(result.latency));
+    run.observables.push_back(result.llc_reference);
+    run.observables.push_back(result.llc_miss);
+    run.observables.push_back(result.prefetch_llc_references);
+    run.observables.push_back(result.prefetch_llc_misses);
+    if (partition_mid_run && op == 30'000) {
+      // UCP-style partition installed mid-run: the fast fills must
+      // step aside and the engines must keep agreeing.
+      memory.llc(0).set_partition(/*vm=*/1, /*first_way=*/0,
+                                  /*n_ways=*/cfg.llc.ways / 2);
+    }
+    if (op % 9973 == 0) memory.invalidate_private(core);
+  }
+  auto record_cache = [&run, vms](const SetAssocCache& c) {
+    const CacheStats& stats = c.stats();
+    run.observables.insert(run.observables.end(),
+                           {stats.accesses, stats.hits, stats.misses, stats.evictions,
+                            stats.writebacks});
+    for (int vm = 0; vm < vms; ++vm) {
+      const CacheStats& vm_stats = c.stats_for_vm(vm);
+      run.observables.insert(run.observables.end(),
+                             {vm_stats.accesses, vm_stats.misses, vm_stats.evictions,
+                              c.footprint_lines(vm)});
+      const VmPollution& pollution = c.pollution_for_vm(vm);
+      run.observables.insert(
+          run.observables.end(),
+          {pollution.cross_evictions_inflicted, pollution.cross_evictions_suffered,
+           pollution.contention_misses});
+    }
+  };
+  for (int core = 0; core < cores; ++core) {
+    record_cache(memory.l1(core));
+    record_cache(memory.l2(core));
+    run.observables.push_back(memory.prefetches_issued(core));
+  }
+  for (int socket = 0; socket < topo.sockets; ++socket) {
+    record_cache(memory.llc(socket));
+    run.observables.push_back(static_cast<std::uint64_t>(memory.bus_queue_cycles(socket)));
+  }
+  return run;
+}
+
+}  // namespace
+
+TEST(RandomizedOracle, MultilevelFusedWalkMatchesSerialAndPr4Engines) {
+  Rng master(0xF0CE5ull);
+  for (int round = 0; round < 12; ++round) {
+    MemSystemConfig cfg = scaled_mem_system();
+    // Vary geometry: shrink/grow the LLC, flip replacement for some
+    // rounds (non-LRU exercises the general fills under fusion), and
+    // enable the bus/prefetcher extensions for others (the
+    // miss-extras path).
+    if (round % 3 == 1) cfg.llc.size /= 2;  // 64-set LLC variant
+    if (round % 4 == 2) cfg.llc_replacement = ReplacementKind::kDip;
+    if (round % 4 == 3) cfg.private_replacement = ReplacementKind::kPlru;
+    cfg.prefetch.enabled = round % 2 == 1;
+    cfg.bus.enabled = round % 5 == 2;
+    const Topology topo{round % 2 == 0 ? 1 : 2, 2};
+    const std::uint64_t stream_seed = master();
+    const bool partition_mid_run = round % 3 == 0;
+
+    const EngineRun fused = run_engine(cfg, topo, /*fused=*/true, /*fast_fills=*/true,
+                                       stream_seed, partition_mid_run);
+    const EngineRun serial = run_engine(cfg, topo, /*fused=*/false, /*fast_fills=*/true,
+                                        stream_seed, partition_mid_run);
+    const EngineRun pr4 = run_engine(cfg, topo, /*fused=*/false, /*fast_fills=*/false,
+                                     stream_seed, partition_mid_run);
+    ASSERT_EQ(fused.observables, serial.observables) << "round " << round;
+    ASSERT_EQ(fused.observables, pr4.observables) << "round " << round;
   }
 }
 

@@ -461,5 +461,25 @@ TEST(Replacement, LipInsertsAtLruPosition) {
   EXPECT_EQ(*r.evicted, line(0, 9));
 }
 
+TEST(FillFastPaths, KnobStaysStickyAcrossPartitionChanges) {
+  // set_fill_fast_paths(false) puts the cache in PR 4 engine mode;
+  // installing and clearing a partition must not silently re-enable
+  // the pruned fills (the knob is what lets benches attribute timing
+  // to an engine).
+  SetAssocCache c("knob", CacheGeometry{8 * 64 * 4, 4}, ReplacementKind::kLru);
+  EXPECT_TRUE(c.fast_fill());
+  c.set_fill_fast_paths(false);
+  EXPECT_FALSE(c.fast_fill());
+  c.set_partition(0, 0, 2);
+  c.clear_partitions();
+  EXPECT_FALSE(c.fast_fill());  // still the PR 4 engine
+  c.set_fill_fast_paths(true);
+  EXPECT_TRUE(c.fast_fill());
+  c.set_partition(0, 0, 2);
+  EXPECT_FALSE(c.fast_fill());  // partitions always force the general fill
+  c.clear_partitions();
+  EXPECT_TRUE(c.fast_fill());
+}
+
 }  // namespace
 }  // namespace kyoto::cache

@@ -1,0 +1,207 @@
+// Compiled streams (the v2 format) vs their per-op patterns.
+//
+// Deterministic walks (chase / sequential / strided) compile to the
+// *identical* offset sequence — pinned exactly.  Stochastic draws
+// (uniform / Zipf) compile to batched draws from the same
+// distribution over the same line layout — pinned by two-sample
+// chi-square agreement on line frequencies.  Phased composition must
+// respect the per-phase access budgets.
+#include "mem/compiled_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/patterns.hpp"
+
+namespace kyoto::mem {
+namespace {
+
+std::vector<Bytes> pattern_offsets(Pattern& pattern, std::size_t n) {
+  Rng rng(0xA5A5);
+  std::vector<Bytes> out(n);
+  for (auto& offset : out) offset = pattern.next_offset(rng);
+  return out;
+}
+
+std::vector<Bytes> stream_offsets(CompiledStream& stream, std::size_t n,
+                                  std::size_t block = 257) {
+  // Deliberately odd block size: exercises cursor wrap handling.
+  std::vector<Bytes> out(n);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t take = std::min(block, n - done);
+    stream.fill(out.data() + done, take);
+    done += take;
+  }
+  return out;
+}
+
+/// Two-sample chi-square statistic over per-line counts, normalized
+/// by degrees of freedom (lines with both counts zero are skipped).
+/// For equal distributions the expected value is ~1; a generous
+/// threshold of 1.5 at >= 100k samples catches any real divergence.
+double chi_square_per_dof(const std::vector<Bytes>& a, const std::vector<Bytes>& b,
+                          std::uint64_t lines) {
+  std::vector<double> ca(lines, 0.0), cb(lines, 0.0);
+  for (const Bytes x : a) ca[x / kLineBytes] += 1.0;
+  for (const Bytes x : b) cb[x / kLineBytes] += 1.0;
+  // Classic two-sample statistic with unequal-size correction.
+  const double k1 = std::sqrt(static_cast<double>(b.size()) / static_cast<double>(a.size()));
+  const double k2 = 1.0 / k1;
+  double stat = 0.0;
+  std::uint64_t dof = 0;
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    const double total = ca[l] + cb[l];
+    if (total == 0.0) continue;
+    const double d = k1 * ca[l] - k2 * cb[l];
+    stat += d * d / total;
+    ++dof;
+  }
+  return dof > 1 ? stat / static_cast<double>(dof - 1) : 0.0;
+}
+
+// --- deterministic walks: exact sequence equality ----------------------
+
+TEST(CompiledStream, SequentialIsExactlyThePatternStream) {
+  SequentialPattern pattern(100 * kLineBytes);
+  const auto compiled = pattern.compile(1);
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(pattern_offsets(pattern, 1000), stream_offsets(*compiled, 1000));
+}
+
+TEST(CompiledStream, StridedIsExactlyThePatternStream) {
+  for (const std::uint64_t stride : {1ull, 7ull, 13ull, 97ull}) {
+    StridedPattern pattern(64 * kLineBytes, stride);
+    const auto compiled = pattern.compile(1);
+    ASSERT_NE(compiled, nullptr);
+    EXPECT_EQ(pattern_offsets(pattern, 1000), stream_offsets(*compiled, 1000)) << stride;
+  }
+}
+
+TEST(CompiledStream, ChaseRingIsExactlyThePatternStream) {
+  PointerChasePattern pattern(300 * kLineBytes, /*seed=*/77);
+  const auto compiled = pattern.compile(1);
+  ASSERT_NE(compiled, nullptr);
+  // Two laps: the ring must wrap exactly like the chase cycle.
+  EXPECT_EQ(pattern_offsets(pattern, 650), stream_offsets(*compiled, 650));
+}
+
+TEST(CompiledStream, ChaseRingVisitsEveryLineOncePerLap) {
+  PointerChasePattern pattern(128 * kLineBytes, 5);
+  const auto compiled = pattern.compile(1);
+  std::vector<Bytes> lap(128);
+  compiled->fill(lap.data(), lap.size());
+  std::vector<int> seen(128, 0);
+  for (const Bytes offset : lap) ++seen[offset / kLineBytes];
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+// --- stochastic draws: distributional equality -------------------------
+
+TEST(CompiledStream, UniformMatchesPatternDistribution) {
+  const std::uint64_t lines = 256;
+  UniformRandomPattern pattern(lines * kLineBytes);
+  const auto compiled = pattern.compile(/*seed=*/9);
+  const auto a = pattern_offsets(pattern, 200'000);
+  const auto b = stream_offsets(*compiled, 200'000);
+  EXPECT_LT(chi_square_per_dof(a, b, lines), 1.5);
+}
+
+TEST(CompiledStream, ZipfMatchesPatternDistribution) {
+  const std::uint64_t lines = 512;
+  ZipfPattern pattern(lines * kLineBytes, /*exponent=*/0.9, /*seed=*/3);
+  const auto compiled = pattern.compile(/*seed=*/11);
+  const auto a = pattern_offsets(pattern, 300'000);
+  const auto b = stream_offsets(*compiled, 300'000);
+  EXPECT_LT(chi_square_per_dof(a, b, lines), 1.5);
+}
+
+TEST(CompiledStream, ZipfQuantileIndexMatchesFullLowerBound) {
+  // The stream's quantile-indexed inverse CDF must be the *same
+  // function* of the uniform draw as the pattern's full lower_bound:
+  // seed the stream and an Rng identically and replay the pattern's
+  // mapping on the same draws.
+  const std::uint64_t lines = 1000;
+  ZipfPattern pattern(lines * kLineBytes, 0.8, 17);
+  const std::uint64_t seed = 23;
+  const auto compiled = pattern.compile(seed);
+  std::vector<Bytes> got(50'000);
+  compiled->fill(got.data(), got.size());
+  Rng replay(seed);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const Bytes expect = pattern.next_offset(replay);
+    ASSERT_EQ(got[i], expect) << i;
+  }
+}
+
+TEST(CompiledStream, ZipfSharesHotLineLayoutWithPattern) {
+  // Hot lines must be the *same* lines in both formats (shared
+  // permutation), not merely equally skewed.
+  const std::uint64_t lines = 64;
+  ZipfPattern pattern(lines * kLineBytes, 1.2, 5);
+  const auto compiled = pattern.compile(7);
+  std::map<Bytes, int> pat_counts, str_counts;
+  for (const Bytes x : pattern_offsets(pattern, 100'000)) ++pat_counts[x];
+  for (const Bytes x : stream_offsets(*compiled, 100'000)) ++str_counts[x];
+  Bytes pat_hot = 0, str_hot = 0;
+  int pat_max = 0, str_max = 0;
+  for (const auto& [offset, count] : pat_counts) {
+    if (count > pat_max) { pat_max = count; pat_hot = offset; }
+  }
+  for (const auto& [offset, count] : str_counts) {
+    if (count > str_max) { str_max = count; str_hot = offset; }
+  }
+  EXPECT_EQ(pat_hot, str_hot);
+}
+
+// --- phased composition -------------------------------------------------
+
+TEST(CompiledStream, PhasedRespectsPhaseBudgets) {
+  // Phase 1: sequential over lines [0, 10); phase 2: sequential over
+  // [0, 4).  With budgets 10 and 4 the compiled stream must emit one
+  // full lap of each, alternating.
+  std::vector<mem::PhasedPattern::Phase> phases;
+  phases.push_back({std::make_unique<SequentialPattern>(10 * kLineBytes), 10});
+  phases.push_back({std::make_unique<SequentialPattern>(4 * kLineBytes), 4});
+  PhasedPattern pattern(std::move(phases));
+  const auto compiled = pattern.compile(1);
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(pattern_offsets(pattern, 500), stream_offsets(*compiled, 500, /*block=*/3));
+}
+
+// --- value semantics ----------------------------------------------------
+
+TEST(CompiledStream, CloneContinuesIdentically) {
+  for (const int kind : {0, 1, 2}) {
+    std::unique_ptr<Pattern> pattern;
+    if (kind == 0) pattern = std::make_unique<UniformRandomPattern>(64 * kLineBytes);
+    if (kind == 1) pattern = std::make_unique<ZipfPattern>(64 * kLineBytes, 0.9, 3);
+    if (kind == 2) pattern = std::make_unique<PointerChasePattern>(64 * kLineBytes, 3);
+    const auto stream = pattern->compile(5);
+    std::vector<Bytes> warm(100);
+    stream->fill(warm.data(), warm.size());
+    const auto clone = stream->clone();
+    std::vector<Bytes> a(500), b(500);
+    stream->fill(a.data(), a.size());
+    clone->fill(b.data(), b.size());
+    EXPECT_EQ(a, b) << "kind " << kind;
+  }
+}
+
+TEST(CompiledStream, ResetRestartsTheStream) {
+  UniformRandomPattern pattern(64 * kLineBytes);
+  const auto stream = pattern.compile(5);
+  std::vector<Bytes> first(300), again(300);
+  stream->fill(first.data(), first.size());
+  stream->reset();
+  stream->fill(again.data(), again.size());
+  EXPECT_EQ(first, again);
+}
+
+}  // namespace
+}  // namespace kyoto::mem

@@ -157,8 +157,36 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"bad_threads", "[vm a]\napp = gcc\n[run]\nthreads = 0\n",
                 "threads must be >= 1"},
         BadCase{"bad_replacement", "[machine]\nllc_replacement = FIFO\n",
-                "replacement"}),
+                "replacement"},
+        BadCase{"bad_stream", "[workload]\nstream = v3\n[vm a]\napp = gcc\n",
+                "stream must be v1 or v2"},
+        BadCase{"bad_workload_key", "[workload]\nspeed = fast\n[vm a]\napp = gcc\n",
+                "unknown [workload] key"}),
     [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ScenarioFile, WorkloadStreamKeySelectsV2) {
+  const Scenario s = parse_scenario(
+      "[workload]\nstream = v2\n[vm a]\napp = blockie\n[vm b]\napp = micro:c2dis\n");
+  EXPECT_EQ(s.stream, workloads::StreamVersion::kV2);
+  // Factories were built with the opted-in version.
+  for (const auto& plan : s.plans) {
+    const auto w = plan.workload(7);
+    EXPECT_EQ(w->stream_version(), workloads::StreamVersion::kV2);
+  }
+}
+
+TEST(ScenarioFile, WorkloadStreamAppliesWhereverTheSectionAppears) {
+  // Factories are built after the whole file is parsed, so a
+  // [workload] section after the [vm] sections still applies.
+  const Scenario s = parse_scenario("[vm a]\napp = lbm\n[workload]\nstream = v2\n");
+  EXPECT_EQ(s.plans[0].workload(3)->stream_version(), workloads::StreamVersion::kV2);
+}
+
+TEST(ScenarioFile, WorkloadStreamDefaultsToV1) {
+  const Scenario s = parse_scenario("[vm a]\napp = gcc\n");
+  EXPECT_EQ(s.stream, workloads::StreamVersion::kV1);
+  EXPECT_EQ(s.plans[0].workload(3)->stream_version(), workloads::StreamVersion::kV1);
+}
 
 TEST(ScenarioFile, UnknownMonitorFailsAtFactoryConstruction) {
   const Scenario s =
