@@ -18,6 +18,7 @@
 // Expected shape: C1 victims ~0 everywhere; v1dis (ILC-sized) harms
 // nobody; C2/C3 victims are hurt badly by C2/C3 disruptors; parallel
 // contention is far worse than alternative (paper: up to 70% vs 13%).
+#include <cstring>
 #include <iostream>
 #include <vector>
 
@@ -29,17 +30,24 @@
 
 using namespace kyoto;
 using workloads::MicroClass;
+using workloads::StreamVersion;
 
 namespace {
 
-sim::WorkloadFactory rep_factory(MicroClass cls, const hv::MachineConfig& mc) {
+sim::WorkloadFactory rep_factory(MicroClass cls, const hv::MachineConfig& mc,
+                                 StreamVersion stream) {
   const auto mem = mc.mem;
-  return [cls, mem](std::uint64_t s) { return workloads::micro_representative(cls, mem, s); };
+  return [cls, mem, stream](std::uint64_t s) {
+    return workloads::micro_representative(cls, mem, s, stream);
+  };
 }
 
-sim::WorkloadFactory dis_factory(MicroClass cls, const hv::MachineConfig& mc) {
+sim::WorkloadFactory dis_factory(MicroClass cls, const hv::MachineConfig& mc,
+                                 StreamVersion stream) {
   const auto mem = mc.mem;
-  return [cls, mem](std::uint64_t s) { return workloads::micro_disruptive(cls, mem, s); };
+  return [cls, mem, stream](std::uint64_t s) {
+    return workloads::micro_disruptive(cls, mem, s, stream);
+  };
 }
 
 enum class Mode { kAlternative, kParallel, kCombined };
@@ -78,10 +86,34 @@ std::vector<sim::VmPlan> contention_plans(const sim::WorkloadFactory& rep,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --stream v1|v2 selects the reference-stream format for every
+  // workload in the figure.  v2 (geometric-skip) exercises the
+  // ref-batch run_vcpu loop end-to-end; the figure's shape checks are
+  // format-independent (v2 compiles the same access sequence), so the
+  // same gates apply.  Default v1 output is unchanged.
+  StreamVersion stream = StreamVersion::kV1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
+      const char* v = argv[++i];
+      if (std::strcmp(v, "v2") == 0) {
+        stream = StreamVersion::kV2;
+      } else if (std::strcmp(v, "v1") != 0) {
+        std::cerr << "unknown stream version: " << v << " (expected v1 or v2)\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_fig1_contention [--stream v1|v2]\n";
+      return 2;
+    }
+  }
+
   bench::header(
       "Fig 1", "LLC contention by VM class and execution mode",
       "C1 rows ~0; v1dis harmless; C2/C3 hurt by C2/C3 disruptors; parallel >> alternative");
+  if (stream == StreamVersion::kV2) {
+    std::cout << "  (stream: v2 geometric-skip — ref-batch vCPU engine end-to-end)\n\n";
+  }
 
   sim::RunSpec spec;
   spec.machine = hv::scaled_machine();
@@ -93,17 +125,21 @@ int main() {
 
   // One batch: 3 solos (memoized by representative) + 27 grid jobs.
   sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  // The stream version is baked into the workload, so it must be part
+  // of the memo identity: a ":v2" suffix keeps v2 baselines from ever
+  // answering a v1 request (and vice versa).
+  const std::string stream_tag = stream == StreamVersion::kV2 ? ":v2" : "";
   std::size_t solo_job[3];
   for (int ri = 0; ri < 3; ++ri) {
-    solo_job[ri] = sweep.add_solo(spec, rep_factory(classes[ri], spec.machine),
-                                  "micro:c" + std::to_string(ri + 1) + "rep", "rep");
+    solo_job[ri] = sweep.add_solo(spec, rep_factory(classes[ri], spec.machine, stream),
+                                  "micro:c" + std::to_string(ri + 1) + "rep" + stream_tag, "rep");
   }
   std::size_t grid_job[3][3][3];  // [mode][rep][dis]
   for (int mi = 0; mi < 3; ++mi) {
     for (int ri = 0; ri < 3; ++ri) {
-      const auto rep = rep_factory(classes[ri], spec.machine);
+      const auto rep = rep_factory(classes[ri], spec.machine, stream);
       for (int di = 0; di < 3; ++di) {
-        const auto dis = dis_factory(classes[di], spec.machine);
+        const auto dis = dis_factory(classes[di], spec.machine, stream);
         grid_job[mi][ri][di] =
             sweep.add(spec, contention_plans(rep, dis, static_cast<Mode>(mi)),
                       std::string(mode_names[mi]) + "/v" + std::to_string(ri + 1) + "rep-v" +

@@ -81,7 +81,16 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: scenario_runner [--lanes N] [scenario.kyoto ...]\n";
+      std::cout << "usage: scenario_runner [--lanes N] [scenario.kyoto ...]\n"
+                   "\n"
+                   "  --lanes N  execution lanes for the sharded sweep (default: host\n"
+                   "             CPU count; values < 1 clamp to 1 = plain serial loop).\n"
+                   "             Each scenario file runs on its own private hypervisor,\n"
+                   "             so reports are byte-identical at any lane count and\n"
+                   "             always print in argument order.\n"
+                   "\n"
+                   "Scenario file format: see the demo written when run with no\n"
+                   "arguments, and the scenario-file section of README.md.\n";
       return 0;
     } else {
       paths.push_back(arg);

@@ -38,7 +38,11 @@ SetAssocCache::SetAssocCache(std::string name, CacheGeometry geometry,
       sets_(geometry.sets()),
       ways_(geometry.ways),
       track_attribution_(track_attribution),
-      rng_(seed) {
+      rng_(seed),
+      displaced_pool_(std::make_unique<PoolResource>()),
+      displaced_(0, std::hash<Address>{}, std::equal_to<Address>{},
+                 PoolAllocator<std::pair<const Address, std::uint64_t>>(
+                     displaced_pool_.get())) {
   KYOTO_CHECK_MSG(geometry_.ways >= 1, "cache must have at least one way");
   KYOTO_CHECK_MSG(geometry_.ways <= 64,
                   "associativity above 64 not supported (per-set bitmask words)");
@@ -51,9 +55,14 @@ SetAssocCache::SetAssocCache(std::string name, CacheGeometry geometry,
 
   fast_fill_ = replacement_ == ReplacementKind::kLru;  // && no partitions yet
   nibble_lru_ = replacement_ == ReplacementKind::kLru && ways_ <= 16;
+  order5_lru_ = replacement_ == ReplacementKind::kLru && ways_ > 16 && ways_ <= 24;
   if (nibble_lru_) {
     lru_order_.resize(sets_);
     reset_lru_order();
+  }
+  if (order5_lru_) {
+    lru_order5_.resize(static_cast<std::size_t>(sets_) * 2);
+    reset_lru_order5();
   }
   pow2_geometry_ = std::has_single_bit(static_cast<std::uint64_t>(geometry_.line)) &&
                    std::has_single_bit(static_cast<std::uint64_t>(sets_));
@@ -209,15 +218,35 @@ void SetAssocCache::reset_lru_order() {
   std::fill(lru_order_.begin(), lru_order_.end(), 0xFEDCBA9876543210ull);
 }
 
+void SetAssocCache::reset_lru_order5() {
+  // Same identity permutation in the 5-bit layout: field at recency
+  // position p holds way p, unused fields park the 0x1F sentinel.
+  std::uint64_t word0 = 0;
+  for (unsigned p = 0; p < 12; ++p) {
+    word0 |= static_cast<std::uint64_t>(p < ways_ ? p : 0x1Fu) << (p * 5);
+  }
+  std::uint64_t word1 = 0;
+  for (unsigned p = 12; p < 24; ++p) {
+    word1 |= static_cast<std::uint64_t>(p < ways_ ? p : 0x1Fu) << ((p - 12) * 5);
+  }
+  for (std::size_t i = 0; i + 1 < lru_order5_.size(); i += 2) {
+    lru_order5_[i] = word0;
+    lru_order5_[i + 1] = word1;
+  }
+}
+
 void SetAssocCache::set_fill_fast_paths(bool enabled) {
   fast_fill_allowed_ = enabled;
   if (!enabled) {
     fast_fill_ = false;
     nibble_lru_ = false;
+    order5_lru_ = false;
     return;
   }
   fast_fill_ = replacement_ == ReplacementKind::kLru && partitions_.empty();
   const bool want_nibble = replacement_ == ReplacementKind::kLru && ways_ <= 16;
+  const bool want_order5 =
+      replacement_ == ReplacementKind::kLru && ways_ > 16 && ways_ <= 24;
   if (want_nibble && !nibble_lru_) {
     // Rebuild the nibble order from the authoritative stamps: ways
     // sorted by descending stamp (unique when nonzero), stable by way
@@ -238,11 +267,35 @@ void SetAssocCache::set_fill_fast_paths(bool enabled) {
       lru_order_[set] = word;
     }
   }
+  if (want_order5 && !order5_lru_) {
+    // Same stamp-order rebuild for the two-word 5-bit layout.
+    lru_order5_.resize(static_cast<std::size_t>(sets_) * 2);
+    for (unsigned set = 0; set < sets_; ++set) {
+      const std::uint64_t* stamps = &stamps_[line_index(set, 0)];
+      unsigned order[24];
+      for (unsigned w = 0; w < ways_; ++w) order[w] = w;
+      std::stable_sort(order, order + ways_,
+                       [stamps](unsigned a, unsigned b) { return stamps[a] > stamps[b]; });
+      std::uint64_t word0 = 0;
+      for (unsigned p = 0; p < 12; ++p) {
+        word0 |= static_cast<std::uint64_t>(p < ways_ ? order[p] : 0x1Fu) << (p * 5);
+      }
+      std::uint64_t word1 = 0;
+      for (unsigned p = 12; p < 24; ++p) {
+        word1 |= static_cast<std::uint64_t>(p < ways_ ? order[p] : 0x1Fu)
+                 << ((p - 12) * 5);
+      }
+      lru_order5_[static_cast<std::size_t>(set) * 2] = word0;
+      lru_order5_[static_cast<std::size_t>(set) * 2 + 1] = word1;
+    }
+  }
   nibble_lru_ = want_nibble;
+  order5_lru_ = want_order5;
 }
 
 void SetAssocCache::invalidate_all() {
   if (nibble_lru_) reset_lru_order();
+  if (order5_lru_) reset_lru_order5();
   std::fill(tags_.begin(), tags_.end(), 0);
   std::fill(stamps_.begin(), stamps_.end(), 0);
   std::fill(owners_.begin(), owners_.end(), -1);

@@ -39,6 +39,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -46,6 +47,7 @@
 
 #include "cache/config.hpp"
 #include "cache/stats.hpp"
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -412,7 +414,11 @@ class SetAssocCache {
       return;
     }
     stamps_[line_index(set, way)] = ++clock_;
-    if (nibble_lru_) touch_nibble(set, way);
+    if (nibble_lru_) {
+      touch_nibble(set, way);
+    } else if (order5_lru_) {
+      touch_order5(set, way);
+    }
   }
 
   /// Nibble-order move-to-front (plain-LRU caches with <= 16 ways):
@@ -441,6 +447,57 @@ class SetAssocCache {
     return static_cast<unsigned>(lru_order_[set] >> ((ways_ - 1) * 4)) & 0xFu;
   }
 
+  /// Two-word 5-bit-field recency order for plain-LRU caches with 17
+  /// to 24 ways (the paper machine's 20-way LLC): the same
+  /// move-to-front scheme as touch_nibble, widened to 5-bit way
+  /// fields, 12 per 64-bit word (bits 60..63 stay zero).  Word 0 holds
+  /// recency positions 0..11 (field 0 = MRU), word 1 positions 12..23;
+  /// fields beyond ways-1 park the sentinel 0x1F, which never matches
+  /// a real way.
+  static constexpr std::uint64_t kOnes5 = 0x0084210842108421ull;  // bit 5k, k = 0..11
+  static constexpr std::uint64_t kWord5Mask = (1ull << 60) - 1;
+
+  /// Bit offset (5 * field) of `way`'s field in `word`, or kNoWay when
+  /// the way is not in this word.  SWAR zero-field detector: the
+  /// lowest flagged field is exact, and a word with no matching field
+  /// produces no flags at all, so the word-selection test is safe.
+  static unsigned locate5(std::uint64_t word, unsigned way) {
+    const std::uint64_t x = word ^ (kOnes5 * way);
+    const std::uint64_t zero = (x - kOnes5) & ~x & (kOnes5 << 4);
+    if (zero == 0) return kNoWay;
+    return static_cast<unsigned>(std::countr_zero(zero)) / 5 * 5;
+  }
+
+  void touch_order5(unsigned set, unsigned way) {
+    std::uint64_t* w = &lru_order5_[static_cast<std::size_t>(set) * 2];
+    const unsigned b0 = locate5(w[0], way);
+    if (b0 != kNoWay) {
+      // Slide within word 0: fields more recent than `way` move back
+      // one position, `way` becomes MRU, word 1 is untouched.
+      const std::uint64_t below = (1ull << b0) - 1;
+      w[0] = way | ((w[0] & below) << 5) | (w[0] & ~((below << 5) | 0x1Full));
+      return;
+    }
+    const unsigned b1 = locate5(w[1], way);
+    KYOTO_DCHECK(b1 != kNoWay);
+    // Cross-word slide: word 0 shifts back as a whole (its LRU field
+    // spills into word 1's front), word 1 slides up to `way`'s field.
+    const std::uint64_t below = (1ull << b1) - 1;
+    const std::uint64_t spill = (w[0] >> 55) & 0x1Full;
+    w[0] = ((w[0] << 5) | way) & kWord5Mask;
+    w[1] = spill | ((w[1] & below) << 5) | (w[1] & ~((below << 5) | 0x1Full));
+  }
+
+  /// The LRU way of a *full* 5-bit-ordered set in O(1): the field at
+  /// global recency position ways-1, which lives in word 1 for every
+  /// 17..24-way geometry.  Same stamp-order equivalence argument as
+  /// victim_nibble.
+  unsigned victim_order5(unsigned set) const {
+    return static_cast<unsigned>(lru_order5_[static_cast<std::size_t>(set) * 2 + 1] >>
+                                 ((ways_ - 13) * 5)) &
+           0x1Fu;
+  }
+
   void attribute_hit(const Requester& req) {
     CacheStats& core_stats = core_slot(req.core);
     ++core_stats.accesses;
@@ -456,6 +513,8 @@ class SetAssocCache {
   /// Re-initializes every nibble-order word to the identity
   /// permutation (construction / invalidate_all).
   void reset_lru_order();
+  /// Same for the two-word 5-bit layout.
+  void reset_lru_order5();
   /// Victim selection + fill + eviction bookkeeping.  Dispatches to a
   /// compile-time-pruned instantiation when the cache is plain LRU
   /// with no partitions (fast_fill_): one body, two instantiations —
@@ -550,6 +609,10 @@ class SetAssocCache {
   /// ranges.
   bool nibble_lru_ = false;
   std::vector<std::uint64_t> lru_order_;  // per set: ways by recency, 4-bit fields
+  /// Plain-LRU caches with 17..24 ways (the 20-way LLC) keep the same
+  /// recency mirror in two 5-bit-field words per set instead.
+  bool order5_lru_ = false;
+  std::vector<std::uint64_t> lru_order5_;  // per set: 2 words, 5-bit fields
 
   // Incremental footprint accounting (replaces O(lines) scans).
   std::uint64_t valid_lines_ = 0;
@@ -564,8 +627,16 @@ class SetAssocCache {
   // intrinsic.  Touched only on the out-of-line miss path, and only
   // by the socket partition that owns this cache, so it follows the
   // same threading contract as every other per-LLC structure.
-  std::vector<VmPollution> vm_pollution_;            // by vm id
-  std::unordered_map<Address, std::uint64_t> displaced_;  // tag -> victim-vm bits
+  // The map's nodes and bucket arrays come from a per-cache pool
+  // resource (common/arena.hpp): insert/erase churn on the contention
+  // path recycles freed nodes instead of hitting the host heap, so a
+  // warmed-up tick loop performs no allocations here.
+  using DisplacedMap =
+      std::unordered_map<Address, std::uint64_t, std::hash<Address>, std::equal_to<Address>,
+                         PoolAllocator<std::pair<const Address, std::uint64_t>>>;
+  std::vector<VmPollution> vm_pollution_;  // by vm id
+  std::unique_ptr<PoolResource> displaced_pool_;  // stable across cache moves
+  DisplacedMap displaced_;                 // tag -> victim-vm bits
 
   // DIP set-dueling state: a handful of leader sets are pinned to LRU
   // and to BIP; a saturating counter tracks which leader family
@@ -635,6 +706,8 @@ inline SetAssocCache::MissInfo SetAssocCache::miss_fill_impl(unsigned set, Addre
       victim = static_cast<unsigned>(std::countr_zero(invalid));
     } else if (nibble_lru_) {
       victim = victim_nibble(set);  // O(1): no stamp loads, no scan
+    } else if (order5_lru_) {
+      victim = victim_order5(set);  // O(1) for the 20-way LLC
     } else {
       const std::uint64_t* stamps = &stamps_[line_index(set, 0)];
       switch (ways_) {
@@ -727,7 +800,11 @@ inline SetAssocCache::MissInfo SetAssocCache::miss_fill_impl(unsigned set, Addre
   if constexpr (kFastLru) {
     // LRU always inserts at MRU — in both recency mirrors.
     stamps_[idx] = ++clock_;
-    if (nibble_lru_) touch_nibble(set, victim);
+    if (nibble_lru_) {
+      touch_nibble(set, victim);
+    } else if (order5_lru_) {
+      touch_order5(set, victim);
+    }
     return info;
   } else {
     // Insertion recency depends on the (possibly dueled) policy:

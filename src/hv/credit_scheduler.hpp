@@ -16,7 +16,6 @@
 // slice-end bookkeeping.
 #pragma once
 
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -80,9 +79,13 @@ class CreditScheduler : public Scheduler {
   const State& state_of(const Vcpu& vcpu) const;
   Cycles slice_cap_budget(const Vcpu& vcpu) const;
 
-  std::vector<State> states_;              // by vcpu id
-  std::vector<std::deque<int>> runqueue_;  // per core, vcpu ids, RR order
-  std::vector<CoreCursor> cursors_;        // per core
+  /// Per-core run queues hold a handful of vcpu ids each; a plain
+  /// vector keeps the round-robin rotation (erase + push_back within
+  /// capacity) free of the per-node heap churn a deque pays at block
+  /// boundaries — the tick loop must not allocate in steady state.
+  std::vector<State> states_;               // by vcpu id
+  std::vector<std::vector<int>> runqueue_;  // per core, vcpu ids, RR order
+  std::vector<CoreCursor> cursors_;         // per core
 };
 
 }  // namespace kyoto::hv

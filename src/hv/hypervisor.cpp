@@ -46,6 +46,10 @@ Vm& Hypervisor::create_vm(const VmConfig& config,
       next_default_core_ = (next_default_core_ + 1) % cores;
     }
     vcpu.set_pinned_core(core);
+    // Ref-batch storage comes from the hypervisor's bump arena: the
+    // only allocation the fast engine ever needs, paid here at
+    // admission time.
+    vcpu.set_ref_storage(exec_arena_.allocate<workloads::AccessRef>(Vcpu::RefBuffer::kBlock));
     scheduler_->vcpu_added(vcpu);
   }
   sched_tick_count_.resize(static_cast<std::size_t>(next_vcpu_id_), 0);

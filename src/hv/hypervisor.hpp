@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/arena.hpp"
 #include "hv/machine.hpp"
 #include "hv/scheduler.hpp"
 #include "hv/vm.hpp"
@@ -135,6 +136,11 @@ class Hypervisor {
 
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Scheduler> scheduler_;
+  /// Bump arena for hot per-vCPU execution buffers (currently the
+  /// ref-batch storage carved out in create_vm): allocation happens at
+  /// admission time, never from the tick loop, and all vCPUs' hot
+  /// buffers land contiguously instead of scattered across the heap.
+  BumpArena exec_arena_;
   std::vector<std::unique_ptr<Vm>> vms_;
   std::vector<TickHook> tick_hooks_;
   std::vector<AccountHook> account_hooks_;

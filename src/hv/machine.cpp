@@ -28,12 +28,42 @@ const pmc::CorePmu& Machine::pmu(int core) const {
 Machine::RunResult Machine::run_vcpu(Vcpu& vcpu, int core, Cycles budget,
                                      std::int64_t wall_cycle_base) {
   KYOTO_CHECK(core >= 0 && core < config_.topology.total_cores());
-  RunResult result;
   if (vcpu.done()) {
+    RunResult result;
     result.vcpu_halted = true;
     return result;
   }
 
+  // Engine selection.  v2 workloads with ref storage attached run the
+  // geometric-skip loop; everything else (v1, no storage, leftover
+  // per-op buffer from a mid-run engine switch) runs per-op.  A
+  // non-empty ref buffer is always drained through the ref loop even
+  // with the knob off — the stream position lives in the buffer.
+  Vcpu::RefBuffer& rb = vcpu.ref_buffer();
+  const bool v2_refs = rb.refs != nullptr &&
+                       vcpu.workload().stream_version() == workloads::StreamVersion::kV2;
+  if (v2_refs && vcpu.op_buffer().empty() && (ref_batch_engine_ || !rb.empty())) {
+    RunResult result = run_vcpu_refs(vcpu, core, budget, wall_cycle_base);
+    if (ref_batch_engine_ || result.vcpu_halted || result.cycles_used >= budget) {
+      return result;
+    }
+    // Knob switched off mid-run: the buffered refs are drained, finish
+    // the burst per-op.  Progress/PMU accounting is additive, so the
+    // two sub-bursts sum to exactly one burst.
+    const RunResult rest = run_vcpu_ops(vcpu, core, budget - result.cycles_used,
+                                        wall_cycle_base + result.cycles_used);
+    result.cycles_used += rest.cycles_used;
+    result.instructions += rest.instructions;
+    result.llc_misses += rest.llc_misses;
+    result.vcpu_halted = rest.vcpu_halted;
+    return result;
+  }
+  return run_vcpu_ops(vcpu, core, budget, wall_cycle_base);
+}
+
+Machine::RunResult Machine::run_vcpu_ops(Vcpu& vcpu, int core, Cycles budget,
+                                         std::int64_t wall_cycle_base) {
+  RunResult result;
   auto& workload = vcpu.workload();
   const auto& spec = workload.spec();
   auto& space = vcpu.vm().address_space();
@@ -140,6 +170,144 @@ Machine::RunResult Machine::run_vcpu(Vcpu& vcpu, int core, Cycles budget,
   vcpu.note_progress(result.instructions, result.cycles_used);
   core_pmu.add(pmc::Counter::kInstructions, static_cast<std::uint64_t>(result.instructions));
   core_pmu.add(pmc::Counter::kUnhaltedCycles, static_cast<std::uint64_t>(result.cycles_used));
+  return result;
+}
+
+Machine::RunResult Machine::run_vcpu_refs(Vcpu& vcpu, int core, Cycles budget,
+                                          std::int64_t wall_cycle_base) {
+  RunResult result;
+  auto& workload = vcpu.workload();
+  const auto& spec = workload.spec();
+  auto& space = vcpu.vm().address_space();
+  const int home_node = space.home_node();
+  const int vm_id = vcpu.vm().id();
+  const double inv_mlp = 1.0 / spec.mlp;
+  const bool unit_mlp = spec.mlp == 1.0;
+  pmc::CorePmu& core_pmu = pmus_[static_cast<std::size_t>(core)];
+  const Instructions run_length = spec.length;
+  cache::MemorySystem::AccessContext mem_ctx = memory_->context(core, home_node, vm_id);
+  Vcpu::RefBuffer& rb = vcpu.ref_buffer();
+  constexpr std::uint32_t kStageAhead = 8;
+  const bool stage_ahead = spec.working_set > config_.mem.l2.size;
+
+  // Hot counters live in locals for the whole burst: the compiler
+  // cannot keep result/rb fields in registers across the opaque
+  // access() call (it must assume aliasing), so mirroring them here
+  // removes a load/store pair per field per reference.  They are
+  // flushed back at every exit and before each completion check.
+  Cycles used = 0;
+  Instructions instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t pmu_llc_refs = 0;  // PMU deltas accumulate here and
+  std::uint64_t pmu_llc_miss = 0;  // flush once per burst (same sums)
+
+  // Identical completion bookkeeping to the per-op loop.  Refills are
+  // clamped to the remaining run length, so completion can only land
+  // exactly at the end of a batched add — checking after each add is
+  // therefore equivalent to the per-op check after every instruction.
+  const auto run_completed = [&]() -> bool {
+    if (run_length == 0 || vcpu.retired_in_run() + instructions < run_length) {
+      return false;
+    }
+    vcpu.note_progress(instructions, used);
+    core_pmu.add(pmc::Counter::kInstructions, static_cast<std::uint64_t>(instructions));
+    core_pmu.add(pmc::Counter::kUnhaltedCycles, static_cast<std::uint64_t>(used));
+    core_pmu.add(pmc::Counter::kLlcReferences, pmu_llc_refs);
+    core_pmu.add(pmc::Counter::kLlcMisses, pmu_llc_miss);
+    vcpu.note_run_complete(wall_cycle_base + used);
+    result.cycles_used = used;
+    result.instructions = instructions;
+    result.llc_misses = llc_misses;
+    result.vcpu_halted = vcpu.done();
+    return true;
+  };
+
+  while (used < budget) {
+    if (rb.empty()) {
+      if (!ref_batch_engine_) break;  // knob off mid-run: caller finishes per-op
+      std::size_t want_ops = Vcpu::RefBuffer::kMaxOps;
+      if (run_length > 0) {
+        const Instructions remaining = run_length - (vcpu.retired_in_run() + instructions);
+        want_ops = std::min<std::size_t>(want_ops, static_cast<std::size_t>(remaining));
+      }
+      std::uint32_t trailing = 0;
+      const workloads::Workload::RefBatch batch =
+          workload.next_ref_batch(rb.refs, Vcpu::RefBuffer::kBlock, want_ops, &trailing);
+      rb.pos = 0;
+      rb.len = static_cast<std::uint32_t>(batch.refs);
+      rb.trailing = trailing;
+      rb.gap_done = 0;
+      KYOTO_DCHECK(batch.ops > 0);
+    }
+
+    const workloads::AccessRef* const refs = rb.refs;
+    std::uint32_t pos = rb.pos;
+    const std::uint32_t len = rb.len;
+    std::uint32_t gap_done = rb.gap_done;
+    while (pos < len && used < budget) {
+      const workloads::AccessRef ref = refs[pos];
+      if (const std::uint32_t gap_remaining = ref.gap - gap_done; gap_remaining > 0) {
+        // The whole compute run retires in one add: gap one-cycle
+        // instructions, clipped to the cycle budget (the per-op loop
+        // executes compute ops only while cycles_used < budget).
+        const Cycles take =
+            std::min<Cycles>(static_cast<Cycles>(gap_remaining), budget - used);
+        used += take;
+        instructions += take;
+        gap_done += static_cast<std::uint32_t>(take);
+        rb.pos = pos;
+        rb.gap_done = gap_done;
+        if (run_completed()) return result;
+        if (used >= budget) break;  // the reference stays pending
+      }
+      if (stage_ahead && pos + kStageAhead < len) {
+        mem_ctx.stage(space.translate(refs[pos + kStageAhead].addr));
+      }
+      const Address addr = space.translate(ref.addr);
+      const cache::AccessResult access =
+          mem_ctx.access(addr, ref.write, wall_cycle_base + used);
+      const Cycles cost =
+          unit_mlp ? std::max<Cycles>(1, access.latency)
+                   : std::max<Cycles>(
+                         1, static_cast<Cycles>(
+                                static_cast<double>(access.latency) * inv_mlp + 0.5));
+      pmu_llc_refs +=
+          static_cast<std::uint64_t>(access.llc_reference) + access.prefetch_llc_references;
+      pmu_llc_miss +=
+          static_cast<std::uint64_t>(access.llc_miss) + access.prefetch_llc_misses;
+      llc_misses +=
+          static_cast<std::uint64_t>(access.llc_miss) + access.prefetch_llc_misses;
+      used += cost;
+      ++instructions;
+      ++pos;
+      gap_done = 0;
+      if (run_length > 0) {
+        rb.pos = pos;
+        rb.gap_done = gap_done;
+        if (run_completed()) return result;
+      }
+    }
+    rb.pos = pos;
+    rb.gap_done = gap_done;
+
+    if (pos == len && rb.trailing > 0 && used < budget) {
+      const Cycles take =
+          std::min<Cycles>(static_cast<Cycles>(rb.trailing), budget - used);
+      used += take;
+      instructions += take;
+      rb.trailing -= static_cast<std::uint32_t>(take);
+      if (run_completed()) return result;
+    }
+  }
+
+  vcpu.note_progress(instructions, used);
+  core_pmu.add(pmc::Counter::kInstructions, static_cast<std::uint64_t>(instructions));
+  core_pmu.add(pmc::Counter::kUnhaltedCycles, static_cast<std::uint64_t>(used));
+  core_pmu.add(pmc::Counter::kLlcReferences, pmu_llc_refs);
+  core_pmu.add(pmc::Counter::kLlcMisses, pmu_llc_miss);
+  result.cycles_used = used;
+  result.instructions = instructions;
+  result.llc_misses = llc_misses;
   return result;
 }
 

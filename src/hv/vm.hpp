@@ -123,6 +123,30 @@ class Vcpu {
   };
   OpBuffer& op_buffer() { return op_buffer_; }
 
+  /// Geometric-skip twin of OpBuffer: AccessRef records pulled via
+  /// Workload::next_ref_batch for v2 workloads, so the machine's fast
+  /// loop advances the cycle clock by whole compute gaps instead of
+  /// iterating per-op.  Refills are clamped to the lookahead bound
+  /// kMaxOps *instructions* (refs plus their gaps), which keeps the
+  /// clone()-attach shift bounded exactly like OpBuffer's kBlock; the
+  /// same run-length clamp guarantees the buffer drains precisely at
+  /// run completion.  `refs` storage is attached externally — the
+  /// hypervisor carves it from its bump arena at create_vm time — and
+  /// the machine falls back to the per-op engine while it is null.
+  struct RefBuffer {
+    static constexpr std::size_t kBlock = 256;    // max refs per refill
+    static constexpr std::size_t kMaxOps = 4096;  // lookahead bound, in instructions
+    workloads::AccessRef* refs = nullptr;
+    std::uint32_t pos = 0;       // next ref to consume
+    std::uint32_t len = 0;       // refs valid in `refs`
+    std::uint32_t trailing = 0;  // batch-tail compute ops not yet retired
+    std::uint32_t gap_done = 0;  // compute ops of refs[pos] already retired
+    bool empty() const { return pos == len && trailing == 0; }
+  };
+  RefBuffer& ref_buffer() { return ref_buffer_; }
+  /// Attaches kBlock AccessRefs of storage (arena-owned by the caller).
+  void set_ref_storage(workloads::AccessRef* storage) { ref_buffer_.refs = storage; }
+
  private:
   Vm* vm_;
   int index_;
@@ -131,6 +155,7 @@ class Vcpu {
   int pinned_core_ = -1;
   pmc::VirtualCounters counters_;
   OpBuffer op_buffer_;
+  RefBuffer ref_buffer_;
 
   Instructions retired_in_run_ = 0;
   Instructions retired_total_ = 0;

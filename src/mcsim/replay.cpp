@@ -78,9 +78,74 @@ ReplayResult replay_ops(const cache::MemSystemConfig& mem_config, std::uint64_t 
   return result;
 }
 
+/// Geometric-skip replay of a v2 clone: pulls AccessRefs instead of
+/// expanded Ops and charges each compute gap in one addition.  A gap
+/// (or trailing run) that straddles the warmup boundary is split
+/// arithmetically — only the instructions at index >= warmup count —
+/// so the counters match replay_ops bit-for-bit on the same stream.
+ReplayResult replay_refs(const cache::MemSystemConfig& mem_config, std::uint64_t seed,
+                         double warmup_fraction, workloads::Workload& clone,
+                         Instructions n) {
+  cache::MemorySystem memory(cache::Topology{1, 1}, mem_config, seed);
+  auto ctx = memory.context(/*core=*/0, /*home_node=*/0, /*vm=*/0);
+  const workloads::WorkloadSpec& spec = clone.spec();
+  const double inv_mlp = 1.0 / std::max(1.0, spec.mlp);
+  const Bytes ws = std::max<Bytes>(spec.working_set, mem::kLineBytes);
+  const Instructions warmup = static_cast<Instructions>(
+      warmup_fraction * static_cast<double>(n));
+
+  // Counts the post-warmup slice of a pure-compute run covering
+  // instruction indices [i, i + len): each costs one cycle.
+  const auto counted_run = [warmup](Instructions i, Instructions len) {
+    if (i >= warmup) return len;
+    const Instructions end = i + len;
+    return end > warmup ? end - warmup : 0;
+  };
+
+  ReplayResult result;
+  workloads::AccessRef refs[kReplayBlock];
+  for (Instructions i = 0; i < n;) {
+    std::uint32_t trailing = 0;
+    const auto batch = clone.next_ref_batch(
+        refs, kReplayBlock, static_cast<std::size_t>(n - i), &trailing);
+    if (batch.ops == 0) break;  // exhausted finite stream
+    for (std::size_t r = 0; r < batch.refs; ++r) {
+      const workloads::AccessRef ref = refs[r];
+      const Instructions gap = ref.gap;
+      const Instructions counted_gap = counted_run(i, gap);
+      result.cycles += counted_gap;
+      result.instructions += counted_gap;
+      i += gap;
+      const bool counted = i >= warmup;
+      const auto access = ctx.access((1ull << 30) + ref.addr % ws, ref.write);
+      const Cycles cost = std::max<Cycles>(
+          1, static_cast<Cycles>(std::lround(static_cast<double>(access.latency) * inv_mlp)));
+      if (counted) {
+        if (access.llc_reference) {
+          ++result.llc_references;
+          if (access.llc_miss) ++result.llc_misses;
+        }
+        result.cycles += cost;
+        ++result.instructions;
+      }
+      ++i;
+    }
+    if (trailing > 0) {
+      const Instructions counted_gap = counted_run(i, trailing);
+      result.cycles += counted_gap;
+      result.instructions += counted_gap;
+      i += trailing;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 ReplayResult ReplaySimulator::run(workloads::Workload& clone, Instructions n) {
+  if (ref_batch_engine_ && clone.stream_version() == workloads::StreamVersion::kV2) {
+    return replay_refs(mem_config_, seed_, warmup_fraction_, clone, n);
+  }
   return replay_ops(mem_config_, seed_, warmup_fraction_, clone.spec(), n,
                     [&clone](mem::Op* buf, std::size_t max) {
                       return clone.next_batch(buf, max);

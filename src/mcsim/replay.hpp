@@ -74,6 +74,15 @@ class ReplaySimulator {
 
   KHz freq_khz() const { return freq_khz_; }
 
+  /// Engine knob mirroring Machine::set_ref_batch_engine: when false,
+  /// v2 clones are replayed through the per-op loop (next_batch) even
+  /// though they could serve geometric-skip refs.  Counters are
+  /// bit-identical either way — the ref loop charges each compute gap
+  /// in one addition and splits gaps that straddle the warmup
+  /// boundary arithmetically instead of iterating them.
+  void set_ref_batch_engine(bool enabled) { ref_batch_engine_ = enabled; }
+  bool ref_batch_engine() const { return ref_batch_engine_; }
+
  private:
   ReplayResult run(workloads::Workload& clone, Instructions n);
 
@@ -81,6 +90,7 @@ class ReplaySimulator {
   KHz freq_khz_;
   std::uint64_t seed_;
   double warmup_fraction_;
+  bool ref_batch_engine_ = true;
 };
 
 }  // namespace kyoto::mcsim

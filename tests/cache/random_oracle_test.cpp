@@ -404,6 +404,63 @@ TEST(RandomizedOracle, MultilevelFusedWalkMatchesSerialAndPr4Engines) {
   }
 }
 
+// --- 20-way order5 victim golden ----------------------------------------
+//
+// The paper's LLC is 20-way, which the nibble fast order (16 ways max)
+// cannot hold; a two-word array of 5-bit fields takes over for
+// 16 < ways <= 24.  This golden drives exactly that shape — LRU,
+// 20 ways, power-of-two and non-power-of-two set counts — against the
+// frozen reference engine with every disruption the layout must
+// survive: partitions installed mid-run (fast victim steps aside,
+// mirrors keep tracking), partitions cleared again (fast victim
+// resumes on mirrors that never stopped), the fast-path knob toggled
+// off and back on (order rebuilt from recency stamps), and single-line
+// invalidations throughout.
+
+TEST(RandomizedOracle, TwentyWayOrder5MatchesReferenceUnderDisruptions) {
+  for (const unsigned sets : {64u, 100u}) {
+    const CacheGeometry geom{static_cast<Bytes>(sets) * 20 * 64, 20, 64};
+    SetAssocCache current("order5", geom, ReplacementKind::kLru, /*seed=*/11);
+    ReferenceSetAssocCache reference("order5", geom, ReplacementKind::kLru, /*seed=*/11);
+
+    Rng stream(0x20aa5eedull + sets);
+    const std::uint64_t span_lines = static_cast<std::uint64_t>(sets) * 20 * 3 + 1;
+    constexpr std::size_t kOps = 40'000;
+    // Disruption schedule: partition on, partition off, fast paths
+    // off, fast paths on (rebuild), all with plenty of traffic between.
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const Address addr = stream.below(span_lines) * geom.line;
+      const Requester req{static_cast<int>(stream.below(2)),
+                          static_cast<int>(stream.below(3))};
+      const bool write = stream.chance(0.3);
+      const LookupResult got = current.access(addr, write, req);
+      const LookupResult want = reference.access(addr, write, req);
+      ASSERT_EQ(want.hit, got.hit) << "sets=" << sets << " op=" << i;
+      ASSERT_EQ(want.evicted, got.evicted) << "sets=" << sets << " op=" << i;
+      if (stream.chance(0.01)) {
+        const Address victim = stream.below(span_lines) * geom.line;
+        current.invalidate(victim);
+        reference.invalidate(victim);
+      }
+      if (i == kOps / 5) {
+        current.set_partition(/*vm=*/1, /*first_way=*/0, /*n_ways=*/10);
+        reference.set_partition(1, 0, 10);
+      }
+      if (i == 2 * kOps / 5) {
+        current.clear_partitions();
+        reference.clear_partitions();
+      }
+      if (i == 3 * kOps / 5) current.set_fill_fast_paths(false);
+      if (i == 4 * kOps / 5) current.set_fill_fast_paths(true);
+    }
+    EXPECT_EQ(reference.stats().accesses, current.stats().accesses) << sets;
+    EXPECT_EQ(reference.stats().hits, current.stats().hits) << sets;
+    EXPECT_EQ(reference.stats().misses, current.stats().misses) << sets;
+    EXPECT_EQ(reference.stats().evictions, current.stats().evictions) << sets;
+    EXPECT_EQ(reference.stats().writebacks, current.stats().writebacks) << sets;
+  }
+}
+
 }  // namespace
 }  // namespace kyoto::cache
 
