@@ -1,0 +1,252 @@
+// BENCH farm — process-farm sweep execution (not a paper figure).
+//
+// Engineering harness for sim::FarmRunner, the distributed form of
+// the sweep: a batch of scenario jobs executes across sweep_worker
+// processes and must reproduce the in-process SweepRunner outcomes
+// *byte for byte* — at every worker count, with a worker SIGKILLed
+// mid-batch, and across a checkpoint interrupt/resume split.  All
+// three agreements always gate (they are determinism claims, not perf
+// claims, so they hold on any host and any build type); wall-clock
+// throughput per worker count is recorded in the JSON for the
+// trajectory but never gated — process spawn + pipe framing overhead
+// on tiny jobs is expected and documented.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/farm_runner.hpp"
+#include "sim/scenario_file.hpp"
+#include "sim/sweep_runner.hpp"
+
+using namespace kyoto;
+
+namespace {
+
+std::string tiny_scenario(const std::string& app, int measure_ticks, int seed) {
+  return
+      "[machine]\n"
+      "topology = 1x2\n"
+      "scale = 64\n"
+      "\n"
+      "[scheduler]\n"
+      "kind = ks4xen\n"
+      "monitor = direct\n"
+      "punish = block\n"
+      "\n"
+      "[vm tenant]\n"
+      "app = " + app + "\n"
+      "cores = 0\n"
+      "llc_cap = 30\n"
+      "loop = true\n"
+      "\n"
+      "[vm noisy]\n"
+      "app = lbm\n"
+      "cores = 1\n"
+      "llc_cap = 30\n"
+      "loop = true\n"
+      "\n"
+      "[run]\n"
+      "warmup_ticks = 2\n"
+      "measure_ticks = " + std::to_string(measure_ticks) + "\n"
+      "seed = " + std::to_string(seed) + "\n";
+}
+
+std::vector<std::pair<std::string, std::string>> farm_batch(int measure_ticks) {
+  std::vector<std::pair<std::string, std::string>> jobs;
+  int seed = 1;
+  for (const char* app : {"gcc", "mcf", "omnetpp", "hmmer"}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      jobs.emplace_back(std::string(app) + "/" + std::to_string(seed),
+                        tiny_scenario(app, measure_ticks, seed));
+      ++seed;
+    }
+  }
+  return jobs;
+}
+
+struct FarmResult {
+  int workers = 1;
+  double seconds = 0.0;
+  int respawns = 0;
+  int retries = 0;
+  bool in_process = false;
+  std::vector<sim::RunOutcome> outcomes;
+};
+
+FarmResult run_farm(const std::vector<std::pair<std::string, std::string>>& jobs,
+                    sim::FarmOptions options) {
+  FarmResult result;
+  result.workers = options.workers;
+  sim::FarmRunner farm(std::move(options));
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  const auto t0 = std::chrono::steady_clock::now();
+  result.outcomes = farm.run();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.respawns = farm.worker_respawns();
+  result.retries = farm.job_retries();
+  result.in_process = farm.ran_in_process();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_farm.json";
+  std::string worker = sim::FarmRunner::default_worker_path(argv[0]);
+  bool quick = bench::quick_mode();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") json_path = value();
+    else if (arg == "--worker") worker = value();
+    else if (arg == "--quick") quick = true;
+    else {
+      std::cerr << "usage: bench_farm [--json PATH] [--worker SWEEP_WORKER] [--quick]\n";
+      return 2;
+    }
+  }
+
+  bench::header("BENCH farm", "process-farm sweep execution (not a paper figure)",
+                "farm outcomes byte-identical to the in-process SweepRunner at every "
+                "worker count, under an injected worker kill, and across a "
+                "checkpoint interrupt/resume split");
+
+  const int measure = quick ? 5 : 12;
+  const auto jobs = farm_batch(measure);
+
+  // The oracle: the same jobs through the in-process SweepRunner.
+  sim::SweepRunner sweep(2);
+  for (const auto& [label, text] : jobs) {
+    const sim::Scenario scenario = sim::parse_scenario(text);
+    sweep.add(scenario.spec, scenario.plans, label);
+  }
+  const std::vector<sim::RunOutcome> expected = sweep.run();
+
+  const bool have_worker = !worker.empty() && ::access(worker.c_str(), X_OK) == 0;
+  if (!have_worker) {
+    std::cout << "  NOTE: sweep_worker not found (" << (worker.empty() ? "no path" : worker)
+              << "); exercising the in-process degradation path only.\n\n";
+  }
+
+  bool all_ok = true;
+  TextTable table({"workers", "seconds", "jobs/s", "respawns", "retries", "agreement"});
+  std::vector<FarmResult> runs;
+
+  // Phase 1: worker counts {1, 2, 4}.
+  for (const int workers : {1, 2, 4}) {
+    sim::FarmOptions options;
+    options.workers = workers;
+    options.worker_path = have_worker ? worker : "";
+    FarmResult r = run_farm(jobs, std::move(options));
+    const bool agree = r.outcomes == expected;
+    all_ok &= agree;
+    table.add_row({std::to_string(workers) + (r.in_process ? " (in-proc)" : ""),
+                   fmt_double(r.seconds, 2),
+                   fmt_double(static_cast<double>(jobs.size()) / r.seconds, 2),
+                   std::to_string(r.respawns), std::to_string(r.retries),
+                   agree ? "exact" : "MISMATCH"});
+    runs.push_back(std::move(r));
+  }
+
+  // Phase 2: one injected kill — every worker process dies on its 2nd
+  // job, so the batch only converges through respawn + retry.
+  bool kill_agree = true;
+  int kill_respawns = 0;
+  if (have_worker) {
+    sim::FarmOptions options;
+    options.workers = 2;
+    options.worker_path = worker;
+    options.worker_args = {"--fault-kill-after", "2"};
+    FarmResult r = run_farm(jobs, std::move(options));
+    kill_agree = r.outcomes == expected;
+    kill_respawns = r.respawns;
+    all_ok &= kill_agree;
+    table.add_row({"2 + kill", fmt_double(r.seconds, 2),
+                   fmt_double(static_cast<double>(jobs.size()) / r.seconds, 2),
+                   std::to_string(r.respawns), std::to_string(r.retries),
+                   kill_agree ? "exact" : "MISMATCH"});
+  }
+
+  // Phase 3: checkpoint interrupt after 3 completions, then resume.
+  const std::string ckpt = json_path + ".farm_ckpt";
+  std::remove(ckpt.c_str());
+  bool resume_agree = true;
+  int restored = 0;
+  {
+    sim::FarmOptions options;
+    options.workers = 2;
+    options.worker_path = have_worker ? worker : "";
+    options.checkpoint_path = ckpt;
+    options.checkpoint_every = 1;
+    options.abort_after_completed = 3;
+    sim::FarmRunner farm(options);
+    for (const auto& [label, text] : jobs) farm.add(text, label);
+    try {
+      farm.run();
+      resume_agree = false;  // the interrupt must fire
+    } catch (const sim::FarmInterrupted&) {
+    }
+  }
+  {
+    sim::FarmOptions options;
+    options.workers = 2;
+    options.worker_path = have_worker ? worker : "";
+    options.checkpoint_path = ckpt;
+    sim::FarmRunner farm(options);
+    for (const auto& [label, text] : jobs) farm.add(text, label);
+    const auto outcomes = farm.run();
+    restored = farm.jobs_restored();
+    resume_agree = resume_agree && outcomes == expected && restored >= 3 &&
+                   restored + farm.jobs_executed() == static_cast<int>(jobs.size());
+    all_ok &= resume_agree;
+  }
+  std::remove(ckpt.c_str());
+
+  std::cout << "  " << jobs.size() << " jobs, 2+" << measure << " ticks each, worker: "
+            << (have_worker ? worker : "(in-process)") << "\n\n"
+            << table << '\n';
+
+  all_ok &= bench::check("farm outcomes byte-identical to SweepRunner at workers {1,2,4}",
+                         all_ok);
+  if (have_worker) {
+    all_ok &= bench::check("injected SIGKILL: batch retries to the identical result "
+                           "(respawns >= 1)",
+                           kill_agree && kill_respawns >= 1);
+  }
+  all_ok &= bench::check("checkpoint interrupt/resume: restored >= 3 of " +
+                             std::to_string(jobs.size()) +
+                             " jobs, merged result byte-identical",
+                         resume_agree);
+
+  // JSON record for the trajectory (schema in README.md).
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"farm\",\n  \"schema\": 1,\n"
+       << "  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"jobs\": " << jobs.size()
+       << ",\n  \"worker_available\": " << (have_worker ? "true" : "false")
+       << ",\n  \"restored_on_resume\": " << restored
+       << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const FarmResult& r = runs[i];
+    json << "    {\"workers\": " << r.workers << ", \"seconds\": " << r.seconds
+         << ", \"in_process\": " << (r.in_process ? "true" : "false") << "}"
+         << (i + 1 == runs.size() ? "\n" : ",\n");
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::cout << "\n  JSON written to " << json_path << '\n';
+
+  return bench::verdict(all_ok);
+}

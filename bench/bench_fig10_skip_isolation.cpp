@@ -6,25 +6,31 @@
 //      colocated with heavy disruptors;
 //  (2) a vCPU whose co-runners are all quiet (bzip among hmmers)
 //      measures the same llc_cap_act without isolation.
+//
+// Runs on the sweep API: all six measurements (three target/co-runner
+// settings × isolated/not) are one SweepRunner batch.
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
 
 namespace {
 
-/// Measures `target`'s Equation-1 rate while colocated with the given
-/// co-runners, either "isolated" (co-runners parked on the other
-/// socket — equivalent to a dedicated window) or "not isolated"
+/// Plans for `target`'s Equation-1 measurement while colocated with
+/// the given co-runners, either "isolated" (co-runners parked on the
+/// other socket — equivalent to a dedicated window) or "not isolated"
 /// (co-runners share the socket).
-double measured_rate(const sim::RunSpec& spec, const std::string& target,
-                     const std::vector<std::string>& corunners, bool isolated) {
+std::vector<sim::VmPlan> rate_plans(const sim::RunSpec& spec, const std::string& target,
+                                    const std::vector<std::string>& corunners,
+                                    bool isolated) {
   std::vector<sim::VmPlan> plans;
   sim::VmPlan t;
   t.config.name = target;
@@ -46,8 +52,7 @@ double measured_rate(const sim::RunSpec& spec, const std::string& target,
     c.pinned_cores = {isolated ? next_other++ : next_same++};
     plans.push_back(c);
   }
-  const auto outcome = sim::run_scenario(spec, plans);
-  return outcome.vms[0].llc_cap_act;
+  return plans;
 }
 
 }  // namespace
@@ -62,15 +67,29 @@ int main() {
   spec.warmup_ticks = 6;
   spec.measure_ticks = bench::ticks(45);
 
-  // Panel 1: hmmer colocated with three disruptors.
   const std::vector<std::string> heavy = {"lbm", "blockie", "mcf"};
-  const double hmmer_not_isolated = measured_rate(spec, "hmmer", heavy, false);
-  const double hmmer_isolated = measured_rate(spec, "hmmer", heavy, true);
-
-  // Panel 2: bzip colocated with three hmmer instances.
   const std::vector<std::string> quiet = {"hmmer", "hmmer", "hmmer"};
-  const double bzip_not_isolated = measured_rate(spec, "bzip", quiet, false);
-  const double bzip_isolated = measured_rate(spec, "bzip", quiet, true);
+
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  auto submit = [&](const std::string& target, const std::vector<std::string>& corunners,
+                    bool isolated) {
+    return sweep.add(spec, rate_plans(spec, target, corunners, isolated),
+                     target + (isolated ? "/isolated" : "/shared"));
+  };
+  const std::size_t i_hmmer_shared = submit("hmmer", heavy, false);
+  const std::size_t i_hmmer_isolated = submit("hmmer", heavy, true);
+  const std::size_t i_bzip_shared = submit("bzip", quiet, false);
+  const std::size_t i_bzip_isolated = submit("bzip", quiet, true);
+  // Contrast case for the sanity check below.
+  const std::size_t i_gcc_shared = submit("gcc", heavy, false);
+  const std::size_t i_gcc_isolated = submit("gcc", heavy, true);
+  const auto outcomes = sweep.run();
+  auto rate = [&](std::size_t job) { return outcomes[job].vms.at(0).llc_cap_act; };
+
+  const double hmmer_not_isolated = rate(i_hmmer_shared);
+  const double hmmer_isolated = rate(i_hmmer_isolated);
+  const double bzip_not_isolated = rate(i_bzip_shared);
+  const double bzip_isolated = rate(i_bzip_isolated);
 
   TextTable table({"measurement", "not isolated (miss/ms)", "isolated (miss/ms)",
                    "abs. difference"});
@@ -92,8 +111,8 @@ int main() {
                          0.2 * bzip_isolated + 3.0);
   // Sanity: with heavy co-runners a *sensitive* app's direct rate
   // does inflate — the heuristics are about quiet VMs, not everyone.
-  const double gcc_not_isolated = measured_rate(spec, "gcc", heavy, false);
-  const double gcc_isolated = measured_rate(spec, "gcc", heavy, true);
+  const double gcc_not_isolated = rate(i_gcc_shared);
+  const double gcc_isolated = rate(i_gcc_isolated);
   ok &= bench::check("contrast: gcc among disruptors IS isolation-sensitive",
                      gcc_not_isolated > gcc_isolated * 2.0 + 5.0);
   return bench::verdict(ok);

@@ -2,21 +2,26 @@
 // llc_cap_act": with quiet co-runners, Equation-1 values measured
 // WITHOUT dedicating the socket match the dedicated measurement for
 // all ten applications — same magnitudes, same aggressiveness order.
+//
+// Runs on the sweep API: the full 10 × {dedicated, shared} grid is
+// one 20-job SweepRunner batch.
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
 
 namespace {
 
-double rate_with_corunner(const sim::RunSpec& spec, const std::string& target,
-                          bool dedicate) {
+std::vector<sim::VmPlan> corunner_plans(const sim::RunSpec& spec, const std::string& target,
+                                        bool dedicate) {
   std::vector<sim::VmPlan> plans;
   sim::VmPlan t;
   t.config.name = target;
@@ -39,7 +44,7 @@ double rate_with_corunner(const sim::RunSpec& spec, const std::string& target,
     c.pinned_cores = {dedicate ? 4 + i : 1 + i};
     plans.push_back(c);
   }
-  return sim::run_scenario(spec, plans).vms[0].llc_cap_act;
+  return plans;
 }
 
 }  // namespace
@@ -54,19 +59,26 @@ int main() {
   spec.measure_ticks = bench::ticks(40);
 
   const auto& apps = workloads::fig4_apps();
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  for (const auto& name : apps) {
+    sweep.add(spec, corunner_plans(spec, name, true), name + "/dedicated");
+    sweep.add(spec, corunner_plans(spec, name, false), name + "/shared");
+  }
+  const auto outcomes = sweep.run();
+
   TextTable table({"app", "socket dedication (miss/ms)", "no dedication (miss/ms)",
                    "rel. diff %"});
   std::vector<double> dedicated;
   std::vector<double> shared;
   double worst_rel = 0.0;
-  for (const auto& name : apps) {
-    const double ded = rate_with_corunner(spec, name, true);
-    const double noded = rate_with_corunner(spec, name, false);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const double ded = outcomes[2 * i].vms.at(0).llc_cap_act;
+    const double noded = outcomes[2 * i + 1].vms.at(0).llc_cap_act;
     dedicated.push_back(ded);
     shared.push_back(noded);
     const double rel = std::abs(ded - noded) / std::max(ded, 5.0) * 100.0;
     worst_rel = std::max(worst_rel, rel);
-    table.add_row({name, fmt_double(ded, 1), fmt_double(noded, 1), fmt_double(rel, 1)});
+    table.add_row({apps[i], fmt_double(ded, 1), fmt_double(noded, 1), fmt_double(rel, 1)});
   }
   std::cout << table << '\n';
 

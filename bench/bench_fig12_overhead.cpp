@@ -7,24 +7,30 @@
 // complete is reported in Mcycles (period-independent unit).
 // Expected shape: XCS and KS4Xen lines coincide at every period —
 // the monitoring adds no measurable cost to the VMs.
+//
+// Runs on the sweep API: the 5 × 2 (period × scheduler) grid is one
+// batch of SweepRunner::add_completion jobs — run-to-completion with
+// no warmup, matching the original manual run_until driver.
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "kyoto/ks4xen.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
 
 namespace {
 
-/// Completion cycles of povray-1 with two povray VMs time-sharing
-/// core 0, under the given scheduler, with the tick budget scaled so
-/// one tick represents `period_ms` of the nominal machine.
-double exec_mcycles(bool kyoto, int period_ms) {
+/// Spec + plans for two povray VMs time-sharing core 0 under the
+/// given scheduler, with the tick budget scaled so one tick
+/// represents `period_ms` of the nominal machine.
+std::pair<sim::RunSpec, std::vector<sim::VmPlan>> overhead_job(bool kyoto, int period_ms) {
   sim::RunSpec spec;
   spec.machine = hv::scaled_machine();
   // A tick always spans kTickMs of *virtual* time; emulate a shorter
@@ -46,12 +52,7 @@ double exec_mcycles(bool kyoto, int period_ms) {
   a.pinned_cores = {0};
   sim::VmPlan b = a;
   b.config.name = "povray-2";
-
-  auto hv = sim::build_scenario(spec, {a, b});
-  hv::Vcpu& first = hv->vms()[0]->vcpu(0);
-  hv->run_until([&] { return first.completed_runs() > 0; }, 60'000);
-  const double wall = static_cast<double>(first.first_completion_wall_cycle());
-  return wall < 0 ? -1.0 : wall / 1e6;
+  return {std::move(spec), {std::move(a), std::move(b)}};
 }
 
 }  // namespace
@@ -60,16 +61,32 @@ int main() {
   bench::header("Fig 12", "KS4Xen vs XCS execution time across scheduling periods",
                 "the two curves coincide — Kyoto's monitoring costs the VMs nothing");
 
+  const std::vector<int> periods = {2, 5, 10, 20, 30};
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  for (const int period : periods) {
+    for (const bool kyoto : {false, true}) {
+      auto [spec, plans] = overhead_job(kyoto, period);
+      sweep.add_completion(std::move(spec), std::move(plans), 0, 60'000,
+                           std::string(kyoto ? "ks4xen" : "xcs") + "/" +
+                               std::to_string(period) + "ms");
+    }
+  }
+  const auto outcomes = sweep.run();
+  auto exec_mcycles = [&](std::size_t job) {
+    const std::int64_t wall = outcomes[job].completion_wall_cycles;
+    return wall < 0 ? -1.0 : static_cast<double>(wall) / 1e6;
+  };
+
   TextTable table({"scheduling period (ms)", "XCS exec (Mcycles)", "KS4Xen exec (Mcycles)",
                    "delta %"});
   bool ok = true;
   double worst_delta = 0.0;
-  for (int period : {2, 5, 10, 20, 30}) {
-    const double xcs = exec_mcycles(false, period);
-    const double ks = exec_mcycles(true, period);
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const double xcs = exec_mcycles(2 * i);
+    const double ks = exec_mcycles(2 * i + 1);
     const double delta = (ks - xcs) / xcs * 100.0;
     worst_delta = std::max(worst_delta, std::abs(delta));
-    table.add_row({std::to_string(period), fmt_double(xcs, 1), fmt_double(ks, 1),
+    table.add_row({std::to_string(periods[i]), fmt_double(xcs, 1), fmt_double(ks, 1),
                    fmt_double(delta, 2)});
     ok &= xcs > 0 && ks > 0;
   }

@@ -6,15 +6,24 @@
 // the co-kernel removes software interference but cannot partition
 // the LLC.  Under KS4Pisces (same permits as Fig 5) the colocated
 // execution time returns to the solo level.
+//
+// Runs on the sweep API in two batches: the solo probe (memoized
+// add_solo under the default credit scheduler, exactly run_solo's
+// semantics) sizes the permit, then the four execution-time runs go
+// through SweepRunner::add_completion — the run-to-completion job
+// shape — so this figure shards across lanes and farms across worker
+// processes like every windowed figure.
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "hv/pisces.hpp"
 #include "kyoto/ks4pisces.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
@@ -31,17 +40,21 @@ int main() {
     };
   };
 
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+
   // Permit sized like Fig 5 (measure gcc's rate under the credit
   // scheduler first — the permit is a property of the booking, not of
-  // the scheduler).
+  // the scheduler).  Batch 1: the probe.
   sim::RunSpec probe = spec;
   probe.warmup_ticks = 6;
   probe.measure_ticks = 30;
-  const auto gcc_solo = sim::run_solo(probe, factory("gcc"), "gcc");
+  sweep.add_solo(probe, factory("gcc"), "gcc", "gcc");
+  const auto gcc_solo = sweep.run().at(0).vms.at(0);
   const double permit = gcc_solo.llc_cap_act * 1.5 + 8.0;
 
+  // Batch 2: the four execution-time runs.
   const Tick max_ticks = 20'000;
-  auto exec_time = [&](bool kyoto, bool colocated) {
+  auto submit = [&](bool kyoto, bool colocated) {
     sim::RunSpec rspec = spec;
     rspec.scheduler = [kyoto]() -> std::unique_ptr<hv::Scheduler> {
       if (kyoto) return std::make_unique<core::Ks4Pisces>();
@@ -63,13 +76,20 @@ int main() {
       dis.pinned_cores = {1};
       plans.push_back(dis);
     }
-    return sim::run_to_completion_ms(rspec, plans, 0, max_ticks);
+    return sweep.add_completion(rspec, std::move(plans), 0, max_ticks,
+                                std::string(kyoto ? "ks4pisces" : "pisces") +
+                                    (colocated ? "/colocated" : "/alone"));
   };
 
-  const double pisces_alone = exec_time(false, false);
-  const double pisces_coloc = exec_time(false, true);
-  const double ks_alone = exec_time(true, false);
-  const double ks_coloc = exec_time(true, true);
+  const std::size_t i_pisces_alone = submit(false, false);
+  const std::size_t i_pisces_coloc = submit(false, true);
+  const std::size_t i_ks_alone = submit(true, false);
+  const std::size_t i_ks_coloc = submit(true, true);
+  const auto outcomes = sweep.run();
+  const double pisces_alone = outcomes[i_pisces_alone].completion_ms;
+  const double pisces_coloc = outcomes[i_pisces_coloc].completion_ms;
+  const double ks_alone = outcomes[i_ks_alone].completion_ms;
+  const double ks_coloc = outcomes[i_ks_coloc].completion_ms;
 
   TextTable table({"system", "vsen1 alone (ms)", "vsen1 colocated (ms)", "gap"});
   table.add_row({"Pisces", fmt_double(pisces_alone, 0), fmt_double(pisces_coloc, 0),

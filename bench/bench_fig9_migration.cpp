@@ -8,6 +8,13 @@
 // is remote.  Expected shape: memory-intensive applications (milc,
 // lbm, mcf, soplex, omnetpp) lose the most (paper: up to ~12%);
 // cache-resident ones (astar, bzip, xalan) barely notice.
+//
+// Runs on the sweep API: 16 jobs (8 apps × pinned/migrated) in one
+// batch.  The migration campaign rides the HvObserver overload — here
+// not as a passive sampler (the Fig 2 idiom) but as a deterministic
+// *actuator*: the hook it installs perturbs its own private
+// hypervisor, which is fine for sweep/farm byte-identity because the
+// perturbation is a pure function of the job (fixed Rng seed).
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -15,7 +22,9 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 #include "workloads/catalog.hpp"
 
 using namespace kyoto;
@@ -25,7 +34,7 @@ namespace {
 const std::vector<std::string> kApps = {"mcf",   "soplex", "milc", "omnetpp",
                                         "xalan", "astar",  "bzip", "lbm"};
 
-double measure_ipc(const sim::RunSpec& spec, const std::string& name, bool migrate) {
+sim::VmPlan solo_plan(const sim::RunSpec& spec, const std::string& name) {
   sim::VmPlan plan;
   plan.config.name = name;
   plan.config.loop_workload = true;
@@ -34,31 +43,29 @@ double measure_ipc(const sim::RunSpec& spec, const std::string& name, bool migra
     return workloads::make_app(name, mem, s);
   };
   plan.pinned_cores = {0};
+  return plan;
+}
 
-  auto hv = sim::build_scenario(spec, {plan});
-  hv::Vcpu& vcpu = hv->vms()[0]->vcpu(0);
-
-  if (migrate) {
-    // Mimic the sampling campaign: every `period` ticks move the vCPU
-    // to numa1; bring it home after a random 1..4 ticks.
+/// The sampling campaign as an observer: every `period` ticks move
+/// the vCPU to numa1; bring it home after a random 1..4 ticks.  State
+/// is owned per job (shared_ptr into the hook), so jobs stay
+/// independent across lanes.
+sim::HvObserver migration_campaign() {
+  return [](hv::Hypervisor& h) {
     auto rng = std::make_shared<Rng>(1234);
     auto away_until = std::make_shared<Tick>(-1);
-    const Tick period = 12;
-    hv->add_tick_hook([&vcpu, rng, away_until, period](hv::Hypervisor& h, Tick now) {
+    constexpr Tick period = 12;
+    hv::Vcpu* vcpu = &h.vms()[0]->vcpu(0);
+    h.add_tick_hook([vcpu, rng, away_until](hv::Hypervisor& hh, Tick now) {
       if (*away_until < 0 && now > 0 && now % period == 0) {
-        h.migrate(vcpu, 4);  // first core of numa1
+        hh.migrate(*vcpu, 4);  // first core of numa1
         *away_until = now + 1 + static_cast<Tick>(rng->below(4));
       } else if (*away_until >= 0 && now >= *away_until) {
-        h.migrate(vcpu, 0);
+        hh.migrate(*vcpu, 0);
         *away_until = -1;
       }
     });
-  }
-
-  hv->run_ticks(spec.warmup_ticks);
-  const auto before = hv->vms()[0]->counters();
-  hv->run_ticks(spec.measure_ticks);
-  return (hv->vms()[0]->counters() - before).ipc();
+  };
 }
 
 }  // namespace
@@ -72,13 +79,21 @@ int main() {
   spec.warmup_ticks = 6;
   spec.measure_ticks = bench::ticks(90);
 
+  sim::SweepRunner sweep(ThreadPool::hardware_lanes());
+  for (const auto& name : kApps) {
+    sweep.add(spec, {solo_plan(spec, name)}, name + "/pinned");
+    sweep.add(spec, {solo_plan(spec, name)}, migration_campaign(), name + "/migrated");
+  }
+  const auto outcomes = sweep.run();
+
   TextTable table({"app", "IPC (pinned)", "IPC (migrated)", "degradation %", "bar"});
   bool ok = true;
   double mem_bound_max = 0.0;
   double cache_resident_max = 0.0;
-  for (const auto& name : kApps) {
-    const double base = measure_ipc(spec, name, false);
-    const double migrated = measure_ipc(spec, name, true);
+  for (std::size_t i = 0; i < kApps.size(); ++i) {
+    const std::string& name = kApps[i];
+    const double base = outcomes[2 * i].vms.at(0).ipc;
+    const double migrated = outcomes[2 * i + 1].vms.at(0).ipc;
     const double deg = sim::degradation_pct(base, migrated);
     table.add_row({name, fmt_double(base, 3), fmt_double(migrated, 3), fmt_double(deg, 1),
                    ascii_bar(std::max(deg, 0.0), 15.0, 24)});

@@ -2,12 +2,15 @@
 //
 //   ./scenario_runner sweep-a.kyoto sweep-b.kyoto ...   # one job per file
 //   ./scenario_runner --lanes 4 fig6-*.kyoto            # sharded execution
+//   ./scenario_runner --workers 4 fig6-*.kyoto          # process farm
+//   ./scenario_runner --workers 4 --checkpoint sweep.ckpt fig6-*.kyoto
 //
-// Every scenario file is an independent job, so a multi-file
-// invocation runs as a sharded sweep (sim::SweepRunner, one private
-// hypervisor per lane) and prints the reports in argument order —
-// results are byte-identical at any lane count.  --lanes defaults to
-// the host CPU count.
+// Every scenario file is an independent job.  A multi-file invocation
+// runs as a sharded sweep (sim::SweepRunner, one private hypervisor
+// per lane) or — with --workers — as a process farm (sim::FarmRunner,
+// one `sweep_worker` process per worker, with retries and optional
+// checkpoint/resume).  Reports print in argument order and are
+// byte-identical under either executor at any lane/worker count.
 //
 // Without an argument it writes a demonstration scenario next to the
 // binary, prints it, and runs it — so the example is self-contained.
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "sim/farm_runner.hpp"
 #include "sim/scenario_file.hpp"
 #include "sim/sweep_runner.hpp"
 
@@ -66,31 +70,57 @@ measure_ticks = 90
 
 int main(int argc, char** argv) {
   int lanes = ThreadPool::hardware_lanes();
+  int workers = 0;  // 0 = in-process SweepRunner; > 0 = process farm
+  std::string checkpoint;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--lanes") {
+    auto int_value = [&](int* out) {
       if (i + 1 >= argc) {
-        std::cerr << "--lanes needs a value\n";
-        return 2;
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
       }
       try {
-        lanes = std::stoi(argv[++i]);
+        *out = std::stoi(argv[++i]);
       } catch (const std::exception&) {
-        std::cerr << "--lanes needs an integer, got '" << argv[i] << "'\n";
+        std::cerr << arg << " needs an integer, got '" << argv[i] << "'\n";
+        std::exit(2);
+      }
+    };
+    if (arg == "--lanes") {
+      int_value(&lanes);
+    } else if (arg == "--workers") {
+      int_value(&workers);
+    } else if (arg == "--checkpoint") {
+      if (i + 1 >= argc) {
+        std::cerr << "--checkpoint needs a file path\n";
         return 2;
       }
+      checkpoint = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: scenario_runner [--lanes N] [scenario.kyoto ...]\n"
-                   "\n"
-                   "  --lanes N  execution lanes for the sharded sweep (default: host\n"
-                   "             CPU count; values < 1 clamp to 1 = plain serial loop).\n"
-                   "             Each scenario file runs on its own private hypervisor,\n"
-                   "             so reports are byte-identical at any lane count and\n"
-                   "             always print in argument order.\n"
-                   "\n"
-                   "Scenario file format: see the demo written when run with no\n"
-                   "arguments, and the scenario-file section of README.md.\n";
+      std::cout
+          << "usage: scenario_runner [--lanes N | --workers N] [--checkpoint FILE]\n"
+             "                       [scenario.kyoto ...]\n"
+             "\n"
+             "  --lanes N       execution lanes for the in-process sharded sweep\n"
+             "                  (default: host CPU count; values < 1 clamp to 1 =\n"
+             "                  plain serial loop).\n"
+             "  --workers N     run the files as a process farm instead: N\n"
+             "                  `sweep_worker` processes pull jobs over the wire\n"
+             "                  protocol, with dead-worker respawn and bounded\n"
+             "                  retries.  Finds the worker via $KYOTO_SWEEP_WORKER\n"
+             "                  or next to this binary; degrades to in-process\n"
+             "                  execution (same results) when neither exists.\n"
+             "  --checkpoint F  with --workers: periodically checkpoint completed\n"
+             "                  outcomes to F; re-running the same invocation after\n"
+             "                  an interruption resumes instead of re-simulating.\n"
+             "\n"
+             "Each scenario file runs on its own private hypervisor, so reports\n"
+             "are byte-identical at any lane or worker count and always print in\n"
+             "argument order.\n"
+             "\n"
+             "Scenario file format: see the demo written when run with no\n"
+             "arguments, and the scenario-file section of README.md.\n";
       return 0;
     } else {
       paths.push_back(arg);
@@ -108,20 +138,53 @@ int main(int argc, char** argv) {
 
   try {
     // Parse everything first (strict errors before any simulation),
-    // then run the files as one sharded sweep and report in argument
-    // order.
+    // then run the files as one batch and report in argument order.
     std::vector<sim::Scenario> scenarios;
     scenarios.reserve(paths.size());
-    sim::SweepRunner sweep(lanes);
-    for (const std::string& path : paths) {
-      scenarios.push_back(sim::load_scenario_file(path));
-      sweep.add(scenarios.back().spec, scenarios.back().plans, path);
+    std::vector<sim::RunOutcome> outcomes;
+    if (workers > 0) {
+      sim::FarmOptions options;
+      options.workers = workers;
+      options.worker_path = sim::FarmRunner::default_worker_path(argv[0]);
+      options.checkpoint_path = checkpoint;
+      sim::FarmRunner farm(options);
+      for (const std::string& path : paths) {
+        // The farm ships the raw file text: the worker re-parses it,
+        // deterministically reproducing this process's job.
+        std::ifstream in(path);
+        if (!in.good()) throw std::runtime_error("cannot open scenario file: " + path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        scenarios.push_back(sim::parse_scenario(text));
+        farm.add(std::move(text), path);
+      }
+      std::cout << "Running " << paths.size() << " scenario(s) over " << workers
+                << " worker process(es)...\n";
+      outcomes = farm.run();
+      if (farm.jobs_restored() > 0) {
+        std::cout << farm.jobs_restored() << " job(s) restored from checkpoint '"
+                  << checkpoint << "', " << farm.jobs_executed() << " simulated\n";
+      }
+      if (farm.ran_in_process()) {
+        std::cout << "note: ran in-process (" << farm.degrade_reason() << ")\n";
+      }
+      std::cout << '\n';
+    } else {
+      if (!checkpoint.empty()) {
+        std::cerr << "--checkpoint requires --workers\n";
+        return 2;
+      }
+      sim::SweepRunner sweep(lanes);
+      for (const std::string& path : paths) {
+        scenarios.push_back(sim::load_scenario_file(path));
+        sweep.add(scenarios.back().spec, scenarios.back().plans, path);
+      }
+      if (paths.size() > 1) {
+        std::cout << "Running " << paths.size() << " scenario(s) over " << sweep.lanes()
+                  << " lane(s)...\n\n";
+      }
+      outcomes = sweep.run();
     }
-    if (paths.size() > 1) {
-      std::cout << "Running " << paths.size() << " scenario(s) over " << sweep.lanes()
-                << " lane(s)...\n\n";
-    }
-    const auto outcomes = sweep.run();
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       std::cout << paths[i] << ": " << scenarios[i].plans.size() << " VM(s), "
                 << scenarios[i].spec.warmup_ticks << "+"
@@ -134,4 +197,3 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
-

@@ -104,15 +104,24 @@ RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
 
 double run_to_completion_ms(const RunSpec& spec, const std::vector<VmPlan>& plans,
                             std::size_t target, Tick max_ticks) {
+  return run_to_completion(spec, plans, target, max_ticks).completion_ms;
+}
+
+RunOutcome run_to_completion(const RunSpec& spec, const std::vector<VmPlan>& plans,
+                             std::size_t target, Tick max_ticks) {
   KYOTO_CHECK(target < plans.size());
   auto hv = build_scenario(spec, plans);
   hv::Vm& vm = *hv->vms()[target];
   KYOTO_CHECK_MSG(vm.vcpu(0).workload().spec().length > 0,
                   "run_to_completion needs a finite-length workload");
   hv->run_until([&] { return vm.vcpu(0).completed_runs() > 0; }, max_ticks);
+  RunOutcome outcome;
   const std::int64_t wall = vm.vcpu(0).first_completion_wall_cycle();
-  if (wall < 0) return -1.0;
-  return cycles_to_ms(wall, hv->machine().freq_khz());
+  if (wall >= 0) {
+    outcome.completion_wall_cycles = wall;
+    outcome.completion_ms = cycles_to_ms(wall, hv->machine().freq_khz());
+  }
+  return outcome;
 }
 
 VmMetrics run_solo(const RunSpec& spec, const WorkloadFactory& factory,

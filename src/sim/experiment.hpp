@@ -87,6 +87,14 @@ struct VmMetrics {
 struct RunOutcome {
   std::vector<VmMetrics> vms;  // in VmPlan order
   Tick measured_ticks = 0;
+  /// Completion-mode results (run_to_completion / SweepRunner::
+  /// add_completion — the Figs 8 & 12 job shape): the virtual
+  /// wall-clock cycle at which the target VM finished its first
+  /// workload run, and the same instant in milliseconds.  Both stay
+  /// -1 for windowed scenario jobs and when the target never
+  /// completed within max_ticks.
+  std::int64_t completion_wall_cycles = -1;
+  double completion_ms = -1.0;
 
   bool operator==(const RunOutcome&) const = default;
 };
@@ -114,6 +122,14 @@ RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
 /// (negative if it never completed).
 double run_to_completion_ms(const RunSpec& spec, const std::vector<VmPlan>& plans,
                             std::size_t target, Tick max_ticks);
+
+/// Completion-mode outcome form of run_to_completion_ms: `vms` stays
+/// empty, `completion_wall_cycles`/`completion_ms` carry the target's
+/// first-completion instant (-1 if it never completed).  This is the
+/// job shape SweepRunner::add_completion executes, so run-to-
+/// completion figures (8 and 12) batch exactly like windowed ones.
+RunOutcome run_to_completion(const RunSpec& spec, const std::vector<VmPlan>& plans,
+                             std::size_t target, Tick max_ticks);
 
 /// Performance-degradation percentage used throughout the paper:
 /// how much of the baseline performance is lost.

@@ -1,0 +1,549 @@
+#include "sim/farm_runner.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/scenario_file.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The coordinator writes into pipes whose worker may have just died;
+/// that must surface as EPIPE, not a process-killing SIGPIPE.  Scoped
+/// to run() so library users keep their own disposition otherwise.
+struct SigPipeGuard {
+  struct sigaction old {};
+  SigPipeGuard() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &old);
+  }
+  ~SigPipeGuard() { ::sigaction(SIGPIPE, &old, nullptr); }
+};
+
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+struct FarmRunner::WorkerProc {
+  pid_t pid = -1;
+  int to_fd = -1;    // coordinator -> worker stdin
+  int from_fd = -1;  // worker stdout -> coordinator
+  farm::FrameReader reader;
+  int job = -1;  // in-flight job index; -1 when idle
+  Clock::time_point deadline{};
+  int completed = 0;     // jobs this process finished
+  bool ever_up = false;  // slot has spawned at least once
+
+  bool live() const { return pid > 0; }
+};
+
+/// The worker-pool coordinator for one run(): spawns workers, pumps
+/// the pull protocol over poll(2), and owns every fd/pid it creates
+/// (the destructor reaps unconditionally, so errors thrown mid-batch
+/// never leak zombies).
+class FarmRunner::Impl {
+ public:
+  Impl(FarmRunner& r, std::deque<std::size_t> queue)
+      : r_(r), queue_(std::move(queue)), attempts_(r.jobs_.size(), 0) {
+    outstanding_ = static_cast<int>(queue_.size());
+    workers_.resize(static_cast<std::size_t>(r_.options_.workers));
+    // argv is prepared once, before any fork: between fork and exec
+    // only async-signal-safe calls are allowed (the parent may host
+    // other threads, e.g. a live SweepRunner pool).
+    args_.push_back(r_.options_.worker_path);
+    args_.push_back("--stdio");
+    for (const std::string& a : r_.options_.worker_args) args_.push_back(a);
+    for (const std::string& a : args_) argv_.push_back(const_cast<char*>(a.c_str()));
+    argv_.push_back(nullptr);
+  }
+
+  ~Impl() {
+    for (WorkerProc& w : workers_) kill_and_reap(w);
+  }
+
+  /// Executes the queue.  Returns true on success; false when the
+  /// batch should degrade to in-process execution (reason stored in
+  /// r_.degrade_reason_).  Throws on exhausted retries, worker error
+  /// frames, and the abort knob.
+  bool run() {
+    while (outstanding_ > 0) {
+      if (degrade_) return false;
+      spawn_and_assign();
+      if (degrade_) return false;
+      if (live_count() == 0) {
+        // spawn_and_assign either filled a slot, degraded, or failed.
+        fail("no live workers and jobs remain");
+      }
+      pump();
+    }
+    return true;
+  }
+
+ private:
+  int live_count() const {
+    int n = 0;
+    for (const WorkerProc& w : workers_) n += w.live() ? 1 : 0;
+    return n;
+  }
+
+  void spawn_and_assign() {
+    for (WorkerProc& w : workers_) {
+      if (!w.live() && !queue_.empty()) {
+        if (!spawn(w)) {
+          if (completed_by_workers_ == 0) {
+            degrade("cannot spawn worker process: " + std::string(std::strerror(errno)));
+            return;
+          }
+          fail("cannot respawn worker process: " + std::string(std::strerror(errno)));
+        }
+      }
+      if (w.live() && w.job < 0 && !queue_.empty()) assign(w);
+      if (degrade_) return;
+    }
+  }
+
+  bool spawn(WorkerProc& w) {
+    int to[2] = {-1, -1};
+    int from[2] = {-1, -1};
+    if (::pipe(to) != 0) return false;
+    if (::pipe(from) != 0) {
+      ::close(to[0]);
+      ::close(to[1]);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (int fd : {to[0], to[1], from[0], from[1]}) ::close(fd);
+      return false;
+    }
+    if (pid == 0) {
+      ::dup2(to[0], 0);
+      ::dup2(from[1], 1);
+      for (int fd : {to[0], to[1], from[0], from[1]}) ::close(fd);
+      ::execv(argv_[0], argv_.data());
+      ::_exit(127);  // exec failed; the parent sees EOF and degrades/fails
+    }
+    ::close(to[0]);
+    ::close(from[1]);
+    // Parent-side fds must not leak into later-forked siblings, and
+    // the read side is drained non-blockingly from the poll loop.
+    ::fcntl(to[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(from[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(from[0], F_SETFL, O_NONBLOCK);
+    if (w.ever_up) ++r_.respawns_;
+    w.pid = pid;
+    w.to_fd = to[1];
+    w.from_fd = from[0];
+    w.reader = farm::FrameReader{};
+    w.job = -1;
+    w.completed = 0;
+    w.ever_up = true;
+    return true;
+  }
+
+  void assign(WorkerProc& w) {
+    const std::size_t index = queue_.front();
+    queue_.pop_front();
+    const farm::FarmJob& job = r_.jobs_[index];
+    const std::string frame = farm::encode_frame(farm::FrameType::kJob, farm::encode_job(job));
+    w.job = static_cast<int>(index);
+    w.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(r_.options_.job_timeout_s));
+    if (!write_all(w.to_fd, frame)) {
+      handle_death(w, "worker pipe closed while sending the job");
+    }
+  }
+
+  void pump() {
+    std::vector<pollfd> fds;
+    std::vector<WorkerProc*> owners;
+    for (WorkerProc& w : workers_) {
+      if (!w.live()) continue;
+      fds.push_back(pollfd{w.from_fd, POLLIN, 0});
+      owners.push_back(&w);
+    }
+    int timeout_ms = 1000;
+    if (r_.options_.job_timeout_s > 0) {
+      const auto now = Clock::now();
+      for (const WorkerProc* w : owners) {
+        if (w->job < 0) continue;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(w->deadline - now).count();
+        timeout_ms = std::min<long long>(timeout_ms, std::max<long long>(left, 0));
+      }
+    }
+    ::poll(fds.data(), fds.size(), timeout_ms);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      WorkerProc& w = *owners[i];
+      if (!w.live()) continue;  // a shared-slot death already handled
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) drain(w);
+    }
+    if (r_.options_.job_timeout_s > 0) {
+      const auto now = Clock::now();
+      for (WorkerProc& w : workers_) {
+        if (w.live() && w.job >= 0 && now >= w.deadline) {
+          std::ostringstream oss;
+          oss << "worker hung (no reply within " << r_.options_.job_timeout_s << "s)";
+          handle_death(w, oss.str());
+        }
+      }
+    }
+  }
+
+  void drain(WorkerProc& w) {
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(w.from_fd, buf, sizeof buf);
+      if (n > 0) {
+        w.reader.feed(buf, static_cast<std::size_t>(n));
+        if (!consume_frames(w)) return;  // worker was killed inside
+        continue;
+      }
+      if (n == 0) {
+        handle_death(w, "worker exited before replying");
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      handle_death(w, std::string("read from worker failed: ") + std::strerror(errno));
+      return;
+    }
+  }
+
+  /// Decodes buffered frames; returns false when the worker was
+  /// killed (protocol violation) and must not be read further.
+  bool consume_frames(WorkerProc& w) {
+    for (;;) {
+      std::optional<farm::Frame> frame;
+      try {
+        frame = w.reader.next();
+      } catch (const farm::CodecError& e) {
+        handle_death(w, std::string("protocol violation: ") + e.what());
+        return false;
+      }
+      if (!frame) return true;
+      if (frame->type == farm::FrameType::kError) {
+        // A deterministic failure: retrying would fail identically.
+        farm::FarmError error;
+        try {
+          error = farm::decode_error(frame->payload);
+        } catch (const farm::CodecError& e) {
+          handle_death(w, std::string("protocol violation: ") + e.what());
+          return false;
+        }
+        fail("job #" + std::to_string(error.id) + " '" + label_of(error.id) +
+             "' failed deterministically in the worker: " + error.message);
+      }
+      if (frame->type != farm::FrameType::kOutcome || w.job < 0) {
+        handle_death(w, "unexpected frame from worker");
+        return false;
+      }
+      farm::FarmOutcome outcome;
+      try {
+        outcome = farm::decode_outcome(frame->payload);
+      } catch (const farm::CodecError& e) {
+        handle_death(w, std::string("protocol violation: ") + e.what());
+        return false;
+      }
+      if (outcome.id != static_cast<std::uint64_t>(w.job)) {
+        handle_death(w, "worker answered for the wrong job");
+        return false;
+      }
+      const int job = w.job;
+      w.job = -1;
+      ++w.completed;
+      ++completed_by_workers_;
+      --outstanding_;
+      r_.results_[static_cast<std::size_t>(job)] = std::move(outcome.outcome);
+      r_.done_[static_cast<std::size_t>(job)] = 1;
+      ++r_.executed_;
+      r_.after_job_completed();  // may throw FarmInterrupted; ~Impl reaps
+    }
+  }
+
+  void handle_death(WorkerProc& w, const std::string& reason) {
+    const int job = w.job;
+    const bool suspicious = w.completed == 0;
+    kill_and_reap(w);
+    if (suspicious) ++suspicious_deaths_;
+    // A binary that dies before ever finishing a job — exec failure,
+    // wrong architecture, immediate crash — would otherwise burn every
+    // job's retry budget; degrade to in-process instead.  Once any
+    // worker has completed anything, deaths are real faults and go
+    // through the retry budget.
+    if (completed_by_workers_ == 0 && suspicious_deaths_ > static_cast<int>(workers_.size())) {
+      if (job >= 0) queue_.push_front(static_cast<std::size_t>(job));
+      degrade("workers keep dying before completing any job (last: " + reason + ")");
+      return;
+    }
+    if (job >= 0) record_failure(job, reason);
+  }
+
+  void record_failure(int job, const std::string& reason) {
+    ++attempts_[static_cast<std::size_t>(job)];
+    ++r_.retries_;
+    if (attempts_[static_cast<std::size_t>(job)] > r_.options_.max_retries) {
+      fail("job #" + std::to_string(job) + " '" + label_of(static_cast<std::uint64_t>(job)) +
+           "' failed after " + std::to_string(attempts_[static_cast<std::size_t>(job)]) +
+           " attempt(s): " + reason);
+    }
+    queue_.push_front(static_cast<std::size_t>(job));
+  }
+
+  void kill_and_reap(WorkerProc& w) {
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+    close_fd(w.to_fd);
+    close_fd(w.from_fd);
+    w.pid = -1;
+    w.job = -1;
+  }
+
+  void degrade(std::string reason) {
+    degrade_ = true;
+    if (r_.degrade_reason_.empty()) r_.degrade_reason_ = std::move(reason);
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    // Preserve completed work for a checkpoint resume before failing.
+    r_.write_checkpoint();
+    throw std::runtime_error("farm: " + message);
+  }
+
+  std::string label_of(std::uint64_t id) const {
+    return id < r_.jobs_.size() ? r_.jobs_[static_cast<std::size_t>(id)].label : "?";
+  }
+
+  FarmRunner& r_;
+  std::deque<std::size_t> queue_;
+  std::vector<int> attempts_;
+  std::vector<WorkerProc> workers_;
+  std::vector<std::string> args_;
+  std::vector<char*> argv_;
+  int outstanding_ = 0;
+  int completed_by_workers_ = 0;
+  int suspicious_deaths_ = 0;
+  bool degrade_ = false;
+};
+
+FarmRunner::FarmRunner(FarmOptions options) : options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.checkpoint_every < 1) options_.checkpoint_every = 1;
+  if (options_.max_retries < 0) options_.max_retries = 0;
+}
+
+FarmRunner::~FarmRunner() = default;
+
+std::size_t FarmRunner::add(std::string scenario_text, std::string label) {
+  // Validate on the submission thread, exactly like SweepRunner::add:
+  // a malformed job throws here, with the parser's line numbers, not
+  // inside a worker.
+  parse_scenario(scenario_text);
+  farm::FarmJob job;
+  job.id = jobs_.size();
+  job.label = std::move(label);
+  job.scenario_text = std::move(scenario_text);
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::vector<RunOutcome> FarmRunner::run() {
+  const std::size_t total = jobs_.size();
+  results_.assign(total, RunOutcome{});
+  done_.assign(total, 0);
+  executed_ = restored_ = respawns_ = retries_ = since_checkpoint_ = 0;
+  ran_in_process_ = false;
+  degrade_reason_.clear();
+
+  restore_checkpoint();
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (done_[i] == 0) queue.push_back(i);
+  }
+
+  if (!queue.empty()) {
+    bool in_process = options_.worker_path.empty();
+    if (in_process) {
+      if (degrade_reason_.empty()) degrade_reason_ = "no worker binary configured";
+    } else if (::access(options_.worker_path.c_str(), X_OK) != 0) {
+      in_process = true;
+      if (degrade_reason_.empty()) {
+        degrade_reason_ = "worker binary not executable: " + options_.worker_path;
+      }
+    }
+    if (!in_process) {
+      SigPipeGuard sigpipe;
+      Impl impl(*this, std::deque<std::size_t>(queue.begin(), queue.end()));
+      if (impl.run()) {
+        queue.clear();
+      } else {
+        // Degraded mid-batch: finish the undone jobs in-process.
+        in_process = true;
+        queue.clear();
+        for (std::size_t i = 0; i < total; ++i) {
+          if (done_[i] == 0) queue.push_back(i);
+        }
+      }
+    }
+    if (in_process) {
+      ran_in_process_ = true;
+      run_in_process(std::move(queue));
+    }
+  }
+
+  // Leave a complete checkpoint behind: re-running the same batch
+  // against it restores everything instead of simulating.
+  write_checkpoint();
+  std::vector<RunOutcome> outcomes = std::move(results_);
+  jobs_.clear();
+  results_.clear();
+  done_.clear();
+  return outcomes;
+}
+
+void FarmRunner::run_in_process(std::vector<std::size_t> queue) {
+  for (const std::size_t index : queue) {
+    const Scenario scenario = parse_scenario(jobs_[index].scenario_text);
+    results_[index] = run_scenario(scenario.spec, scenario.plans);
+    done_[index] = 1;
+    ++executed_;
+    after_job_completed();
+  }
+}
+
+void FarmRunner::after_job_completed() {
+  ++since_checkpoint_;
+  if (!options_.checkpoint_path.empty() && since_checkpoint_ >= options_.checkpoint_every) {
+    write_checkpoint();
+  }
+  if (options_.abort_after_completed >= 0 && executed_ >= options_.abort_after_completed) {
+    write_checkpoint();
+    throw FarmInterrupted("farm interrupted by abort_after_completed=" +
+                              std::to_string(options_.abort_after_completed) + " after " +
+                              std::to_string(executed_) + " completed job(s)",
+                          executed_);
+  }
+}
+
+void FarmRunner::write_checkpoint() {
+  if (options_.checkpoint_path.empty() || done_.empty()) return;
+  std::string bytes = farm::encode_frame(
+      farm::FrameType::kCheckpointHeader,
+      farm::encode_checkpoint_header({farm::batch_fingerprint(jobs_), jobs_.size()}));
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (done_[i] != 0) {
+      bytes += farm::encode_frame(farm::FrameType::kOutcome,
+                                  farm::encode_outcome(i, results_[i]));
+    }
+  }
+  // Atomic replace: a reader (or a crash) never sees a half-written
+  // checkpoint — corruption can only come from outside, and the
+  // restore path treats that as a clean restart.
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    KYOTO_CHECK_MSG(out.good(), "cannot write checkpoint: " << tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    KYOTO_CHECK_MSG(out.good(), "short checkpoint write: " << tmp);
+  }
+  KYOTO_CHECK_MSG(std::rename(tmp.c_str(), options_.checkpoint_path.c_str()) == 0,
+                  "cannot publish checkpoint: " << options_.checkpoint_path);
+  since_checkpoint_ = 0;
+}
+
+void FarmRunner::restore_checkpoint() {
+  if (options_.checkpoint_path.empty()) return;
+  std::ifstream in(options_.checkpoint_path, std::ios::binary);
+  if (!in.good()) return;  // no checkpoint yet: fresh sweep
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  // Validate the whole file before applying anything: a corrupt tail
+  // must not leave half a restore behind.
+  std::vector<farm::FarmOutcome> restored;
+  try {
+    farm::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    auto first = reader.next();
+    if (!first || first->type != farm::FrameType::kCheckpointHeader) {
+      throw farm::CodecError("checkpoint does not start with a header frame");
+    }
+    const farm::CheckpointHeader header = farm::decode_checkpoint_header(first->payload);
+    if (header.fingerprint != farm::batch_fingerprint(jobs_) ||
+        header.total_jobs != jobs_.size()) {
+      degrade_reason_ = "checkpoint ignored: written by a different job batch";
+      return;
+    }
+    while (auto frame = reader.next()) {
+      if (frame->type != farm::FrameType::kOutcome) {
+        throw farm::CodecError("unexpected frame type in checkpoint");
+      }
+      farm::FarmOutcome outcome = farm::decode_outcome(frame->payload);
+      if (outcome.id >= jobs_.size()) throw farm::CodecError("checkpoint job id out of range");
+      restored.push_back(std::move(outcome));
+    }
+    if (reader.buffered() != 0) throw farm::CodecError("truncated trailing frame");
+  } catch (const farm::CodecError& e) {
+    degrade_reason_ = std::string("checkpoint ignored (clean restart): ") + e.what();
+    return;
+  }
+  for (farm::FarmOutcome& outcome : restored) {
+    const auto index = static_cast<std::size_t>(outcome.id);
+    if (done_[index] == 0) ++restored_;
+    results_[index] = std::move(outcome.outcome);
+    done_[index] = 1;
+  }
+}
+
+std::string FarmRunner::default_worker_path(const char* argv0) {
+  if (const char* env = std::getenv("KYOTO_SWEEP_WORKER"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (argv0 == nullptr) return "";
+  const std::string self(argv0);
+  const auto slash = self.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  const std::string candidate = dir + "/sweep_worker";
+  return ::access(candidate.c_str(), X_OK) == 0 ? candidate : "";
+}
+
+}  // namespace kyoto::sim

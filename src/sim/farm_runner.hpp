@@ -1,0 +1,163 @@
+// Process-farm sweep execution: whole-job distribution across worker
+// processes, with checkpoint/resume.
+//
+// sim::SweepRunner shards a batch across threads of one process; the
+// FarmRunner is the next multiplier: a pull-based worker pool (in the
+// spirit of control-middleware job queues — workers pull jobs until
+// the queue drains) where each worker is a *separate process* running
+// the `sweep_worker` binary, fed (job) frames over stdin and answering
+// (outcome) frames over stdout in the wire format of
+// sim/farm_codec.hpp.  A file-pair form of the same protocol
+// (`sweep_worker --jobs F --results G`) extends the farm to other
+// hosts with nothing but file transfer.
+//
+// Jobs are declarative scenario texts (sim/scenario_file.hpp) because
+// a process boundary cannot ship std::function factories; the worker
+// parses the text back into the exact (RunSpec, VmPlans) the
+// coordinator would have built, so — the simulator being
+// deterministic — farm outcomes are byte-identical to the in-process
+// SweepRunner at every worker count, including under injected faults
+// (tests/sim/farm_fault_test.cpp is the gate).
+//
+// Robustness model (the point of the farm):
+//  * Dead workers (crash, SIGKILL, protocol garbage) are detected via
+//    pipe EOF / frame validation, reaped and respawned; their
+//    in-flight job is retried — a retry re-runs a deterministic
+//    simulation, so the eventual outcome is byte-identical.
+//  * Hung workers are detected by a per-job wall-clock timeout,
+//    killed, and handled like deaths.
+//  * Retries are bounded per job; a poisoned job (fails every
+//    attempt) fails the whole batch with a diagnosable error naming
+//    the job — never a hang, never a silently missing result.
+//  * If workers cannot be spawned at all, the batch degrades to
+//    in-process execution (same outcomes, no distribution).
+//  * Completed outcomes are periodically checkpointed to disk
+//    (atomic tmp+rename); an interrupted sweep resumed with the same
+//    job batch re-runs only the unfinished jobs.  A corrupt, partial
+//    or mismatched checkpoint is detected (checksummed frames +
+//    batch fingerprint) and ignored — clean restart, never UB.
+//
+// The coordinator is single-threaded (poll(2) over worker pipes), so
+// the farm composes with everything else: each worker process can
+// still use RunSpec::threads internally, and the coordinator can run
+// under TSAN/ASan without special-casing.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/farm_codec.hpp"
+
+namespace kyoto::sim {
+
+struct FarmOptions {
+  /// Worker processes to keep alive.  Values < 1 clamp to 1.
+  int workers = 1;
+  /// Path to the `sweep_worker` binary.  Empty = run in-process (the
+  /// degradation path, chosen up front).
+  std::string worker_path;
+  /// Extra argv entries passed to every worker after "--stdio" (the
+  /// fault-injection tests use this; real deployments leave it empty).
+  std::vector<std::string> worker_args;
+  /// Failed attempts tolerated per job beyond which the batch fails.
+  /// (A job may run up to max_retries + 1 times.)
+  int max_retries = 2;
+  /// Wall-clock seconds a worker may spend on one job before it is
+  /// declared hung and killed; 0 disables the timeout.
+  double job_timeout_s = 600.0;
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Completed jobs between checkpoint writes (>= 1).
+  int checkpoint_every = 8;
+  /// Test knob: after this many jobs complete in this run, write a
+  /// checkpoint and throw FarmInterrupted — simulates an interrupted
+  /// sweep deterministically.  < 0 disables.
+  int abort_after_completed = -1;
+};
+
+/// Thrown by the abort_after_completed test knob after the checkpoint
+/// is flushed; a new FarmRunner with the same jobs and checkpoint
+/// path resumes where this run stopped.
+class FarmInterrupted : public std::runtime_error {
+ public:
+  FarmInterrupted(const std::string& message, int completed)
+      : std::runtime_error(message), completed_(completed) {}
+  int completed() const { return completed_; }
+
+ private:
+  int completed_;
+};
+
+class FarmRunner {
+ public:
+  explicit FarmRunner(FarmOptions options);
+  ~FarmRunner();
+
+  FarmRunner(const FarmRunner&) = delete;
+  FarmRunner& operator=(const FarmRunner&) = delete;
+
+  const FarmOptions& options() const { return options_; }
+
+  /// Enqueues one scenario-text job; returns its index into the
+  /// vector run() returns.  The text is parsed here, on the
+  /// submission thread, so malformed jobs throw at add() rather than
+  /// inside a worker.
+  std::size_t add(std::string scenario_text, std::string label = "");
+
+  std::size_t pending() const { return jobs_.size(); }
+
+  /// Executes every pending job across the worker pool and returns
+  /// outcomes in submission order.  Clears the batch on success.
+  /// Throws FarmInterrupted for the abort_after_completed knob and
+  /// std::runtime_error when a job exhausts its retries or a worker
+  /// reports a deterministic error.
+  std::vector<RunOutcome> run();
+
+  // Accounting for the run() that last finished (or was interrupted).
+  /// Jobs simulated this run (by workers or in-process).
+  int jobs_executed() const { return executed_; }
+  /// Jobs satisfied from the checkpoint without re-running.
+  int jobs_restored() const { return restored_; }
+  /// Workers respawned after a death/kill/timeout.
+  int worker_respawns() const { return respawns_; }
+  /// Failed job attempts that were retried.
+  int job_retries() const { return retries_; }
+  /// True when the batch ran (or finished) in-process — either
+  /// requested (empty worker_path) or after spawning failed.
+  bool ran_in_process() const { return ran_in_process_; }
+  /// Human-readable reason when degradation or a checkpoint restart
+  /// happened; empty otherwise.
+  const std::string& degrade_reason() const { return degrade_reason_; }
+
+  /// Resolves the worker binary for a driver: $KYOTO_SWEEP_WORKER if
+  /// set, else a `sweep_worker` next to `argv0`, else "" (in-process).
+  static std::string default_worker_path(const char* argv0);
+
+ private:
+  struct WorkerProc;
+  class Impl;
+
+  void run_in_process(std::vector<std::size_t> queue);
+  void restore_checkpoint();
+  void write_checkpoint();
+  void after_job_completed();  // checkpoint cadence + abort knob
+
+  FarmOptions options_;
+  std::vector<farm::FarmJob> jobs_;
+
+  // Per-run state (reset by run()).
+  std::vector<RunOutcome> results_;
+  std::vector<char> done_;
+  int executed_ = 0;
+  int restored_ = 0;
+  int respawns_ = 0;
+  int retries_ = 0;
+  int since_checkpoint_ = 0;
+  bool ran_in_process_ = false;
+  std::string degrade_reason_;
+};
+
+}  // namespace kyoto::sim

@@ -63,6 +63,18 @@ std::size_t SweepRunner::add(RunSpec spec, std::vector<VmPlan> plans, HvObserver
   return jobs_.size() - 1;
 }
 
+std::size_t SweepRunner::add_completion(RunSpec spec, std::vector<VmPlan> plans,
+                                        std::size_t target, Tick max_ticks,
+                                        std::string label) {
+  KYOTO_CHECK_MSG(target < plans.size(), "completion target out of range");
+  KYOTO_CHECK_MSG(max_ticks > 0, "completion job needs max_ticks > 0");
+  const std::size_t index = add(std::move(spec), std::move(plans), std::move(label));
+  jobs_[index].completion = true;
+  jobs_[index].completion_target = target;
+  jobs_[index].completion_max_ticks = max_ticks;
+  return index;
+}
+
 std::size_t SweepRunner::add_solo(const RunSpec& spec, const WorkloadFactory& factory,
                                   const std::string& workload_id,
                                   const std::string& vm_name) {
@@ -123,7 +135,11 @@ std::vector<RunOutcome> SweepRunner::run() {
   const auto run_one = [&](std::size_t e) {
     const std::size_t job = execute[e];
     try {
-      executed[job] = run_scenario(jobs_[job].spec, jobs_[job].plans, jobs_[job].observe);
+      executed[job] =
+          jobs_[job].completion
+              ? run_to_completion(jobs_[job].spec, jobs_[job].plans,
+                                  jobs_[job].completion_target, jobs_[job].completion_max_ticks)
+              : run_scenario(jobs_[job].spec, jobs_[job].plans, jobs_[job].observe);
     } catch (...) {
       errors[e] = std::current_exception();
     }

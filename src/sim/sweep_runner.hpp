@@ -83,6 +83,16 @@ class SweepRunner {
   std::size_t add(RunSpec spec, std::vector<VmPlan> plans, HvObserver observe,
                   std::string label = "");
 
+  /// Enqueues a run-to-completion job (sim::run_to_completion): the
+  /// scenario runs until plan index `target` finishes one workload
+  /// run or `max_ticks` elapse, and the outcome carries only the
+  /// completion instant (completion_wall_cycles / completion_ms; vms
+  /// stays empty).  This is the Figs 8/12 job shape — execution-time
+  /// comparisons batch through the same lanes as windowed scenarios.
+  /// Never memoized and never observed.
+  std::size_t add_completion(RunSpec spec, std::vector<VmPlan> plans, std::size_t target,
+                             Tick max_ticks, std::string label = "");
+
   /// Enqueues a solo-baseline job (single VM named `vm_name`, pinned
   /// to core 0, exactly like run_solo) — always executed under the
   /// default scheduler; `spec.scheduler` is ignored (see header
@@ -124,6 +134,12 @@ class SweepRunner {
     /// Observer for instrumented jobs; null otherwise.  Never set on
     /// solo jobs (memoized outcomes could not replay the observation).
     HvObserver observe;
+    /// Run-to-completion jobs (add_completion): run until plan index
+    /// `completion_target` finishes one workload run, instead of the
+    /// warmup+measure window.
+    bool completion = false;
+    std::size_t completion_target = 0;
+    Tick completion_max_ticks = 0;
   };
 
   int lanes_ = 1;

@@ -1,0 +1,306 @@
+// FarmRunner acceptance gate: process-farm execution must be
+// *byte-identical* to the in-process SweepRunner — same RunOutcomes,
+// same submission order — at every worker count, through the in-process
+// degradation path, and across a checkpoint interrupt/resume split.
+// Exact equality by design; never weaken to tolerances.
+// (Fault-injection coverage lives in farm_fault_test.cpp.)
+#include "sim/farm_runner.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_file.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+/// The worker binary under test: ctest exports KYOTO_SWEEP_WORKER
+/// (see CMakeLists.txt); a sibling-path fallback keeps manual runs
+/// from the build directory working.
+std::string worker_path() {
+  if (const char* env = std::getenv("KYOTO_SWEEP_WORKER"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "./sweep_worker";
+}
+
+bool worker_available() { return ::access(worker_path().c_str(), X_OK) == 0; }
+
+/// Smallest interesting scenario: two VMs contending on a 1x2 machine
+/// under KS4Xen, a handful of ticks.  Parameterized so a batch of
+/// them exercises distinct simulations.
+std::string tiny_scenario(const std::string& app, int measure_ticks, int seed) {
+  return
+      "[machine]\n"
+      "topology = 1x2\n"
+      "scale = 64\n"
+      "\n"
+      "[scheduler]\n"
+      "kind = ks4xen\n"
+      "monitor = direct\n"
+      "punish = block\n"
+      "\n"
+      "[vm tenant]\n"
+      "app = " + app + "\n"
+      "cores = 0\n"
+      "llc_cap = 30\n"
+      "loop = true\n"
+      "\n"
+      "[vm noisy]\n"
+      "app = lbm\n"
+      "cores = 1\n"
+      "llc_cap = 30\n"
+      "loop = true\n"
+      "\n"
+      "[run]\n"
+      "warmup_ticks = 2\n"
+      "measure_ticks = " + std::to_string(measure_ticks) + "\n"
+      "seed = " + std::to_string(seed) + "\n";
+}
+
+std::vector<std::pair<std::string, std::string>> batch_jobs() {
+  std::vector<std::pair<std::string, std::string>> jobs;
+  int seed = 1;
+  for (const char* app : {"gcc", "mcf", "omnetpp"}) {
+    for (const int ticks : {5, 7}) {
+      jobs.emplace_back(std::string(app) + "/" + std::to_string(ticks),
+                        tiny_scenario(app, ticks, seed++));
+    }
+  }
+  return jobs;
+}
+
+/// The oracle: the same jobs through the in-process SweepRunner.
+std::vector<RunOutcome> sweep_reference(
+    const std::vector<std::pair<std::string, std::string>>& jobs) {
+  SweepRunner sweep(2);
+  for (const auto& [label, text] : jobs) {
+    const Scenario scenario = parse_scenario(text);
+    sweep.add(scenario.spec, scenario.plans, label);
+  }
+  return sweep.run();
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "farm_runner_" + name + "_" + std::to_string(::getpid()) + ".ckpt";
+}
+
+TEST(FarmRunner, MatchesSweepRunnerAtEveryWorkerCount) {
+  if (!worker_available()) GTEST_SKIP() << "sweep_worker not found at " << worker_path();
+  const auto jobs = batch_jobs();
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+  for (const int workers : {1, 2, 4}) {
+    FarmOptions options;
+    options.workers = workers;
+    options.worker_path = worker_path();
+    FarmRunner farm(options);
+    for (const auto& [label, text] : jobs) farm.add(text, label);
+    const std::vector<RunOutcome> outcomes = farm.run();
+    EXPECT_EQ(outcomes, expected) << "workers=" << workers;
+    EXPECT_FALSE(farm.ran_in_process()) << "workers=" << workers;
+    EXPECT_EQ(farm.jobs_executed(), static_cast<int>(jobs.size()));
+    EXPECT_EQ(farm.worker_respawns(), 0);
+    EXPECT_EQ(farm.job_retries(), 0);
+  }
+}
+
+TEST(FarmRunner, InProcessFallbackMatches) {
+  // An empty worker_path is the explicit "no distribution" form; the
+  // outcomes must be the same bytes.
+  const auto jobs = batch_jobs();
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+  FarmRunner farm(FarmOptions{});
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  EXPECT_EQ(farm.pending(), jobs.size());
+  const std::vector<RunOutcome> outcomes = farm.run();
+  EXPECT_EQ(outcomes, expected);
+  EXPECT_TRUE(farm.ran_in_process());
+  EXPECT_EQ(farm.pending(), 0u);  // batch cleared on success
+}
+
+TEST(FarmRunner, MissingWorkerBinaryDegradesGracefully) {
+  const auto jobs = batch_jobs();
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+  FarmOptions options;
+  options.workers = 3;
+  options.worker_path = "/nonexistent/path/to/sweep_worker";
+  FarmRunner farm(options);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  const std::vector<RunOutcome> outcomes = farm.run();
+  EXPECT_EQ(outcomes, expected);
+  EXPECT_TRUE(farm.ran_in_process());
+  EXPECT_FALSE(farm.degrade_reason().empty());
+}
+
+TEST(FarmRunner, AddRejectsMalformedScenarios) {
+  FarmRunner farm(FarmOptions{});
+  EXPECT_THROW(farm.add("this is not a scenario"), std::exception);
+  EXPECT_THROW(farm.add("[machine]\ntopology = 1x2\n"), std::exception);  // no [vm]
+  EXPECT_EQ(farm.pending(), 0u);
+}
+
+class FarmCheckpoint : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!ckpt_.empty()) {
+      std::remove(ckpt_.c_str());
+      std::remove((ckpt_ + ".tmp").c_str());
+    }
+  }
+
+  std::string ckpt_;
+};
+
+TEST_F(FarmCheckpoint, InterruptAndResumeIsExact) {
+  ckpt_ = temp_path("resume");
+  const auto jobs = batch_jobs();
+  const int total = static_cast<int>(jobs.size());
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+
+  // Phase 1: interrupt after K of N completed jobs (the test knob
+  // flushes a checkpoint before throwing, like a SIGTERM handler
+  // would).  In-process execution keeps completion order — and thus
+  // K's identity — deterministic.
+  constexpr int kInterruptAfter = 3;
+  FarmOptions interrupted;
+  interrupted.checkpoint_path = ckpt_;
+  interrupted.checkpoint_every = 1;
+  interrupted.abort_after_completed = kInterruptAfter;
+  {
+    FarmRunner farm(interrupted);
+    for (const auto& [label, text] : jobs) farm.add(text, label);
+    try {
+      farm.run();
+      FAIL() << "expected FarmInterrupted";
+    } catch (const FarmInterrupted& e) {
+      EXPECT_EQ(e.completed(), kInterruptAfter);
+    }
+  }
+
+  // Phase 2: a fresh runner with the same batch resumes — exactly
+  // N - K jobs simulate, the rest restore, and the merged result is
+  // the uninterrupted result, byte for byte.
+  FarmOptions resumed;
+  resumed.checkpoint_path = ckpt_;
+  FarmRunner farm(resumed);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  const std::vector<RunOutcome> outcomes = farm.run();
+  EXPECT_EQ(outcomes, expected);
+  EXPECT_EQ(farm.jobs_restored(), kInterruptAfter);
+  EXPECT_EQ(farm.jobs_executed(), total - kInterruptAfter);
+
+  // Phase 3: the post-success checkpoint is complete — a third run
+  // restores everything and simulates nothing.
+  FarmRunner again(resumed);
+  for (const auto& [label, text] : jobs) again.add(text, label);
+  EXPECT_EQ(again.run(), expected);
+  EXPECT_EQ(again.jobs_restored(), total);
+  EXPECT_EQ(again.jobs_executed(), 0);
+}
+
+TEST_F(FarmCheckpoint, WorkerResumeIsExact) {
+  if (!worker_available()) GTEST_SKIP() << "sweep_worker not found at " << worker_path();
+  ckpt_ = temp_path("worker_resume");
+  const auto jobs = batch_jobs();
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+
+  FarmOptions interrupted;
+  interrupted.workers = 2;
+  interrupted.worker_path = worker_path();
+  interrupted.checkpoint_path = ckpt_;
+  interrupted.checkpoint_every = 1;
+  interrupted.abort_after_completed = 2;
+  {
+    FarmRunner farm(interrupted);
+    for (const auto& [label, text] : jobs) farm.add(text, label);
+    EXPECT_THROW(farm.run(), FarmInterrupted);
+  }
+
+  FarmOptions resumed = interrupted;
+  resumed.abort_after_completed = -1;
+  FarmRunner farm(resumed);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  EXPECT_EQ(farm.run(), expected);
+  // With 2 workers the interrupt point is nondeterministic in *which*
+  // jobs finished, but the split must still account for every job
+  // exactly once.
+  EXPECT_GE(farm.jobs_restored(), 2);
+  EXPECT_EQ(farm.jobs_restored() + farm.jobs_executed(), static_cast<int>(jobs.size()));
+}
+
+TEST_F(FarmCheckpoint, CorruptCheckpointMeansCleanRestart) {
+  ckpt_ = temp_path("corrupt");
+  const auto jobs = batch_jobs();
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+  {
+    std::ofstream out(ckpt_, std::ios::binary);
+    out << "KYFM this was a checkpoint once, now it is soup";
+  }
+  FarmOptions options;
+  options.checkpoint_path = ckpt_;
+  FarmRunner farm(options);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  const std::vector<RunOutcome> outcomes = farm.run();
+  EXPECT_EQ(outcomes, expected);
+  EXPECT_EQ(farm.jobs_restored(), 0);
+  EXPECT_EQ(farm.jobs_executed(), static_cast<int>(jobs.size()));
+  EXPECT_NE(farm.degrade_reason().find("checkpoint ignored"), std::string::npos)
+      << farm.degrade_reason();
+}
+
+TEST_F(FarmCheckpoint, TruncatedCheckpointMeansCleanRestart) {
+  ckpt_ = temp_path("truncated");
+  const auto jobs = batch_jobs();
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+  // Produce a complete, valid checkpoint...
+  FarmOptions options;
+  options.checkpoint_path = ckpt_;
+  {
+    FarmRunner farm(options);
+    for (const auto& [label, text] : jobs) farm.add(text, label);
+    farm.run();
+  }
+  // ...then chop its tail, as a half-copied file would look.
+  {
+    std::ifstream in(ckpt_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 10u);
+    std::ofstream out(ckpt_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  FarmRunner farm(options);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  EXPECT_EQ(farm.run(), expected);
+  EXPECT_EQ(farm.jobs_restored(), 0);
+  EXPECT_NE(farm.degrade_reason().find("checkpoint ignored"), std::string::npos);
+}
+
+TEST_F(FarmCheckpoint, ForeignBatchCheckpointIsIgnored) {
+  ckpt_ = temp_path("foreign");
+  const auto jobs = batch_jobs();
+  // Checkpoint a different batch under the same path.
+  {
+    FarmOptions options;
+    options.checkpoint_path = ckpt_;
+    FarmRunner farm(options);
+    farm.add(tiny_scenario("hmmer", 4, 99), "other-batch");
+    farm.run();
+  }
+  const std::vector<RunOutcome> expected = sweep_reference(jobs);
+  FarmOptions options;
+  options.checkpoint_path = ckpt_;
+  FarmRunner farm(options);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+  EXPECT_EQ(farm.run(), expected);
+  EXPECT_EQ(farm.jobs_restored(), 0);  // fingerprint mismatch: nothing restored
+  EXPECT_NE(farm.degrade_reason().find("different job batch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kyoto::sim
