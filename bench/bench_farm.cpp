@@ -10,8 +10,19 @@
 // throughput per worker count is recorded in the JSON for the
 // trajectory but never gated — process spawn + pipe framing overhead
 // on tiny jobs is expected and documented.
+//
+// Phase 4 is the multi-host drill: the same batch through
+// sim::HostFarm across four simulated hosts — one killed mid-shard,
+// one corrupting its result files, one hung past the shard deadline,
+// one healthy — must converge byte-identical through quarantine and
+// shard redistribution.  Its per-host attempt/quarantine counters land
+// in the JSON (schema 2) and the structured farm report can be saved
+// with --report for CI artifacts.
+#include <sys/stat.h>
+
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,6 +31,7 @@
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/farm_runner.hpp"
+#include "sim/host_farm.hpp"
 #include "sim/scenario_file.hpp"
 #include "sim/sweep_runner.hpp"
 
@@ -98,6 +110,7 @@ FarmResult run_farm(const std::vector<std::pair<std::string, std::string>>& jobs
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_farm.json";
+  std::string report_path;
   std::string worker = sim::FarmRunner::default_worker_path(argv[0]);
   bool quick = bench::quick_mode();
   for (int i = 1; i < argc; ++i) {
@@ -110,10 +123,12 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--json") json_path = value();
+    else if (arg == "--report") report_path = value();
     else if (arg == "--worker") worker = value();
     else if (arg == "--quick") quick = true;
     else {
-      std::cerr << "usage: bench_farm [--json PATH] [--worker SWEEP_WORKER] [--quick]\n";
+      std::cerr << "usage: bench_farm [--json PATH] [--report PATH] "
+                   "[--worker SWEEP_WORKER] [--quick]\n";
       return 2;
     }
   }
@@ -169,6 +184,11 @@ int main(int argc, char** argv) {
     options.workers = 2;
     options.worker_path = worker;
     options.worker_args = {"--fault-kill-after", "2"};
+    // A worker that dies on every 2nd job can tax one retry per
+    // interleaved completion before a fresh respawn absorbs the job;
+    // budget one retry per job so the drill gates convergence, not
+    // scheduling luck.
+    options.max_retries = static_cast<int>(jobs.size());
     FarmResult r = run_farm(jobs, std::move(options));
     kill_agree = r.outcomes == expected;
     kill_respawns = r.respawns;
@@ -214,6 +234,50 @@ int main(int argc, char** argv) {
   }
   std::remove(ckpt.c_str());
 
+  // Phase 4: multi-host drill.  Four simulated hosts — one killed
+  // mid-shard, one corrupting result files, one hanging past the
+  // shard deadline, one healthy — must converge byte-identical via
+  // quarantine + redistribution.
+  bool multi_agree = true;
+  int multi_quarantines = 0;
+  int multi_host_failures = 0;
+  std::string farm_report;
+  std::vector<sim::HostStats> host_stats;
+  if (have_worker) {
+    const std::string host_dir = json_path + ".farm_hosts";
+    ::mkdir(host_dir.c_str(), 0755);
+    sim::HostFarmOptions options;
+    options.work_dir = host_dir;
+    options.jobs_per_shard = 1;
+    options.host_failure_budget = 1;
+    options.max_quarantines = 1;
+    options.backoff.base_s = 0.02;
+    options.shard_timeout_s = quick ? 1.5 : 4.0;
+    options.hosts.push_back(sim::HostSpec{"h-kill", worker, {"--fault-kill-after", "1"}});
+    options.hosts.push_back(
+        sim::HostSpec{"h-corrupt", worker, {"--fault-corrupt-results", "bitflip"}});
+    options.hosts.push_back(sim::HostSpec{"h-hang", worker, {"--fault-hang-after", "1"}});
+    options.hosts.push_back(sim::HostSpec{"h-ok", worker, {}});
+    sim::HostFarm hosts(options);
+    for (const auto& [label, text] : jobs) hosts.add(text, label);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes = hosts.run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    multi_agree = outcomes == expected && !hosts.degraded();
+    multi_quarantines = hosts.health()->quarantine_count();
+    multi_host_failures = hosts.host_failure_count();
+    farm_report = hosts.report();
+    host_stats = hosts.health()->all_stats();
+    all_ok &= multi_agree;
+    if (multi_agree) std::filesystem::remove_all(host_dir);  // keep shards on failure
+    table.add_row({"4 hosts + faults", fmt_double(seconds, 2),
+                   fmt_double(static_cast<double>(jobs.size()) / seconds, 2),
+                   std::to_string(hosts.shard_attempts()),
+                   std::to_string(multi_host_failures),
+                   multi_agree ? "exact" : "MISMATCH"});
+  }
+
   std::cout << "  " << jobs.size() << " jobs, 2+" << measure << " ticks each, worker: "
             << (have_worker ? worker : "(in-process)") << "\n\n"
             << table << '\n';
@@ -229,10 +293,16 @@ int main(int argc, char** argv) {
                              std::to_string(jobs.size()) +
                              " jobs, merged result byte-identical",
                          resume_agree);
+  if (have_worker) {
+    all_ok &= bench::check("multi-host drill: kill+corrupt+hang+ok hosts converge "
+                           "byte-identical (quarantines >= 1)",
+                           multi_agree && multi_quarantines >= 1 && multi_host_failures >= 3);
+  }
 
-  // JSON record for the trajectory (schema in README.md).
+  // JSON record for the trajectory (schema in README.md).  Schema 2
+  // adds the additive multi_host section with per-host counters.
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"farm\",\n  \"schema\": 1,\n"
+  json << "{\n  \"bench\": \"farm\",\n  \"schema\": 2,\n"
        << "  \"quick\": " << (quick ? "true" : "false")
        << ",\n  \"jobs\": " << jobs.size()
        << ",\n  \"worker_available\": " << (have_worker ? "true" : "false")
@@ -244,9 +314,29 @@ int main(int argc, char** argv) {
          << ", \"in_process\": " << (r.in_process ? "true" : "false") << "}"
          << (i + 1 == runs.size() ? "\n" : ",\n");
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"multi_host\": {\n"
+       << "    \"ran\": " << (have_worker ? "true" : "false")
+       << ",\n    \"agree\": " << (multi_agree ? "true" : "false")
+       << ",\n    \"host_failures\": " << multi_host_failures
+       << ",\n    \"quarantines\": " << multi_quarantines << ",\n    \"hosts\": [\n";
+  for (std::size_t i = 0; i < host_stats.size(); ++i) {
+    const sim::HostStats& h = host_stats[i];
+    json << "      {\"id\": \"" << h.id << "\", \"state\": \""
+         << sim::host_state_name(h.state) << "\", \"attempts\": " << h.shards_dispatched
+         << ", \"jobs_completed\": " << h.jobs_completed
+         << ", \"failures\": " << h.failures << ", \"quarantines\": " << h.quarantines
+         << "}" << (i + 1 == host_stats.size() ? "\n" : ",\n");
+  }
+  json << "    ]\n  }\n}\n";
   json.close();
   std::cout << "\n  JSON written to " << json_path << '\n';
+
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    report << (farm_report.empty() ? "multi-host drill skipped: sweep_worker not found\n"
+                                   : farm_report);
+    std::cout << "  farm report written to " << report_path << '\n';
+  }
 
   return bench::verdict(all_ok);
 }

@@ -4,6 +4,9 @@
 //   ./scenario_runner --lanes 4 fig6-*.kyoto            # sharded execution
 //   ./scenario_runner --workers 4 fig6-*.kyoto          # process farm
 //   ./scenario_runner --workers 4 --checkpoint sweep.ckpt fig6-*.kyoto
+//   ./scenario_runner --hosts 3 fig6-*.kyoto            # simulated multi-host farm
+//   ./scenario_runner --hosts 3 --split-jobs DIR fig6-*.kyoto   # write shard files
+//   ./scenario_runner --merge-results DIR fig6-*.kyoto          # merge them back
 //
 // Every scenario file is an independent job.  A multi-file invocation
 // runs as a sharded sweep (sim::SweepRunner, one private hypervisor
@@ -17,6 +20,11 @@
 // The scenario language covers the machine (topology, scale, optional
 // prefetcher/bus, LLC policy), the scheduler (all six variants, the
 // three monitors, both punish modes) and arbitrarily many VMs.
+#include <stdlib.h>
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,7 +32,9 @@
 
 #include "common/thread_pool.hpp"
 #include "sim/farm_runner.hpp"
+#include "sim/host_farm.hpp"
 #include "sim/scenario_file.hpp"
+#include "sim/shard_splitter.hpp"
 #include "sim/sweep_runner.hpp"
 
 using namespace kyoto;
@@ -71,7 +81,10 @@ measure_ticks = 90
 int main(int argc, char** argv) {
   int lanes = ThreadPool::hardware_lanes();
   int workers = 0;  // 0 = in-process SweepRunner; > 0 = process farm
+  int hosts = 0;    // > 0 = simulated multi-host farm (sim::HostFarm)
   std::string checkpoint;
+  std::string split_dir;
+  std::string merge_dir;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,20 +100,30 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
     };
+    auto string_value = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      *out = argv[++i];
+    };
     if (arg == "--lanes") {
       int_value(&lanes);
     } else if (arg == "--workers") {
       int_value(&workers);
+    } else if (arg == "--hosts") {
+      int_value(&hosts);
+    } else if (arg == "--split-jobs") {
+      string_value(&split_dir);
+    } else if (arg == "--merge-results") {
+      string_value(&merge_dir);
     } else if (arg == "--checkpoint") {
-      if (i + 1 >= argc) {
-        std::cerr << "--checkpoint needs a file path\n";
-        return 2;
-      }
-      checkpoint = argv[++i];
+      string_value(&checkpoint);
     } else if (arg == "--help" || arg == "-h") {
       std::cout
-          << "usage: scenario_runner [--lanes N | --workers N] [--checkpoint FILE]\n"
-             "                       [scenario.kyoto ...]\n"
+          << "usage: scenario_runner [--lanes N | --workers N | --hosts N]\n"
+             "                       [--checkpoint FILE] [--split-jobs DIR]\n"
+             "                       [--merge-results DIR] [scenario.kyoto ...]\n"
              "\n"
              "  --lanes N       execution lanes for the in-process sharded sweep\n"
              "                  (default: host CPU count; values < 1 clamp to 1 =\n"
@@ -111,9 +134,33 @@ int main(int argc, char** argv) {
              "                  retries.  Finds the worker via $KYOTO_SWEEP_WORKER\n"
              "                  or next to this binary; degrades to in-process\n"
              "                  execution (same results) when neither exists.\n"
-             "  --checkpoint F  with --workers: periodically checkpoint completed\n"
-             "                  outcomes to F; re-running the same invocation after\n"
-             "                  an interruption resumes instead of re-simulating.\n"
+             "  --hosts N       run the files as a simulated multi-host farm: the\n"
+             "                  batch is split into shards, each executed by a\n"
+             "                  `sweep_worker --jobs F --results G` process posing\n"
+             "                  as one of N hosts, with per-host retry budgets,\n"
+             "                  quarantine/backoff and shard redistribution.\n"
+             "                  Prints the farm report after the run.\n"
+             "  --split-jobs DIR\n"
+             "                  with --hosts N: do not run anything; write one job\n"
+             "                  file per shard plus manifest.kyfm into DIR and\n"
+             "                  print, per shard, the worker command its host\n"
+             "                  should run.  Ship each job file to its host, run\n"
+             "                  the printed command, ship the result files back.\n"
+             "  --merge-results DIR\n"
+             "                  validate every shard result file in DIR against\n"
+             "                  its manifest and, only if ALL of them check out,\n"
+             "                  print the merged reports (submission order).  A\n"
+             "                  missing/corrupt/foreign/incomplete shard is\n"
+             "                  diagnosed per host and exits 1.  The same\n"
+             "                  scenario files must be passed again (the manifest\n"
+             "                  fingerprint binds the exact batch).\n"
+             "  --checkpoint F  with --workers or --hosts: periodically checkpoint\n"
+             "                  completed outcomes to F; re-running the same\n"
+             "                  invocation after an interruption resumes instead\n"
+             "                  of re-simulating.  With --hosts the checkpoint\n"
+             "                  also records shard owners, so a resume first\n"
+             "                  re-collects result files finished while the\n"
+             "                  coordinator was down.\n"
              "\n"
              "Each scenario file runs on its own private hypervisor, so reports\n"
              "are byte-identical at any lane or worker count and always print in\n"
@@ -142,7 +189,102 @@ int main(int argc, char** argv) {
     std::vector<sim::Scenario> scenarios;
     scenarios.reserve(paths.size());
     std::vector<sim::RunOutcome> outcomes;
-    if (workers > 0) {
+
+    auto read_text = [](const std::string& path) {
+      std::ifstream in(path);
+      if (!in.good()) throw std::runtime_error("cannot open scenario file: " + path);
+      return std::string((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    };
+    // The multi-host modes all speak FarmJobs: id = argument position,
+    // label = path, payload = the raw file text (the worker re-parses).
+    auto build_jobs = [&]() {
+      std::vector<sim::farm::FarmJob> jobs;
+      jobs.reserve(paths.size());
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        std::string text = read_text(paths[i]);
+        scenarios.push_back(sim::parse_scenario(text));
+        sim::farm::FarmJob job;
+        job.id = i;
+        job.label = paths[i];
+        job.scenario_text = std::move(text);
+        jobs.push_back(std::move(job));
+      }
+      return jobs;
+    };
+
+    if (!split_dir.empty()) {
+      if (hosts < 1) {
+        std::cerr << "--split-jobs needs --hosts N (N >= 1)\n";
+        return 2;
+      }
+      const std::vector<sim::farm::FarmJob> jobs = build_jobs();
+      std::vector<std::string> host_ids;
+      for (int h = 0; h < hosts; ++h) host_ids.push_back("host" + std::to_string(h));
+      const sim::farm::ShardManifest manifest = sim::split_batch(jobs, host_ids);
+      sim::write_shard_files(split_dir, manifest, jobs);
+      std::cout << "Wrote " << manifest.shards.size() << " shard(s) + manifest.kyfm to "
+                << split_dir << "\n\n";
+      for (const sim::farm::HostShard& shard : manifest.shards) {
+        std::cout << shard.host_id << ":  sweep_worker --jobs " << split_dir << '/'
+                  << shard.job_file << " --results " << split_dir << '/' << shard.result_file
+                  << "   # " << shard.job_ids.size() << " job(s)\n";
+      }
+      std::cout << "\nShip each job file to its host, run the printed command there, ship\n"
+                   "the result files back into "
+                << split_dir << ", then:\n  scenario_runner --merge-results " << split_dir
+                << " <the same scenario files>\n";
+      return 0;
+    }
+
+    if (!merge_dir.empty()) {
+      const std::vector<sim::farm::FarmJob> jobs = build_jobs();
+      sim::farm::ShardManifest manifest;
+      try {
+        manifest = sim::farm::read_manifest_file(sim::manifest_path(merge_dir));
+      } catch (const sim::farm::CodecError& e) {
+        std::cerr << "error: cannot parse manifest " << sim::manifest_path(merge_dir) << ": "
+                  << e.what() << '\n';
+        return 1;
+      }
+      if (manifest.fingerprint != sim::farm::batch_fingerprint(jobs) ||
+          manifest.total_jobs != jobs.size()) {
+        std::cerr << "error: these scenario files are not the batch '"
+                  << sim::manifest_path(merge_dir) << "' was split from\n";
+        return 1;
+      }
+      const sim::MergeReport merged = sim::merge_results(manifest, merge_dir);
+      std::cout << merged.summary() << '\n';
+      if (!merged.complete) return 1;
+      outcomes = merged.outcomes;
+    } else if (hosts > 0) {
+      const std::string worker = sim::FarmRunner::default_worker_path(argv[0]);
+      sim::HostFarmOptions options;
+      if (worker.empty()) {
+        std::cout << "note: no sweep_worker found ($KYOTO_SWEEP_WORKER or next to this "
+                     "binary); running in-process\n";
+      } else {
+        for (int h = 0; h < hosts; ++h) {
+          options.hosts.push_back(
+              sim::HostSpec{"host" + std::to_string(h), worker, {}});
+        }
+      }
+      char work_template[] = "/tmp/scenario_runner_farm.XXXXXX";
+      const char* work = ::mkdtemp(work_template);
+      if (work == nullptr) {
+        std::cerr << "error: cannot create farm work dir: " << std::strerror(errno) << '\n';
+        return 1;
+      }
+      options.work_dir = work;
+      options.checkpoint_path = checkpoint;
+      sim::HostFarm farm(options);
+      const std::vector<sim::farm::FarmJob> jobs = build_jobs();
+      for (const sim::farm::FarmJob& job : jobs) farm.add(job.scenario_text, job.label);
+      std::cout << "Running " << paths.size() << " scenario(s) across " << hosts
+                << " simulated host(s) (shards under " << options.work_dir << ")...\n";
+      outcomes = farm.run();
+      std::cout << '\n' << farm.report() << '\n';
+    } else if (workers > 0) {
       sim::FarmOptions options;
       options.workers = workers;
       options.worker_path = sim::FarmRunner::default_worker_path(argv[0]);

@@ -10,13 +10,20 @@
 //
 //   sweep_worker --jobs FILE --results FILE
 //       File-pair transport for hosts that only share files: reads a
-//       job file, executes every job, writes the result file.
+//       job file, executes every job, writes the result file.  In
+//       this mode the result file IS the reply stream: a
+//       deterministic job failure becomes an error frame *inside* the
+//       result file (exit 0), so a multi-host coordinator
+//       (sim/host_farm.hpp) can tell "this job is poisoned" from
+//       "this host is broken".
 //
 // The --fault-* flags inject failures for the farm's fault-tolerance
-// tests (tests/sim/farm_fault_test.cpp); production sweeps never pass
-// them.  "after N" counts jobs handled by THIS process (a respawned
-// worker starts over), "on-label L" poisons a specific job on every
-// attempt.
+// tests (tests/sim/farm_fault_test.cpp, farm_host_test.cpp);
+// production sweeps never pass them.  "after N" counts jobs handled
+// by THIS process (a respawned worker starts over), "on-label L"
+// poisons a specific job on every attempt, and --fault-corrupt-results
+// damages the finished result file (truncate | bitflip) to simulate a
+// host with bad disks or a lossy transfer.
 #include <signal.h>
 #include <unistd.h>
 
@@ -25,6 +32,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -44,6 +52,7 @@ struct FaultPlan {
   std::string kill_on_label;
   std::string hang_on_label;
   std::string error_on_label;
+  std::string corrupt_results;  // "" | "truncate" | "bitflip" (file mode)
 };
 
 bool write_all(int fd, const std::string& bytes) {
@@ -142,34 +151,56 @@ int run_stdio(const FaultPlan& fault) {
   }
 }
 
+bool write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good();
+}
+
 int run_files(const std::string& jobs_path, const std::string& results_path,
               const FaultPlan& fault) {
+  std::vector<farm::FarmJob> jobs;
   try {
-    const std::vector<farm::FarmJob> jobs = farm::read_job_file(jobs_path);
-    std::vector<farm::FarmOutcome> results;
-    results.reserve(jobs.size());
-    int handled = 0;
-    for (const farm::FarmJob& job : jobs) {
-      ++handled;
-      if (auto injected = inject(fault, handled, job)) {
-        // File transport has no stream to pollute; injected replies
-        // (garbage/error) become a hard failure here.
-        std::fprintf(stderr, "sweep_worker: injected fault on job #%llu '%s'\n",
-                     static_cast<unsigned long long>(job.id), job.label.c_str());
-        return 1;
-      }
-      const kyoto::sim::Scenario scenario = kyoto::sim::parse_scenario(job.scenario_text);
-      farm::FarmOutcome result;
-      result.id = job.id;
-      result.outcome = kyoto::sim::run_scenario(scenario.spec, scenario.plans);
-      results.push_back(std::move(result));
-    }
-    farm::write_result_file(results_path, results);
-    return 0;
+    jobs = farm::read_job_file(jobs_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_worker: %s\n", e.what());
     return 1;
   }
+  // The result file is the reply stream: outcome frames, or an error
+  // frame for a deterministic job failure (then stop — the rest of
+  // the shard is moot), or injected garbage.  Exit 0 either way; a
+  // non-zero exit means the *worker* broke, not a job.
+  std::string bytes;
+  int handled = 0;
+  for (const farm::FarmJob& job : jobs) {
+    ++handled;
+    if (auto injected = inject(fault, handled, job)) {
+      // kill/hang never return from inject(); what comes back here is
+      // garbage or an error frame — both end the shard's stream.
+      bytes += *injected;
+      break;
+    }
+    const std::string reply = execute(job);
+    bytes += reply;
+    // execute() frames deterministic failures as error frames; detect
+    // by re-reading our own frame type (byte 6..7, little-endian).
+    if (reply.size() >= 8 &&
+        static_cast<unsigned char>(reply[6]) == static_cast<unsigned>(farm::FrameType::kError)) {
+      break;
+    }
+  }
+  if (fault.corrupt_results == "truncate" && bytes.size() > 7) {
+    bytes.resize(bytes.size() - 7);  // cut into the trailing checksum
+  } else if (fault.corrupt_results == "bitflip" && !bytes.empty()) {
+    bytes[bytes.size() / 2] ^= 0x20;  // checksum mismatch on read
+  }
+  if (!write_file(results_path, bytes)) {
+    std::fprintf(stderr, "sweep_worker: cannot write %s\n", results_path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 void usage(const char* argv0) {
@@ -184,7 +215,11 @@ void usage(const char* argv0) {
                "  --fault-hang-after N     hang on the Nth handled job\n"
                "  --fault-kill-on-label L  SIGKILL self whenever job L is handled\n"
                "  --fault-hang-on-label L  hang whenever job L is handled\n"
-               "  --fault-error-on-label L answer job L with an error frame\n",
+               "  --fault-error-on-label L answer job L with an error frame\n"
+               "  --fault-corrupt-results MODE\n"
+               "                           damage the result file (file mode only):\n"
+               "                           truncate = cut the trailing frame short,\n"
+               "                           bitflip  = flip one payload bit (bad checksum)\n",
                argv0, argv0, static_cast<unsigned>(farm::kWireVersion));
 }
 
@@ -222,6 +257,12 @@ int main(int argc, char** argv) {
       fault.hang_on_label = value();
     } else if (arg == "--fault-error-on-label") {
       fault.error_on_label = value();
+    } else if (arg == "--fault-corrupt-results") {
+      fault.corrupt_results = value();
+      if (fault.corrupt_results != "truncate" && fault.corrupt_results != "bitflip") {
+        std::fprintf(stderr, "sweep_worker: --fault-corrupt-results wants truncate|bitflip\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;

@@ -114,6 +114,16 @@ VmMetrics get_metrics(Reader& in) {
   return m;
 }
 
+void write_bytes_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw CodecError("cannot open file for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) throw CodecError("short write to " + path);
+}
+
+}  // namespace
+
 /// Shared tail of the file readers: feed the whole file through a
 /// FrameReader and require it to end exactly on a frame boundary.
 std::vector<Frame> read_frame_file(const std::string& path) {
@@ -131,16 +141,6 @@ std::vector<Frame> read_frame_file(const std::string& path) {
   }
   return frames;
 }
-
-void write_bytes_file(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) throw CodecError("cannot open file for writing: " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out.good()) throw CodecError("short write to " + path);
-}
-
-}  // namespace
 
 std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
   std::uint64_t h = seed;
@@ -240,6 +240,76 @@ CheckpointHeader decode_checkpoint_header(std::string_view payload) {
   return header;
 }
 
+std::string encode_manifest(const ShardManifest& manifest) {
+  std::string out;
+  put_u64(out, manifest.fingerprint);
+  put_u64(out, manifest.total_jobs);
+  put_u64(out, manifest.shards.size());
+  for (const HostShard& shard : manifest.shards) {
+    if (shard.labels.size() != shard.job_ids.size()) {
+      throw CodecError("shard labels/job_ids size mismatch in manifest");
+    }
+    put_string(out, shard.host_id);
+    put_string(out, shard.job_file);
+    put_string(out, shard.result_file);
+    put_u64(out, shard.job_ids.size());
+    for (std::size_t i = 0; i < shard.job_ids.size(); ++i) {
+      put_u64(out, shard.job_ids[i]);
+      put_string(out, shard.labels[i]);
+    }
+  }
+  return out;
+}
+
+ShardManifest decode_manifest(std::string_view payload) {
+  Reader in(payload);
+  ShardManifest manifest;
+  manifest.fingerprint = in.u64();
+  manifest.total_jobs = in.u64();
+  const std::uint64_t shards = in.u64();
+  if (shards > kMaxPayload) throw CodecError("decoded shard count exceeds limit");
+  manifest.shards.reserve(static_cast<std::size_t>(shards));
+  for (std::uint64_t s = 0; s < shards; ++s) {
+    HostShard shard;
+    shard.host_id = in.str();
+    shard.job_file = in.str();
+    shard.result_file = in.str();
+    const std::uint64_t n = in.u64();
+    if (n > kMaxPayload) throw CodecError("decoded shard job count exceeds limit");
+    shard.job_ids.reserve(static_cast<std::size_t>(n));
+    shard.labels.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      shard.job_ids.push_back(in.u64());
+      shard.labels.push_back(in.str());
+    }
+    manifest.shards.push_back(std::move(shard));
+  }
+  in.finish();
+  return manifest;
+}
+
+std::string encode_shard_owner(const ShardOwner& owner) {
+  std::string out;
+  put_string(out, owner.host_id);
+  put_string(out, owner.result_file);
+  put_u64(out, owner.job_ids.size());
+  for (const std::uint64_t id : owner.job_ids) put_u64(out, id);
+  return out;
+}
+
+ShardOwner decode_shard_owner(std::string_view payload) {
+  Reader in(payload);
+  ShardOwner owner;
+  owner.host_id = in.str();
+  owner.result_file = in.str();
+  const std::uint64_t n = in.u64();
+  if (n > kMaxPayload) throw CodecError("decoded owner job count exceeds limit");
+  owner.job_ids.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) owner.job_ids.push_back(in.u64());
+  in.finish();
+  return owner;
+}
+
 void FrameReader::feed(const char* data, std::size_t n) {
   // Compact lazily: once consumed frames dominate the buffer, drop
   // their bytes so a long-lived stream doesn't grow without bound.
@@ -270,7 +340,7 @@ std::optional<Frame> FrameReader::next() {
                      std::to_string(kWireVersion) + ")");
   }
   const std::uint16_t type = header.u16();
-  if (type < 1 || type > 4) throw CodecError("unknown frame type " + std::to_string(type));
+  if (type < 1 || type > 6) throw CodecError("unknown frame type " + std::to_string(type));
   const std::uint64_t len = header.u64();
   if (len > kMaxPayload) throw CodecError("frame payload length exceeds limit");
   const std::size_t frame_bytes = kHeaderBytes + static_cast<std::size_t>(len) + kChecksumBytes;
@@ -329,6 +399,19 @@ std::vector<FarmOutcome> read_result_file(const std::string& path) {
     results.push_back(decode_outcome(frame.payload));
   }
   return results;
+}
+
+void write_manifest_file(const std::string& path, const ShardManifest& manifest) {
+  write_bytes_file(path, encode_frame(FrameType::kHostManifest, encode_manifest(manifest)));
+}
+
+ShardManifest read_manifest_file(const std::string& path) {
+  const std::vector<Frame> frames = read_frame_file(path);
+  if (frames.size() != 1 || frames[0].type != FrameType::kHostManifest) {
+    throw CodecError("manifest file " + path +
+                     " must contain exactly one host-manifest frame");
+  }
+  return decode_manifest(frames[0].payload);
 }
 
 }  // namespace kyoto::sim::farm

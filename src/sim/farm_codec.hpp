@@ -62,6 +62,12 @@ enum class FrameType : std::uint16_t {
   kOutcome = 2,            // worker -> coordinator: the RunOutcome
   kError = 3,              // worker -> coordinator: deterministic failure
   kCheckpointHeader = 4,   // first frame of a checkpoint file
+  // Multi-host extension (additive: types 1-4 keep their v1 byte
+  // layout, pinned by the goldens; a build that predates these types
+  // rejects them loudly — an unreadable checkpoint restarts cleanly,
+  // an unreadable manifest/stream fails with "unknown frame type").
+  kHostManifest = 5,       // shard-splitter manifest (one frame per file)
+  kShardOwner = 6,         // checkpoint extension: who owns an outstanding shard
 };
 
 struct Frame {
@@ -101,6 +107,45 @@ struct CheckpointHeader {
   std::uint64_t total_jobs = 0;
 };
 
+/// One shard of a split batch: the host it is (initially) assigned to,
+/// the job/result file names (relative to the manifest's directory),
+/// and the submission indices + labels it carries.  Labels ride along
+/// so a merge failure can name jobs without re-reading the job file.
+struct HostShard {
+  std::string host_id;
+  std::string job_file;
+  std::string result_file;
+  std::vector<std::uint64_t> job_ids;
+  std::vector<std::string> labels;  // parallel to job_ids
+
+  bool operator==(const HostShard&) const = default;
+};
+
+/// The shard splitter's output: which host owns which slice of the
+/// batch, bound to the exact batch by the same fingerprint the
+/// checkpoint header uses.  Serialized as a single kHostManifest
+/// frame (write_manifest_file / read_manifest_file).
+struct ShardManifest {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t total_jobs = 0;
+  std::vector<HostShard> shards;
+
+  bool operator==(const ShardManifest&) const = default;
+};
+
+/// Checkpoint extension (frame type kShardOwner): records that a
+/// dispatched shard is outstanding on `host_id`, expected to produce
+/// `result_file` covering exactly `job_ids`.  An interrupted
+/// coordinator resumes by *re-collecting* such result files from
+/// still-live hosts instead of re-running their jobs.
+struct ShardOwner {
+  std::string host_id;
+  std::string result_file;
+  std::vector<std::uint64_t> job_ids;
+
+  bool operator==(const ShardOwner&) const = default;
+};
+
 /// FNV-1a 64 over `bytes`, continuing from `seed` (chainable).
 std::uint64_t fnv1a(std::string_view bytes,
                     std::uint64_t seed = 14695981039346656037ull);
@@ -118,6 +163,10 @@ std::string encode_error(std::uint64_t job_id, const std::string& message);
 FarmError decode_error(std::string_view payload);
 std::string encode_checkpoint_header(const CheckpointHeader& header);
 CheckpointHeader decode_checkpoint_header(std::string_view payload);
+std::string encode_manifest(const ShardManifest& manifest);
+ShardManifest decode_manifest(std::string_view payload);
+std::string encode_shard_owner(const ShardOwner& owner);
+ShardOwner decode_shard_owner(std::string_view payload);
 
 /// Incremental frame decoder for a byte stream delivered in arbitrary
 /// chunks (pipe reads).  feed() appends bytes; next() returns the
@@ -150,5 +199,16 @@ void write_job_file(const std::string& path, const std::vector<FarmJob>& jobs);
 std::vector<FarmJob> read_job_file(const std::string& path);
 void write_result_file(const std::string& path, const std::vector<FarmOutcome>& results);
 std::vector<FarmOutcome> read_result_file(const std::string& path);
+
+/// Reads a whole frame file (any mix of frame types), rejecting
+/// truncation and corruption.  The merge path uses this instead of
+/// read_result_file so a worker-side deterministic failure (an error
+/// frame inside the result file) is diagnosable rather than merely
+/// "corrupt".
+std::vector<Frame> read_frame_file(const std::string& path);
+
+/// Shard-splitter manifest: one kHostManifest frame per file.
+void write_manifest_file(const std::string& path, const ShardManifest& manifest);
+ShardManifest read_manifest_file(const std::string& path);
 
 }  // namespace kyoto::sim::farm

@@ -13,7 +13,9 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -66,6 +68,8 @@ struct FarmRunner::WorkerProc {
   Clock::time_point deadline{};
   int completed = 0;     // jobs this process finished
   bool ever_up = false;  // slot has spawned at least once
+  int deaths = 0;        // consecutive deaths (reset by a completed job)
+  Clock::time_point not_before{};  // respawn backoff gate
 
   bool live() const { return pid > 0; }
 };
@@ -104,7 +108,13 @@ class FarmRunner::Impl {
       spawn_and_assign();
       if (degrade_) return false;
       if (live_count() == 0) {
-        // spawn_and_assign either filled a slot, degraded, or failed.
+        // Every slot is either waiting out its respawn backoff or
+        // unspawnable.  Sleep toward the earliest gate; with no gate
+        // pending, spawn_and_assign really failed.
+        if (const auto wake = earliest_backoff()) {
+          std::this_thread::sleep_until(*wake);
+          continue;
+        }
         fail("no live workers and jobs remain");
       }
       pump();
@@ -119,9 +129,19 @@ class FarmRunner::Impl {
     return n;
   }
 
+  std::optional<Clock::time_point> earliest_backoff() const {
+    std::optional<Clock::time_point> wake;
+    const auto now = Clock::now();
+    for (const WorkerProc& w : workers_) {
+      if (w.live() || w.not_before <= now) continue;
+      if (!wake || w.not_before < *wake) wake = w.not_before;
+    }
+    return wake;
+  }
+
   void spawn_and_assign() {
     for (WorkerProc& w : workers_) {
-      if (!w.live() && !queue_.empty()) {
+      if (!w.live() && !queue_.empty() && Clock::now() >= w.not_before) {
         if (!spawn(w)) {
           if (completed_by_workers_ == 0) {
             degrade("cannot spawn worker process: " + std::string(std::strerror(errno)));
@@ -285,6 +305,7 @@ class FarmRunner::Impl {
       const int job = w.job;
       w.job = -1;
       ++w.completed;
+      w.deaths = 0;  // a finished job proves the slot healthy again
       ++completed_by_workers_;
       --outstanding_;
       r_.results_[static_cast<std::size_t>(job)] = std::move(outcome.outcome);
@@ -299,6 +320,15 @@ class FarmRunner::Impl {
     const bool suspicious = w.completed == 0;
     kill_and_reap(w);
     if (suspicious) ++suspicious_deaths_;
+    // Exponential respawn backoff, jitter-keyed on the slot index so
+    // a pool of dying workers never respawns in lockstep.
+    const auto slot = static_cast<std::uint64_t>(&w - workers_.data());
+    const double delay = r_.options_.respawn_backoff.delay_s(w.deaths, slot);
+    ++w.deaths;
+    if (delay > 0) {
+      w.not_before = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(delay));
+    }
     // A binary that dies before ever finishing a job — exec failure,
     // wrong architecture, immediate crash — would otherwise burn every
     // job's retry budget; degrade to in-process instead.  Once any
@@ -514,6 +544,14 @@ void FarmRunner::restore_checkpoint() {
       return;
     }
     while (auto frame = reader.next()) {
+      if (frame->type == farm::FrameType::kShardOwner) {
+        // A HostFarm checkpoint (owner-aware extension): the outcome
+        // frames restore as usual; the owner record is validated but
+        // ignored — this runner has no shard files to re-collect, so
+        // the owned jobs simply re-run.
+        farm::decode_shard_owner(frame->payload);
+        continue;
+      }
       if (frame->type != farm::FrameType::kOutcome) {
         throw farm::CodecError("unexpected frame type in checkpoint");
       }

@@ -50,6 +50,7 @@
 
 #include "sim/experiment.hpp"
 #include "sim/farm_codec.hpp"
+#include "sim/host_health.hpp"
 
 namespace kyoto::sim {
 
@@ -76,6 +77,12 @@ struct FarmOptions {
   /// checkpoint and throw FarmInterrupted — simulates an interrupted
   /// sweep deterministically.  < 0 disables.
   int abort_after_completed = -1;
+  /// Backoff between worker respawns after a death/kill/timeout:
+  /// exponential in the slot's consecutive deaths (reset by a
+  /// completed job), with deterministic seeded jitter keyed on the
+  /// slot index so a pool never respawns in lockstep.  base_s <= 0
+  /// disables the delay (the pre-backoff behavior).
+  BackoffPolicy respawn_backoff;
 };
 
 /// Thrown by the abort_after_completed test knob after the checkpoint

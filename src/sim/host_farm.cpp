@@ -1,0 +1,563 @@
+#include "sim/host_farm.hpp"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/scenario_file.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "worker exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "worker killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "worker ended with unrecognized status";
+}
+
+/// One in-flight shard: the child process executing it and the
+/// deadline after which the owning host counts as hung.
+struct Dispatch {
+  std::size_t shard = 0;  // index into the run's manifest
+  int host = -1;
+  pid_t pid = -1;
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+};
+
+/// Everything the dispatch engine needs from the coordinator, as
+/// callbacks — keeps the engine free of HostFarm internals.
+struct DispatchCallbacks {
+  std::function<double()> now_s;
+  std::function<void(const farm::HostShard&, const ShardCollect&)> apply;
+  std::function<void()> after_shard;  // may throw (abort knob)
+  std::function<void(std::string)> degrade;
+  std::function<void()> on_attempt;
+  std::function<void()> on_host_failure;
+  std::function<void(const std::string&)> on_deterministic;  // throws
+  std::function<void(std::vector<farm::ShardOwner>)> sync_inflight;
+};
+
+/// The per-run dispatch engine.  Owns the child pids it spawns; the
+/// destructor kills and reaps them (unless released for the
+/// orphan-on-abort drill), so a thrown batch error never leaks
+/// processes.
+class DispatchLoop {
+ public:
+  DispatchLoop(const HostFarmOptions& options, HostHealthTracker& health,
+               const farm::ShardManifest& manifest, DispatchCallbacks cb)
+      : options_(options), health_(health), manifest_(manifest), cb_(std::move(cb)) {
+    for (std::size_t s = 0; s < manifest_.shards.size(); ++s) queue_.push_back(s);
+    busy_.assign(options_.hosts.size(), false);
+  }
+
+  ~DispatchLoop() {
+    if (orphaned_) return;
+    for (const Dispatch& d : running_) {
+      ::kill(d.pid, SIGKILL);
+      int status = 0;
+      while (::waitpid(d.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+
+  void run() {
+    while (!queue_.empty() || !running_.empty()) {
+      assign();
+      if (running_.empty()) {
+        if (queue_.empty()) break;
+        if (health_.all_retired()) {
+          cb_.degrade("every host is retired (budgets burned) with " +
+                      std::to_string(queue_.size()) + " shard(s) outstanding");
+          return;
+        }
+        // Everyone is quarantined: sleep toward the earliest re-entry
+        // (bounded, so a clock hiccup can't wedge the coordinator).
+        const double wake = health_.next_available_s();
+        const double now = cb_.now_s();
+        const double sleep_s = std::min(std::max(wake - now, 0.001), 0.25);
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+        continue;
+      }
+      poll_children();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  /// Abort-knob support: leave the children running (they will finish
+  /// their result files on their own) instead of killing them.
+  void orphan_children() { orphaned_ = true; }
+
+ private:
+  /// Owner records for the shards currently in flight (checkpointed so
+  /// a resume can re-collect their result files).
+  std::vector<farm::ShardOwner> inflight_owners() const {
+    std::vector<farm::ShardOwner> owners;
+    for (const Dispatch& d : running_) {
+      const farm::HostShard& shard = manifest_.shards[d.shard];
+      owners.push_back(farm::ShardOwner{options_.hosts[static_cast<std::size_t>(d.host)].id,
+                                        shard.result_file, shard.job_ids});
+    }
+    return owners;
+  }
+
+  void assign() {
+    for (std::size_t h = 0; h < options_.hosts.size(); ++h) {
+      if (queue_.empty()) return;
+      if (busy_[h] || !health_.usable(static_cast<int>(h), cb_.now_s())) continue;
+      // Prefer a shard whose manifest assignment is this host; taking
+      // any other shard is the redistribution path.
+      std::size_t pick = 0;
+      bool affinity = false;
+      for (std::size_t q = 0; q < queue_.size(); ++q) {
+        if (manifest_.shards[queue_[q]].host_id == options_.hosts[h].id) {
+          pick = q;
+          affinity = true;
+          break;
+        }
+      }
+      const std::size_t shard = queue_[pick];
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (!affinity) {
+        health_.note(cb_.now_s(), options_.hosts[h].id, "redistribute",
+                     manifest_.shards[shard].job_file + " (originally " +
+                         manifest_.shards[shard].host_id + ")");
+      }
+      dispatch(shard, static_cast<int>(h));
+    }
+  }
+
+  void dispatch(std::size_t shard_index, int host) {
+    const farm::HostShard& shard = manifest_.shards[shard_index];
+    const HostSpec& spec = options_.hosts[static_cast<std::size_t>(host)];
+    const std::string job_path = options_.work_dir + "/" + shard.job_file;
+    const std::string result_path = options_.work_dir + "/" + shard.result_file;
+    std::remove(result_path.c_str());  // a stale (e.g. corrupt) file must not linger
+    health_.record_dispatch(host, cb_.now_s(), shard.job_file);
+    cb_.on_attempt();
+
+    // argv is fully built before fork: only async-signal-safe work is
+    // allowed in the child.
+    std::vector<std::string> args;
+    args.push_back(spec.worker_path);
+    args.push_back("--jobs");
+    args.push_back(job_path);
+    args.push_back("--results");
+    args.push_back(result_path);
+    for (const std::string& a : spec.worker_args) args.push_back(a);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      requeue_after_failure(shard_index, host,
+                            std::string("cannot fork worker: ") + std::strerror(errno));
+      return;
+    }
+    if (pid == 0) {
+      ::execv(argv[0], argv.data());
+      ::_exit(127);  // exec failed; the parent sees status 127
+    }
+    Dispatch d;
+    d.shard = shard_index;
+    d.host = host;
+    d.pid = pid;
+    if (options_.shard_timeout_s > 0) {
+      d.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double>(options_.shard_timeout_s));
+      d.has_deadline = true;
+    }
+    running_.push_back(d);
+    busy_[static_cast<std::size_t>(host)] = true;
+  }
+
+  void poll_children() {
+    for (std::size_t i = 0; i < running_.size();) {
+      int status = 0;
+      const pid_t r = ::waitpid(running_[i].pid, &status, WNOHANG);
+      if (r == running_[i].pid) {
+        const Dispatch d = take(i);
+        finish(d, status);
+        continue;
+      }
+      if (r < 0 && errno != EINTR) {
+        // Shouldn't happen (we own the pid); treat like a death.
+        const Dispatch d = take(i);
+        requeue_after_failure(d.shard, d.host,
+                              std::string("waitpid failed: ") + std::strerror(errno));
+        continue;
+      }
+      if (running_[i].has_deadline && Clock::now() >= running_[i].deadline) {
+        ::kill(running_[i].pid, SIGKILL);
+        while (::waitpid(running_[i].pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        const Dispatch d = take(i);
+        std::ostringstream oss;
+        oss << "host hung: no result within " << options_.shard_timeout_s << "s";
+        requeue_after_failure(d.shard, d.host, oss.str());
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  /// Removes running_[i] (freeing its host) and returns it by value.
+  Dispatch take(std::size_t i) {
+    const Dispatch d = running_[i];
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    busy_[static_cast<std::size_t>(d.host)] = false;
+    return d;
+  }
+
+  void finish(const Dispatch& d, int status) {
+    const farm::HostShard& shard = manifest_.shards[d.shard];
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      requeue_after_failure(d.shard, d.host, describe_exit(status));
+      return;
+    }
+    const ShardCollect collect =
+        collect_shard(shard, options_.work_dir + "/" + shard.result_file);
+    if (collect.state == ShardCollect::State::kOk) {
+      health_.record_success(d.host, cb_.now_s(), shard.job_file,
+                             static_cast<int>(collect.outcomes.size()));
+      cb_.apply(shard, collect);
+      cb_.sync_inflight(inflight_owners());
+      cb_.after_shard();  // may throw (abort knob); our destructor cleans up
+      return;
+    }
+    if (collect.state == ShardCollect::State::kDeterministic) {
+      // Re-running would fail identically on any host: fail the batch
+      // now, naming the job (FarmRunner's error-frame semantics).
+      cb_.sync_inflight(inflight_owners());
+      cb_.on_deterministic(collect.detail);  // throws
+    }
+    requeue_after_failure(d.shard, d.host,
+                          std::string(shard_collect_state_name(collect.state)) +
+                              (collect.detail.empty() ? "" : ": " + collect.detail));
+  }
+
+  void requeue_after_failure(std::size_t shard_index, int host, const std::string& reason) {
+    cb_.on_host_failure();
+    health_.record_failure(host, cb_.now_s(),
+                           manifest_.shards[shard_index].job_file + ": " + reason);
+    queue_.push_front(shard_index);
+  }
+
+  const HostFarmOptions& options_;
+  HostHealthTracker& health_;
+  const farm::ShardManifest& manifest_;
+  DispatchCallbacks cb_;
+
+  std::deque<std::size_t> queue_;
+  std::vector<Dispatch> running_;
+  std::vector<bool> busy_;
+  bool orphaned_ = false;
+};
+
+}  // namespace
+
+HostFarm::HostFarm(HostFarmOptions options) : options_(std::move(options)) {
+  if (options_.host_failure_budget < 1) options_.host_failure_budget = 1;
+  if (options_.max_quarantines < 0) options_.max_quarantines = 0;
+  for (std::size_t i = 0; i < options_.hosts.size(); ++i) {
+    KYOTO_CHECK_MSG(!options_.hosts[i].id.empty(), "HostFarm: host id must be non-empty");
+    for (std::size_t j = i + 1; j < options_.hosts.size(); ++j) {
+      KYOTO_CHECK_MSG(options_.hosts[i].id != options_.hosts[j].id,
+                      "HostFarm: duplicate host id " << options_.hosts[i].id);
+    }
+  }
+}
+
+HostFarm::~HostFarm() = default;
+
+std::size_t HostFarm::add(std::string scenario_text, std::string label) {
+  parse_scenario(scenario_text);  // malformed jobs throw here, with parser diagnostics
+  farm::FarmJob job;
+  job.id = jobs_.size();
+  job.label = std::move(label);
+  job.scenario_text = std::move(scenario_text);
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::vector<RunOutcome> HostFarm::run() {
+  const std::size_t total = jobs_.size();
+  results_.assign(total, RunOutcome{});
+  done_.assign(total, 0);
+  owners_.clear();
+  inflight_owners_.clear();
+  executed_ = restored_ = recollected_ = in_process_ = 0;
+  shard_attempts_ = host_failures_ = shards_completed_ = 0;
+  degraded_ = false;
+  degrade_reason_.clear();
+  t0_ = std::chrono::steady_clock::now();
+
+  std::vector<std::string> host_ids;
+  host_ids.reserve(options_.hosts.size());
+  for (const HostSpec& h : options_.hosts) host_ids.push_back(h.id);
+  health_ = host_ids.empty()
+                ? nullptr
+                : std::make_unique<HostHealthTracker>(host_ids, options_.host_failure_budget,
+                                                      options_.max_quarantines,
+                                                      options_.backoff);
+
+  restore_checkpoint();
+  recollect_owned_shards();
+
+  std::vector<farm::FarmJob> remaining;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (done_[i] == 0) remaining.push_back(jobs_[i]);
+  }
+
+  if (!remaining.empty() && health_ != nullptr) {
+    const farm::ShardManifest manifest =
+        split_batch(remaining, host_ids, options_.jobs_per_shard);
+    write_shard_files(options_.work_dir, manifest, remaining);
+
+    DispatchCallbacks cb;
+    cb.now_s = [this] { return now_s(); };
+    cb.apply = [this](const farm::HostShard&, const ShardCollect& collect) {
+      for (const farm::FarmOutcome& outcome : collect.outcomes) {
+        const auto index = static_cast<std::size_t>(outcome.id);
+        KYOTO_CHECK(index < done_.size() && done_[index] == 0);
+        results_[index] = outcome.outcome;
+        done_[index] = 1;
+        ++executed_;
+      }
+      ++shards_completed_;
+    };
+    cb.after_shard = [this] { after_shard_completed(); };
+    cb.degrade = [this](std::string reason) { degrade(std::move(reason)); };
+    cb.on_attempt = [this] { ++shard_attempts_; };
+    cb.on_host_failure = [this] { ++host_failures_; };
+    cb.on_deterministic = [this](const std::string& detail) { fail_batch(detail); };
+    cb.sync_inflight = [this](std::vector<farm::ShardOwner> owners) {
+      inflight_owners_ = std::move(owners);
+    };
+
+    DispatchLoop loop(options_, *health_, manifest, std::move(cb));
+    try {
+      loop.run();
+    } catch (...) {
+      if (options_.orphan_on_abort) loop.orphan_children();
+      throw;
+    }
+    inflight_owners_.clear();  // the loop drained: nothing is in flight
+  } else if (!remaining.empty()) {
+    degrade("no hosts configured");
+  }
+
+  run_in_process_remainder();
+  write_checkpoint();
+
+  std::vector<RunOutcome> outcomes = std::move(results_);
+  jobs_.clear();
+  results_.clear();
+  done_.clear();
+  return outcomes;
+}
+
+void HostFarm::run_in_process_remainder() {
+  for (std::size_t i = 0; i < done_.size(); ++i) {
+    if (done_[i] != 0) continue;
+    if (health_ != nullptr) {
+      health_->note(now_s(), "", "in-process",
+                    "job #" + std::to_string(i) + " '" + jobs_[i].label + "'");
+    }
+    try {
+      const Scenario scenario = parse_scenario(jobs_[i].scenario_text);
+      results_[i] = run_scenario(scenario.spec, scenario.plans);
+    } catch (const std::exception& e) {
+      fail_batch("job #" + std::to_string(i) + " '" + jobs_[i].label +
+                 "' failed deterministically: " + e.what());
+    }
+    done_[i] = 1;
+    ++in_process_;
+  }
+}
+
+void HostFarm::degrade(std::string reason) {
+  degraded_ = true;
+  if (degrade_reason_.empty()) degrade_reason_ = reason;
+  if (health_ != nullptr) health_->note(now_s(), "", "degrade", std::move(reason));
+}
+
+void HostFarm::fail_batch(const std::string& message) {
+  write_checkpoint();  // preserve completed work for a resume
+  throw std::runtime_error("host farm: " + message);
+}
+
+void HostFarm::after_shard_completed() {
+  if (!options_.checkpoint_path.empty()) write_checkpoint();
+  if (options_.abort_after_shards >= 0 && shards_completed_ >= options_.abort_after_shards) {
+    throw HostFarmInterrupted("host farm interrupted by abort_after_shards=" +
+                              std::to_string(options_.abort_after_shards) + " after " +
+                              std::to_string(shards_completed_) + " completed shard(s)");
+  }
+}
+
+void HostFarm::write_checkpoint() {
+  if (options_.checkpoint_path.empty() || done_.empty()) return;
+  std::string bytes = farm::encode_frame(
+      farm::FrameType::kCheckpointHeader,
+      farm::encode_checkpoint_header({farm::batch_fingerprint(jobs_), jobs_.size()}));
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (done_[i] != 0) {
+      bytes +=
+          farm::encode_frame(farm::FrameType::kOutcome, farm::encode_outcome(i, results_[i]));
+    }
+  }
+  // The owner extension: one frame per in-flight shard, so a resumed
+  // coordinator knows which result files may appear without it.
+  for (const farm::ShardOwner& owner : inflight_owners_) {
+    bytes += farm::encode_frame(farm::FrameType::kShardOwner, farm::encode_shard_owner(owner));
+  }
+  const std::string tmp = options_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    KYOTO_CHECK_MSG(out.good(), "cannot write checkpoint: " << tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    KYOTO_CHECK_MSG(out.good(), "short checkpoint write: " << tmp);
+  }
+  KYOTO_CHECK_MSG(std::rename(tmp.c_str(), options_.checkpoint_path.c_str()) == 0,
+                  "cannot publish checkpoint: " << options_.checkpoint_path);
+}
+
+void HostFarm::restore_checkpoint() {
+  if (options_.checkpoint_path.empty()) return;
+  std::ifstream in(options_.checkpoint_path, std::ios::binary);
+  if (!in.good()) return;  // fresh sweep
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  // Validate the whole file before applying anything (FarmRunner's
+  // rule): a corrupt tail must not leave half a restore behind.
+  std::vector<farm::FarmOutcome> restored;
+  std::vector<farm::ShardOwner> owners;
+  try {
+    farm::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    auto first = reader.next();
+    if (!first || first->type != farm::FrameType::kCheckpointHeader) {
+      throw farm::CodecError("checkpoint does not start with a header frame");
+    }
+    const farm::CheckpointHeader header = farm::decode_checkpoint_header(first->payload);
+    if (header.fingerprint != farm::batch_fingerprint(jobs_) ||
+        header.total_jobs != jobs_.size()) {
+      degrade_reason_ = "checkpoint ignored: written by a different job batch";
+      if (health_ != nullptr) health_->note(now_s(), "", "restart", degrade_reason_);
+      return;
+    }
+    while (auto frame = reader.next()) {
+      if (frame->type == farm::FrameType::kOutcome) {
+        farm::FarmOutcome outcome = farm::decode_outcome(frame->payload);
+        if (outcome.id >= jobs_.size()) throw farm::CodecError("checkpoint job id out of range");
+        restored.push_back(std::move(outcome));
+      } else if (frame->type == farm::FrameType::kShardOwner) {
+        farm::ShardOwner owner = farm::decode_shard_owner(frame->payload);
+        for (const std::uint64_t id : owner.job_ids) {
+          if (id >= jobs_.size()) throw farm::CodecError("owner-frame job id out of range");
+        }
+        if (owner.result_file.find('/') != std::string::npos) {
+          throw farm::CodecError("owner-frame result file must be a bare name");
+        }
+        owners.push_back(std::move(owner));
+      } else {
+        throw farm::CodecError("unexpected frame type in checkpoint");
+      }
+    }
+    if (reader.buffered() != 0) throw farm::CodecError("truncated trailing frame");
+  } catch (const farm::CodecError& e) {
+    degrade_reason_ = std::string("checkpoint ignored (clean restart): ") + e.what();
+    if (health_ != nullptr) health_->note(now_s(), "", "restart", degrade_reason_);
+    return;
+  }
+  for (farm::FarmOutcome& outcome : restored) {
+    const auto index = static_cast<std::size_t>(outcome.id);
+    if (done_[index] == 0) ++restored_;
+    results_[index] = std::move(outcome.outcome);
+    done_[index] = 1;
+  }
+  owners_ = std::move(owners);
+}
+
+void HostFarm::recollect_owned_shards() {
+  for (const farm::ShardOwner& owner : owners_) {
+    // Reconstruct the shard's validation surface from the owner frame.
+    farm::HostShard shard;
+    shard.host_id = owner.host_id;
+    shard.result_file = owner.result_file;
+    shard.job_ids = owner.job_ids;
+    shard.labels.reserve(owner.job_ids.size());
+    for (const std::uint64_t id : owner.job_ids) {
+      shard.labels.push_back(jobs_[static_cast<std::size_t>(id)].label);
+    }
+    const ShardCollect collect =
+        collect_shard(shard, options_.work_dir + "/" + owner.result_file);
+    if (collect.state != ShardCollect::State::kOk) {
+      if (health_ != nullptr) {
+        health_->note(now_s(), owner.host_id, "recollect-miss",
+                      owner.result_file + ": " +
+                          std::string(shard_collect_state_name(collect.state)) +
+                          (collect.detail.empty() ? "" : " — " + collect.detail) +
+                          "; will re-run");
+      }
+      continue;
+    }
+    int applied = 0;
+    for (const farm::FarmOutcome& outcome : collect.outcomes) {
+      const auto index = static_cast<std::size_t>(outcome.id);
+      if (done_[index] != 0) continue;
+      results_[index] = outcome.outcome;
+      done_[index] = 1;
+      ++recollected_;
+      ++applied;
+    }
+    if (health_ != nullptr) {
+      health_->note(now_s(), owner.host_id, "recollect",
+                    owner.result_file + ": " + std::to_string(applied) +
+                        " job(s) collected without re-running");
+    }
+  }
+  owners_.clear();
+}
+
+double HostFarm::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+std::string HostFarm::report() const {
+  std::ostringstream out;
+  out << "host farm: " << executed_ << " executed on hosts, " << restored_
+      << " restored from checkpoint, " << recollected_ << " re-collected from owners, "
+      << in_process_ << " in-process; " << shard_attempts_ << " shard attempt(s), "
+      << host_failures_ << " host failure(s)";
+  if (degraded_) out << "; DEGRADED: " << degrade_reason_;
+  out << '\n';
+  if (health_ != nullptr) out << health_->report();
+  return out.str();
+}
+
+}  // namespace kyoto::sim

@@ -1,0 +1,168 @@
+// Multi-host farm coordinator: a sweep batch executed across a fleet
+// of (possibly flaky) hosts over the file-pair transport, with
+// per-host retry budgets, quarantine/backoff, shard redistribution,
+// and owner-aware checkpoint/resume.
+//
+// One level above sim::FarmRunner: where the process farm multiplies
+// one host's cores, the HostFarm multiplies *hosts*.  A "host" here
+// is anything that can run `sweep_worker --jobs F --results G` —
+// locally that is the binary itself (which is how the tests and the
+// CI drill simulate a fleet on one machine); on a real fleet,
+// HostSpec::worker_path points at a wrapper script that ships the
+// job file out and the result file back (ssh/scp, a queue, anything).
+//
+// Robustness model (the RDA/TANGO shape: versioned protocol +
+// per-endpoint health + graceful degradation):
+//  * The batch is split into shards (sim/shard_splitter.hpp); each
+//    dispatch writes the shard's job file, spawns the host's worker
+//    command, and validates the result file before applying anything.
+//  * Every host carries a consecutive-failure budget.  Worker death,
+//    a missing/corrupt/foreign/incomplete result file, or a shard
+//    deadline overrun charges the budget; a burned budget quarantines
+//    the host under exponential, deterministically-jittered backoff
+//    (sim/host_health.hpp), and its shard goes back on the queue for
+//    a healthy host.  Repeated burns retire the host for the run.
+//  * When every host is retired and work remains, the farm degrades
+//    to in-process execution — outcomes stay byte-identical to the
+//    in-process SweepRunner; only the wall-clock story changes.
+//  * A deterministic job failure (the worker answers with an error
+//    frame inside the result file) fails the batch immediately,
+//    naming the job — retrying elsewhere would fail identically.
+//  * Checkpoints extend the FarmRunner format *additively*: the same
+//    header + outcome frames, plus one kShardOwner frame per
+//    outstanding shard recording which host owns it and where its
+//    result file will appear.  A resumed coordinator first
+//    *re-collects* those result files from hosts that finished while
+//    it was down, then re-runs only what is still missing.  Builds
+//    that predate the owner frame reject such checkpoints loudly and
+//    restart cleanly (never a wrong merge).
+//  * Every transition lands in the health tracker's event log;
+//    report() is the structured, human-readable farm report.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/farm_codec.hpp"
+#include "sim/host_health.hpp"
+#include "sim/shard_splitter.hpp"
+
+namespace kyoto::sim {
+
+/// One remote executor.  `worker_path` is execv'd with
+/// `--jobs <file> --results <file>` + `worker_args` appended.
+struct HostSpec {
+  std::string id;
+  std::string worker_path;
+  std::vector<std::string> worker_args;
+};
+
+struct HostFarmOptions {
+  std::vector<HostSpec> hosts;
+  /// Directory for shard job/result files and the manifest.  Must
+  /// exist; the farm only creates files inside it.
+  std::string work_dir = ".";
+  /// Jobs per shard (0 = one balanced shard per host).  Smaller
+  /// shards redistribute at finer granularity after a host fault.
+  int jobs_per_shard = 0;
+  /// Consecutive failures a host may accumulate before quarantine.
+  int host_failure_budget = 2;
+  /// Quarantines survived before the host is retired for the run.
+  int max_quarantines = 2;
+  /// Quarantine/backoff schedule (deterministic seeded jitter).
+  BackoffPolicy backoff;
+  /// Wall-clock seconds one shard dispatch may take before the host
+  /// is declared hung (worker killed, budget charged); 0 disables.
+  double shard_timeout_s = 600.0;
+  /// Checkpoint file; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Test knob: after this many shards complete in this run, flush a
+  /// checkpoint (including owner frames for in-flight shards) and
+  /// throw HostFarmInterrupted.  < 0 disables.
+  int abort_after_shards = -1;
+  /// Test knob: leave in-flight workers running on the abort knob
+  /// instead of killing them — they finish writing their result
+  /// files, which is exactly the "coordinator died, hosts lived"
+  /// scenario the owner-aware resume exists for.
+  bool orphan_on_abort = false;
+};
+
+/// Thrown by the abort_after_shards knob after the checkpoint flush.
+class HostFarmInterrupted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class HostFarm {
+ public:
+  explicit HostFarm(HostFarmOptions options);
+  ~HostFarm();
+
+  HostFarm(const HostFarm&) = delete;
+  HostFarm& operator=(const HostFarm&) = delete;
+
+  const HostFarmOptions& options() const { return options_; }
+
+  /// Enqueues one scenario-text job (parse-validated here, exactly
+  /// like FarmRunner::add); returns its submission index.
+  std::size_t add(std::string scenario_text, std::string label = "");
+  std::size_t pending() const { return jobs_.size(); }
+
+  /// Executes the batch across the hosts; outcomes in submission
+  /// order, byte-identical to the in-process SweepRunner.  Throws
+  /// HostFarmInterrupted (abort knob) and std::runtime_error for
+  /// deterministic job failures.
+  std::vector<RunOutcome> run();
+
+  // Accounting for the run() that last finished (or was interrupted).
+  int jobs_executed() const { return executed_; }        // simulated by hosts
+  int jobs_restored() const { return restored_; }        // checkpoint outcome frames
+  int jobs_recollected() const { return recollected_; }  // owner-frame result files
+  int jobs_in_process() const { return in_process_; }    // degraded remainder
+  int shard_attempts() const { return shard_attempts_; }
+  int host_failure_count() const { return host_failures_; }
+  bool degraded() const { return degraded_; }
+  const std::string& degrade_reason() const { return degrade_reason_; }
+
+  const HostHealthTracker* health() const { return health_.get(); }
+  /// The structured farm report (per-host table + event log); empty
+  /// before the first run().
+  std::string report() const;
+
+ private:
+  void restore_checkpoint();
+  void recollect_owned_shards();
+  void write_checkpoint();
+  void after_shard_completed();
+  void run_in_process_remainder();
+  void degrade(std::string reason);
+  [[noreturn]] void fail_batch(const std::string& message);
+  double now_s() const;
+
+  HostFarmOptions options_;
+  std::vector<farm::FarmJob> jobs_;
+
+  // Per-run state.
+  std::vector<RunOutcome> results_;
+  std::vector<char> done_;
+  std::vector<farm::ShardOwner> owners_;         // restored from the checkpoint
+  std::vector<farm::ShardOwner> inflight_owners_;  // written into the checkpoint
+  std::unique_ptr<HostHealthTracker> health_;
+  int executed_ = 0;
+  int restored_ = 0;
+  int recollected_ = 0;
+  int in_process_ = 0;
+  int shard_attempts_ = 0;
+  int host_failures_ = 0;
+  int shards_completed_ = 0;
+  bool degraded_ = false;
+  std::string degrade_reason_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+}  // namespace kyoto::sim

@@ -1,0 +1,198 @@
+// Backoff + host-health gate.
+//
+// The BackoffPolicy schedule is *pinned*: the literals below are the
+// exact delays the default policy produces.  They are part of the
+// farm's observable behavior (tests and drills time against them), so
+// a change here is a deliberate retuning, not noise — the jitter is
+// seeded and keyed, never wall-clock random.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/farm_codec.hpp"
+#include "sim/farm_runner.hpp"
+#include "sim/host_health.hpp"
+#include "sim/scenario_file.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+TEST(BackoffPolicy, DefaultScheduleIsPinned) {
+  const BackoffPolicy policy;  // base 0.05s, max 30s, jitter 0.25, default seed
+  EXPECT_DOUBLE_EQ(policy.delay_s(0, 0), 0.051947380888928966);
+  EXPECT_DOUBLE_EQ(policy.delay_s(1, 0), 0.11359431114881176);
+  EXPECT_DOUBLE_EQ(policy.delay_s(2, 0), 0.24560978758555851);
+  EXPECT_DOUBLE_EQ(policy.delay_s(3, 0), 0.41432039566788115);
+  // Keyed on a host id, the jitter lands elsewhere — deterministically.
+  const std::uint64_t host_a = farm::fnv1a("hostA");
+  EXPECT_EQ(host_a, 4262922559028208938ull);
+  EXPECT_DOUBLE_EQ(policy.delay_s(0, host_a), 0.051581302503531545);
+  EXPECT_DOUBLE_EQ(policy.delay_s(1, host_a), 0.10559959207643582);
+}
+
+TEST(BackoffPolicy, JitterIsBoundedAndDeterministic) {
+  BackoffPolicy policy;
+  policy.base_s = 0.1;
+  policy.max_s = 5.0;
+  policy.jitter_frac = 0.25;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    for (const std::uint64_t key :
+         {std::uint64_t{0}, std::uint64_t{17}, farm::fnv1a("h"), farm::fnv1a("hh")}) {
+      const double raw = std::min(0.1 * static_cast<double>(1ull << attempt), 5.0);
+      const double d = policy.delay_s(attempt, key);
+      EXPECT_GE(d, raw) << attempt;
+      EXPECT_LT(d, raw * 1.25) << attempt;
+      EXPECT_DOUBLE_EQ(d, policy.delay_s(attempt, key));  // pure function
+    }
+  }
+  // Different keys at the same attempt land at different points:
+  // a quarantined fleet never thunders back in lockstep.
+  EXPECT_NE(policy.delay_s(3, farm::fnv1a("h")), policy.delay_s(3, farm::fnv1a("hh")));
+  // base_s <= 0 disables the delay entirely.
+  BackoffPolicy off;
+  off.base_s = 0.0;
+  EXPECT_EQ(off.delay_s(5, 42), 0.0);
+}
+
+TEST(HostHealthTracker, BudgetQuarantineReadmitRetireLifecycle) {
+  BackoffPolicy backoff;
+  backoff.base_s = 1.0;
+  backoff.jitter_frac = 0.0;  // exact delays for this test
+  HostHealthTracker tracker({"flaky", "solid"}, /*failure_budget=*/2,
+                            /*max_quarantines=*/1, backoff);
+  EXPECT_TRUE(tracker.usable(0, 0.0));
+  EXPECT_TRUE(tracker.usable(1, 0.0));
+
+  // One failure stays under budget; the second burns it -> quarantine.
+  EXPECT_EQ(tracker.record_failure(0, 1.0, "died"), HostState::kHealthy);
+  EXPECT_EQ(tracker.record_failure(0, 2.0, "died again"), HostState::kQuarantined);
+  EXPECT_FALSE(tracker.usable(0, 2.5));
+  EXPECT_DOUBLE_EQ(tracker.next_available_s(), 3.0);  // 2.0 + base * 2^0
+
+  // Quarantine expiry re-admits with a refreshed budget...
+  EXPECT_TRUE(tracker.usable(0, 3.5));
+  EXPECT_EQ(tracker.stats(0).quarantines, 1);
+  // ...and a success clears the consecutive-failure streak.
+  tracker.record_failure(0, 4.0, "hiccup");
+  tracker.record_success(0, 5.0, "shard1.jobs.kyfm", 3);
+  EXPECT_EQ(tracker.stats(0).consecutive_failures, 0);
+
+  // The next burned budget exceeds max_quarantines -> retired for good.
+  tracker.record_failure(0, 6.0, "died");
+  EXPECT_EQ(tracker.record_failure(0, 7.0, "died"), HostState::kRetired);
+  EXPECT_FALSE(tracker.usable(0, 100.0));
+  EXPECT_FALSE(tracker.all_retired());  // "solid" is still in the game
+  tracker.record_failure(1, 8.0, "died");
+  EXPECT_EQ(tracker.record_failure(1, 8.5, "died"), HostState::kQuarantined);
+  tracker.usable(1, 100.0);
+  tracker.record_failure(1, 101.0, "died");
+  EXPECT_EQ(tracker.record_failure(1, 102.0, "died"), HostState::kRetired);
+  EXPECT_TRUE(tracker.all_retired());
+
+  // Every transition landed in the structured report.
+  const std::string report = tracker.report();
+  EXPECT_NE(report.find("quarantine"), std::string::npos);
+  EXPECT_NE(report.find("readmit"), std::string::npos);
+  EXPECT_NE(report.find("retire"), std::string::npos);
+  EXPECT_NE(report.find("host flaky"), std::string::npos);
+  EXPECT_NE(report.find("host solid"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- FarmRunner
+
+std::string worker_path() {
+  if (const char* env = std::getenv("KYOTO_SWEEP_WORKER"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "./sweep_worker";
+}
+
+bool worker_available() { return ::access(worker_path().c_str(), X_OK) == 0; }
+
+std::string tiny_scenario(const std::string& app, int seed) {
+  return
+      "[machine]\n"
+      "topology = 1x2\n"
+      "scale = 64\n"
+      "\n"
+      "[scheduler]\n"
+      "kind = ks4xen\n"
+      "monitor = direct\n"
+      "punish = block\n"
+      "\n"
+      "[vm tenant]\n"
+      "app = " + app + "\n"
+      "cores = 0\n"
+      "llc_cap = 30\n"
+      "loop = true\n"
+      "\n"
+      "[run]\n"
+      "warmup_ticks = 1\n"
+      "measure_ticks = 4\n"
+      "seed = " + std::to_string(seed) + "\n";
+}
+
+TEST(FarmRunnerBackoff, RespawnsAreDelayedByTheSchedule) {
+  if (!worker_available()) GTEST_SKIP() << "sweep_worker binary not found";
+  std::vector<std::pair<std::string, std::string>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.emplace_back("job" + std::to_string(i), tiny_scenario(i % 2 ? "mcf" : "gcc", 20 + i));
+  }
+  SweepRunner sweep(2);
+  for (const auto& [label, text] : jobs) {
+    const Scenario scenario = parse_scenario(text);
+    sweep.add(scenario.spec, scenario.plans, label);
+  }
+  const std::vector<RunOutcome> reference = sweep.run();
+
+  FarmOptions options;
+  options.workers = 1;
+  options.worker_path = worker_path();
+  // Every worker process completes one job, then is killed on its
+  // second: 3 deaths for 4 jobs, each a fresh slot-attempt-0 backoff.
+  options.worker_args = {"--fault-kill-after", "2"};
+  options.max_retries = 4;
+  options.respawn_backoff.base_s = 0.2;
+  options.respawn_backoff.jitter_frac = 0.0;
+  FarmRunner farm(options);
+  for (const auto& [label, text] : jobs) farm.add(text, label);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RunOutcome> outcomes = farm.run();
+  const double elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+
+  EXPECT_FALSE(farm.ran_in_process());
+  EXPECT_GE(farm.worker_respawns(), 3);
+  // 3 respawns at >= 0.2s apiece must dominate the wall clock.
+  EXPECT_GE(elapsed, 0.55) << "respawn backoff was not applied";
+  ASSERT_EQ(outcomes.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(outcomes[i], reference[i]) << "job " << i;
+  }
+}
+
+TEST(FarmRunnerBackoff, ZeroBaseKeepsTheOldFastPath) {
+  if (!worker_available()) GTEST_SKIP() << "sweep_worker binary not found";
+  FarmOptions options;
+  options.workers = 2;
+  options.worker_path = worker_path();
+  options.worker_args = {"--fault-kill-after", "2"};
+  options.max_retries = 4;
+  options.respawn_backoff.base_s = 0.0;  // disabled
+  FarmRunner farm(options);
+  for (int i = 0; i < 4; ++i) {
+    farm.add(tiny_scenario(i % 2 ? "mcf" : "gcc", 20 + i), "job" + std::to_string(i));
+  }
+  const std::vector<RunOutcome> outcomes = farm.run();
+  EXPECT_EQ(outcomes.size(), 4u);
+  EXPECT_FALSE(farm.ran_in_process());
+}
+
+}  // namespace
+}  // namespace kyoto::sim
