@@ -76,6 +76,42 @@ warmup_ticks = 6
 measure_ticks = 90
 )";
 
+constexpr const char* kChurnDemoScenario = R"(# Demonstration: tenant churn — a static web tier shares the machine
+# with a Poisson stream of short-lived batch tenants (arrivals and
+# departures mid-run, admission-controlled).  Every arriving tenant
+# books the same 25 miss/ms permit, so polluting arrivals are punished
+# within a tick or two of admission.
+[machine]
+topology = 1x4
+scale = 64
+
+[scheduler]
+kind = ks4xen
+monitor = direct
+punish = block
+
+[vm web-tier]
+app = gcc
+cores = 0
+llc_cap = 40
+loop = true
+
+[churn]
+trace = poisson        # or diurnal / bursty / file:events.trace
+rate = 0.2             # arrivals per tick (Bernoulli probability)
+mean_lifetime = 15     # geometric tenant lifetime, in ticks
+horizon = 96
+seed = 7
+apps = lbm, mcf        # arrival i runs apps[i % n]
+llc_cap = 25
+loop = true
+defer_queue = 4        # arrivals beyond free cores wait here
+
+[run]
+warmup_ticks = 6
+measure_ticks = 90
+)";
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,12 +211,15 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) {
     const std::string path = "demo_scenario.kyoto";
-    std::ofstream out(path);
-    out << kDemoScenario;
-    std::cout << "No scenario given; wrote and running the demo scenario '" << path
-              << "':\n\n"
-              << kDemoScenario << '\n';
+    std::ofstream(path) << kDemoScenario;
+    const std::string churn_path = "demo_churn_scenario.kyoto";
+    std::ofstream(churn_path) << kChurnDemoScenario;
+    std::cout << "No scenario given; wrote and running the demo scenarios '" << path
+              << "' and '" << churn_path << "':\n\n"
+              << kDemoScenario << '\n'
+              << kChurnDemoScenario << '\n';
     paths.push_back(path);
+    paths.push_back(churn_path);
   }
 
   try {
@@ -328,7 +367,8 @@ int main(int argc, char** argv) {
       outcomes = sweep.run();
     }
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      std::cout << paths[i] << ": " << scenarios[i].plans.size() << " VM(s), "
+      std::cout << paths[i] << ": " << scenarios[i].plans.size() << " VM(s)"
+                << (scenarios[i].spec.churn != nullptr ? " + churn" : "") << ", "
                 << scenarios[i].spec.warmup_ticks << "+"
                 << scenarios[i].spec.measure_ticks << " ticks\n\n"
                 << sim::scenario_report(scenarios[i], outcomes[i]) << '\n';

@@ -154,6 +154,12 @@ Cycles MemorySystem::bus_queue_cycles(int socket) const {
   return bus_queue_cycles_[static_cast<std::size_t>(socket)].value;
 }
 
+std::uint64_t MemorySystem::release_vm_lines(int vm) {
+  std::uint64_t dropped = 0;
+  for (auto& c : llc_) dropped += c->release_vm(vm);
+  return dropped;
+}
+
 void MemorySystem::invalidate_private(int core) {
   KYOTO_CHECK(core >= 0 && core < topology_.total_cores());
   l1_[static_cast<std::size_t>(core)]->invalidate_all();

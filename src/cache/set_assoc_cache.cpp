@@ -333,6 +333,48 @@ void SetAssocCache::invalidate(Address addr) {
   owners_[idx] = -1;
 }
 
+std::uint64_t SetAssocCache::release_vm(int vm) {
+  if (!track_attribution_ || vm < 0) return 0;
+  // Purge the VM's bits from the displaced-line index first: a dead
+  // VM can never re-miss, so its entries would only pin pool nodes.
+  if (vm < kPollutionVmTracked && !displaced_.empty()) {
+    const std::uint64_t vm_bit = 1ull << vm;
+    for (auto it = displaced_.begin(); it != displaced_.end();) {
+      if ((it->second &= ~vm_bit) == 0) {
+        it = displaced_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (footprint_lines(vm) == 0) return 0;
+  // Per-line teardown, exactly invalidate()'s bookkeeping.  The LRU
+  // mirrors are deliberately untouched (same contract as invalidate():
+  // invalid ways are preferred via the valid mask, and refills re-sync
+  // the mirrors through touches before a full-set victim is needed).
+  std::uint64_t dropped = 0;
+  for (unsigned set = 0; set < sets_; ++set) {
+    std::uint64_t mask = valid_[set];
+    while (mask != 0) {
+      const auto way = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const std::size_t idx = line_index(set, way);
+      if (owners_[idx] != vm) continue;
+      const std::uint64_t bit = 1ull << way;
+      valid_[set] &= ~bit;
+      dirty_[set] &= ~bit;
+      tags_[idx] = 0;
+      stamps_[idx] = 0;
+      owners_[idx] = -1;
+      ++dropped;
+    }
+  }
+  KYOTO_DCHECK(dropped == vm_footprint_[static_cast<std::size_t>(vm)]);
+  valid_lines_ -= dropped;
+  vm_footprint_[static_cast<std::size_t>(vm)] = 0;
+  return dropped;
+}
+
 void SetAssocCache::set_partition(int vm, unsigned first_way, unsigned n_ways) {
   KYOTO_CHECK_MSG(vm >= 0, "partition requires a concrete vm id");
   KYOTO_CHECK_MSG(first_way + n_ways <= geometry_.ways,

@@ -306,6 +306,17 @@ class SetAssocCache {
   /// the access path never grows storage.
   void reserve_vm_slots(int vms);
 
+  /// Invalidates every valid line owned by `vm` and purges the VM's
+  /// bits from the displaced-line index — the LLC half of VM
+  /// destruction.  Uses the same per-line bookkeeping as invalidate()
+  /// (footprint/valid counters stay exact vs the recount oracles;
+  /// pollution counters survive as statistics; no cross-eviction
+  /// events are generated, so inflicted == suffered is preserved).
+  /// Returns the number of lines dropped.  No-op for attribution-free
+  /// caches: private levels keep their stale lines, which simply go
+  /// cold — VM address spaces are disjoint, so they can never hit.
+  std::uint64_t release_vm(int vm);
+
   // --- Way partitioning (UCP-style ablation) -------------------------
   /// Restricts fills by VM `vm` to ways [first_way, first_way+n_ways).
   /// Lookups still hit in any way.  Overwrites any previous assignment.

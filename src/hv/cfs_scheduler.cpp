@@ -34,6 +34,13 @@ void CfsScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
   runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
 }
 
+void CfsScheduler::vcpu_removed(Vcpu& vcpu) {
+  State& st = state_of(vcpu);  // CHECKs the vCPU is registered
+  auto& queue = runqueue_[static_cast<std::size_t>(vcpu.pinned_core())];
+  queue.erase(std::remove(queue.begin(), queue.end(), vcpu.id()), queue.end());
+  st = State{};  // vcpu = nullptr: the id is never reused
+}
+
 double CfsScheduler::min_vruntime(int core) const {
   if (static_cast<std::size_t>(core) >= runqueue_.size()) return 0.0;
   double best = std::numeric_limits<double>::max();

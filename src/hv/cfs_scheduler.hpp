@@ -25,6 +25,7 @@ class CfsScheduler : public Scheduler {
 
   void vcpu_added(Vcpu& vcpu) override;
   void vcpu_migrated(Vcpu& vcpu, int old_core) override;
+  void vcpu_removed(Vcpu& vcpu) override;
   Vcpu* pick(int core, Tick now) override;
   void account(Vcpu& vcpu, const RunReport& report) override;
   void slice_end(Tick /*now*/) override {}

@@ -31,6 +31,18 @@ void CreditScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
   runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
 }
 
+void CreditScheduler::vcpu_removed(Vcpu& vcpu) {
+  State& st = state_of(vcpu);  // CHECKs the vCPU is registered
+  auto& queue = runqueue_[static_cast<std::size_t>(vcpu.pinned_core())];
+  queue.erase(std::remove(queue.begin(), queue.end(), vcpu.id()), queue.end());
+  // Drop any core's slice stickiness on the departing vCPU so the
+  // next pick() re-selects instead of consulting dead state.
+  for (CoreCursor& cursor : cursors_) {
+    if (cursor.current == vcpu.id()) cursor = CoreCursor{};
+  }
+  st = State{};  // vcpu = nullptr: the id is never reused
+}
+
 Cycles CreditScheduler::slice_cap_budget(const Vcpu& vcpu) const {
   const int cap = vcpu.vm().config().cpu_cap_percent;
   if (cap <= 0) return 0;

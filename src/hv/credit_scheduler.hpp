@@ -36,6 +36,7 @@ class CreditScheduler : public Scheduler {
 
   void vcpu_added(Vcpu& vcpu) override;
   void vcpu_migrated(Vcpu& vcpu, int old_core) override;
+  void vcpu_removed(Vcpu& vcpu) override;
   Vcpu* pick(int core, Tick now) override;
   /// Capped vCPUs may not run past their remaining slice budget.
   Cycles max_burst(const Vcpu& vcpu, Cycles tick_budget) override;

@@ -48,8 +48,16 @@ Vm& Hypervisor::create_vm(const VmConfig& config,
     vcpu.set_pinned_core(core);
     // Ref-batch storage comes from the hypervisor's bump arena: the
     // only allocation the fast engine ever needs, paid here at
-    // admission time.
-    vcpu.set_ref_storage(exec_arena_.allocate<workloads::AccessRef>(Vcpu::RefBuffer::kBlock));
+    // admission time.  Blocks freed by destroy_vm are recycled first,
+    // so steady-state churn stops growing the arena once the live-VM
+    // high-water mark is reached.
+    if (!free_ref_blocks_.empty()) {
+      vcpu.set_ref_storage(free_ref_blocks_.back());
+      free_ref_blocks_.pop_back();
+    } else {
+      vcpu.set_ref_storage(
+          exec_arena_.allocate<workloads::AccessRef>(Vcpu::RefBuffer::kBlock));
+    }
     scheduler_->vcpu_added(vcpu);
   }
   sched_tick_count_.resize(static_cast<std::size_t>(next_vcpu_id_), 0);
@@ -61,6 +69,34 @@ Vm& Hypervisor::create_vm(const VmConfig& config,
   std::vector<std::unique_ptr<workloads::Workload>> w;
   w.push_back(std::move(workload));
   return create_vm(config, std::move(w), std::vector<int>{core});
+}
+
+void Hypervisor::destroy_vm(int vm_id) {
+  // Like migrate: structural mutation only at the merge points (tick
+  // hooks), never from inside a socket partition.
+  KYOTO_CHECK_MSG(!in_tick_execution_, "destroy_vm called during tick execution");
+  KYOTO_CHECK_MSG(vm_id >= 0 && static_cast<std::size_t>(vm_id) < vms_.size(),
+                  "destroy_vm: unknown vm id " << vm_id);
+  std::unique_ptr<Vm>& slot = vms_[static_cast<std::size_t>(vm_id)];
+  KYOTO_CHECK_MSG(slot != nullptr, "destroy_vm: vm " << vm_id << " already destroyed");
+  Vm& vm = *slot;
+  for (const auto& vcpu : vm.vcpus()) {
+    scheduler_->vcpu_removed(*vcpu);
+    if (vcpu->ref_buffer().refs != nullptr) {
+      free_ref_blocks_.push_back(vcpu->ref_buffer().refs);
+    }
+  }
+  // Monitors abort campaigns / controllers drop slots while the Vm
+  // object is still fully alive.
+  for (const auto& hook : vm_removed_hooks_) hook(*this, vm);
+  // LLC handoff: drop the VM's lines with exact attribution
+  // bookkeeping.  Private-cache lines are left to go cold, exactly as
+  // after a migration — address spaces are disjoint, so they can
+  // never hit again.
+  machine_->memory().release_vm_lines(vm_id);
+  // The id is never reused; per-id state elsewhere stays allocated
+  // but permanently idle.
+  slot.reset();
 }
 
 void Hypervisor::migrate(Vcpu& vcpu, int new_core) {
@@ -211,8 +247,16 @@ void Hypervisor::run_one_tick() {
 std::vector<Vm*> Hypervisor::vms() {
   std::vector<Vm*> out;
   out.reserve(vms_.size());
-  for (auto& vm : vms_) out.push_back(vm.get());
+  for (auto& vm : vms_) {
+    if (vm != nullptr) out.push_back(vm.get());
+  }
   return out;
+}
+
+int Hypervisor::live_vm_count() const {
+  int live = 0;
+  for (const auto& vm : vms_) live += vm != nullptr ? 1 : 0;
+  return live;
 }
 
 std::int64_t Hypervisor::idle_ticks(int core) const {

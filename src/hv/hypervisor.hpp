@@ -60,6 +60,17 @@ class Hypervisor {
   Vm& create_vm(const VmConfig& config, std::unique_ptr<workloads::Workload> workload,
                 int core);
 
+  /// Tears a VM down mid-run (churn departure), at a tick boundary:
+  /// every vCPU is dequeued from the scheduler (vcpu_removed), its
+  /// arena ref-block is recycled for a future create_vm, vm-removed
+  /// hooks fire (monitors abort campaigns, controllers drop slots)
+  /// while the Vm object is still alive, and the VM's LLC lines are
+  /// invalidated with exact attribution bookkeeping
+  /// (MemorySystem::release_vm_lines).  VM ids are never reused: the
+  /// slot stays null forever, vm() CHECK-fails for it, find_vm
+  /// returns nullptr, and vms() skips it.
+  void destroy_vm(int vm_id);
+
   /// Moves a vCPU to another core (at a tick boundary; callable from
   /// tick hooks and monitors).  Private caches are NOT flushed — the
   /// vCPU simply goes cold on the new core, and NUMA-remote memory
@@ -88,10 +99,26 @@ class Hypervisor {
   const Machine& machine() const { return *machine_; }
   Scheduler& scheduler() { return *scheduler_; }
 
+  /// The live VMs (destroyed slots are skipped), in id order.
   std::vector<Vm*> vms();
-  Vm& vm(int id) { return *vms_.at(static_cast<std::size_t>(id)); }
-  /// Number of admitted VMs (ids are dense in [0, vm_count())).
+  /// The VM with id `id`; CHECK-fails if it was destroyed (find_vm is
+  /// the churn-tolerant lookup).
+  Vm& vm(int id) {
+    Vm* v = vms_.at(static_cast<std::size_t>(id)).get();
+    KYOTO_CHECK_MSG(v != nullptr, "vm " << id << " was destroyed");
+    return *v;
+  }
+  /// The VM with id `id`, or nullptr when it was destroyed or never
+  /// existed.
+  Vm* find_vm(int id) {
+    if (id < 0 || static_cast<std::size_t>(id) >= vms_.size()) return nullptr;
+    return vms_[static_cast<std::size_t>(id)].get();
+  }
+  /// Number of VM ids ever allocated (ids are dense in
+  /// [0, vm_count()), but some may be destroyed — see live_vm_count).
   int vm_count() const { return static_cast<int>(vms_.size()); }
+  /// Number of VMs currently alive.
+  int live_vm_count() const;
 
   /// Observers called after every tick (timeline sampling, monitors).
   using TickHook = std::function<void(Hypervisor&, Tick)>;
@@ -107,6 +134,21 @@ class Hypervisor {
   /// perturb the run they are shadowing.
   using AccountHook = std::function<void(Vcpu&, const RunReport&)>;
   void add_account_hook(AccountHook hook) { account_hooks_.push_back(std::move(hook)); }
+
+  /// Observers of VM destruction, called from destroy_vm in
+  /// registration order while the Vm object is still fully alive
+  /// (before its LLC lines are released).  Monitors use this to abort
+  /// sampling campaigns targeting the departing VM; controllers to
+  /// stop charging it.
+  using VmRemovedHook = std::function<void(Hypervisor&, Vm&)>;
+  void add_vm_removed_hook(VmRemovedHook hook) {
+    vm_removed_hooks_.push_back(std::move(hook));
+  }
+
+  /// Hot-path arena introspection: the zero-alloc churn gate pins
+  /// that steady-state churn stops growing it once ref-block
+  /// recycling kicks in (tests/hv/zero_alloc_test.cpp).
+  const BumpArena& exec_arena() const { return exec_arena_; }
 
   /// Per-core idle ticks so far (no runnable vCPU or punished VMs).
   std::int64_t idle_ticks(int core) const;
@@ -141,9 +183,14 @@ class Hypervisor {
   /// admission time, never from the tick loop, and all vCPUs' hot
   /// buffers land contiguously instead of scattered across the heap.
   BumpArena exec_arena_;
-  std::vector<std::unique_ptr<Vm>> vms_;
+  std::vector<std::unique_ptr<Vm>> vms_;  // by vm id; null = destroyed
   std::vector<TickHook> tick_hooks_;
   std::vector<AccountHook> account_hooks_;
+  std::vector<VmRemovedHook> vm_removed_hooks_;
+  /// Ref-blocks of destroyed vCPUs, recycled by create_vm so
+  /// steady-state churn stops growing the arena once the live-VM
+  /// high-water mark is reached (the zero-alloc churn gate).
+  std::vector<workloads::AccessRef*> free_ref_blocks_;
   Tick now_ = 0;
   int next_vcpu_id_ = 0;
   int next_default_core_ = 0;

@@ -27,6 +27,13 @@ void PiscesScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
   owner_[new_core] = &vcpu;
 }
 
+void PiscesScheduler::vcpu_removed(Vcpu& vcpu) {
+  const auto core = static_cast<std::size_t>(vcpu.pinned_core());
+  KYOTO_CHECK(core < owner_.size());
+  KYOTO_CHECK_MSG(owner_[core] == &vcpu, "departing vCPU did not own its core");
+  owner_[core] = nullptr;
+}
+
 bool PiscesScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
 
 Vcpu* PiscesScheduler::pick(int core, Tick /*now*/) {

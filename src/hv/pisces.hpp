@@ -25,6 +25,8 @@ class PiscesScheduler : public Scheduler {
   /// own their cores); violations throw.
   void vcpu_added(Vcpu& vcpu) override;
   void vcpu_migrated(Vcpu& vcpu, int old_core) override;
+  /// Destroying an enclave releases its core for a later enclave.
+  void vcpu_removed(Vcpu& vcpu) override;
   Vcpu* pick(int core, Tick now) override;
   void account(Vcpu& vcpu, const RunReport& report) override {
     (void)vcpu;

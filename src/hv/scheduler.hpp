@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "hv/vm.hpp"
 #include "pmc/counters.hpp"
@@ -40,6 +41,17 @@ class Scheduler {
 
   /// Re-homes a vCPU after migration to a new pinned core.
   virtual void vcpu_migrated(Vcpu& vcpu, int old_core) = 0;
+
+  /// Unregisters a vCPU whose VM is being destroyed: the scheduler
+  /// must drop it from every runqueue and forget its per-id state so
+  /// the next pick() cannot return it.  Called at a tick boundary
+  /// (never from inside execution), before the VM object dies.  The
+  /// default rejects destruction so schedulers that predate churn
+  /// fail loudly instead of dangling.
+  virtual void vcpu_removed(Vcpu& vcpu) {
+    KYOTO_CHECK_MSG(false, "scheduler " << name() << " cannot remove vCPU " << vcpu.id()
+                                        << ": vcpu_removed not implemented");
+  }
 
   /// Chooses the vCPU to run on `core` for tick `now`; nullptr idles
   /// the core.  A vCPU must never be returned for two cores in the

@@ -18,6 +18,17 @@ void PollutionController::attach(hv::Hypervisor& hv) {
   hv_ = &hv;
   monitor_->attach(hv);
   hv.add_tick_hook([this](hv::Hypervisor& h, Tick now) { on_tick(h, now); });
+  hv.add_vm_removed_hook([this](hv::Hypervisor&, hv::Vm& vm) { vm_removed(vm); });
+}
+
+void PollutionController::vm_removed(hv::Vm& vm) {
+  monitor_->vm_removed(vm);
+  const auto id = static_cast<std::size_t>(vm.id());
+  if (id < states_.size()) {
+    // The slot survives as the departed tenant's final accounting
+    // record (state_by_id), but punishment must stop ticking.
+    states_[id].punished = false;
+  }
 }
 
 PollutionController::VmState& PollutionController::slot(const hv::Vm& vm) {
@@ -84,10 +95,13 @@ bool PollutionController::demoted(const hv::Vm& vm) const {
 }
 
 const PollutionController::VmState& PollutionController::state(const hv::Vm& vm) const {
+  return state_by_id(vm.id());
+}
+
+const PollutionController::VmState& PollutionController::state_by_id(int vm_id) const {
   static const VmState kEmpty{};
-  const auto id = static_cast<std::size_t>(vm.id());
-  if (id >= states_.size()) return kEmpty;
-  return states_[id];
+  if (vm_id < 0 || static_cast<std::size_t>(vm_id) >= states_.size()) return kEmpty;
+  return states_[static_cast<std::size_t>(vm_id)];
 }
 
 void PollutionController::on_tick(hv::Hypervisor& hv, Tick now) {

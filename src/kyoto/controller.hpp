@@ -99,11 +99,17 @@ class PollutionController {
   PunishMode punish_mode() const { return params_.punish_mode; }
 
   const VmState& state(const hv::Vm& vm) const;
+  /// Same, by id — valid for departed tenants too (churn metrics read
+  /// the final accounting record after the Vm object is gone).
+  const VmState& state_by_id(int vm_id) const;
   PollutionMonitor& monitor() { return *monitor_; }
   const PollutionMonitor& monitor() const { return *monitor_; }
 
  private:
   void on_tick(hv::Hypervisor& hv, Tick now);
+  /// Hypervisor vm-removed hook: forwards to the monitor (campaign
+  /// aborts) and freezes the departing VM's punishment accounting.
+  void vm_removed(hv::Vm& vm);
   VmState& slot(const hv::Vm& vm);
 
   std::unique_ptr<PollutionMonitor> monitor_;

@@ -71,9 +71,11 @@ GroundTruthShadow::GroundTruthShadow(hv::Hypervisor& hv,
   cursors_.resize(static_cast<std::size_t>(n));
   samples_.resize(static_cast<std::size_t>(n));
   for (int vm_id = 0; vm_id < n; ++vm_id) {
+    const hv::Vm* vm = hv.find_vm(vm_id);
+    if (vm == nullptr) continue;  // departed before the shadow attached
     VmCursor& cursor = cursors_[static_cast<std::size_t>(vm_id)];
     cursor.last = read_ground_truth(hv, vm_id);
-    cursor.last_counters = hv.vm(vm_id).counters();
+    cursor.last_counters = vm->counters();
   }
   hv.add_account_hook(
       [this](hv::Vcpu& vcpu, const hv::RunReport& report) { on_account(vcpu, report); });
@@ -106,8 +108,10 @@ void GroundTruthShadow::on_tick(hv::Hypervisor& hv, Tick now) {
   for (std::size_t idx = 0; idx < n; ++idx) {
     VmCursor& cursor = cursors_[idx];
     const int vm_id = static_cast<int>(idx);
+    const hv::Vm* vm = hv.find_vm(vm_id);
+    if (vm == nullptr) continue;  // departed: its sample stream simply ends
     const GroundTruthReading reading = read_ground_truth(hv, vm_id);
-    const pmc::CounterSet counters = hv.vm(vm_id).counters();
+    const pmc::CounterSet counters = vm->counters();
     // A VM admitted mid-run gets a default (all-zero) cursor, which is
     // the correct baseline: its counters started at zero, so its first
     // sample covers exactly its first tick.

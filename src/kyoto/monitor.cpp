@@ -260,6 +260,22 @@ void SocketDedicationMonitor::on_tick(hv::Hypervisor& hv, Tick now) {
   }
 }
 
+void SocketDedicationMonitor::vm_removed(hv::Vm& vm) {
+  // Forget displaced vCPUs that belong to the departing VM: they are
+  // about to die and must never be migrated back.
+  displaced_.erase(std::remove_if(displaced_.begin(), displaced_.end(),
+                                  [&vm](const Displaced& d) { return &d.vcpu->vm() == &vm; }),
+                   displaced_.end());
+  if (target_ == &vm) {
+    // Abort the in-flight step (kWarming/kSampling): the window can
+    // never finish, so return the surviving displaced vCPUs home and
+    // go idle.  The stale next_event_ just schedules the next step.
+    if (hv_ != nullptr) return_displaced(*hv_);
+    target_ = nullptr;
+    phase_ = Phase::kIdle;
+  }
+}
+
 double SocketDedicationMonitor::cached_rate(int vm_id) const {
   if (vm_id < 0 || static_cast<std::size_t>(vm_id) >= cache_.size()) return -1.0;
   return cache_[static_cast<std::size_t>(vm_id)];

@@ -72,6 +72,13 @@ class PollutionMonitor {
     (void)now;
   }
 
+  /// A VM is being destroyed (churn departure); called from the
+  /// hypervisor's vm-removed hooks with the Vm object still alive.
+  /// Monitors holding raw Vm/Vcpu pointers or campaigns targeting it
+  /// must drop them here.  Default: nothing — plain per-id caches are
+  /// harmless because ids are never reused.
+  virtual void vm_removed(hv::Vm& vm) { (void)vm; }
+
  protected:
   /// Pre-sizes a per-VM slot vector to the hypervisor's VM count
   /// (slots start at -1 = "never sampled").  Called from cold spots —
@@ -156,6 +163,11 @@ class SocketDedicationMonitor final : public PollutionMonitor {
   void attach(hv::Hypervisor& hv) override;
   double pollution_rate(hv::Vcpu& vcpu, const hv::RunReport& report) override;
   void on_tick(hv::Hypervisor& hv, Tick now) override;
+  /// Aborts any in-flight campaign step involving the departing VM:
+  /// its displaced vCPUs are forgotten (they are about to die), and if
+  /// it was the sampling target the remaining displaced vCPUs return
+  /// home immediately and the monitor goes idle.
+  void vm_removed(hv::Vm& vm) override;
 
   double cached_rate(int vm_id) const;
   /// Counters for the ablation bench.

@@ -1,0 +1,161 @@
+// Cloud-churn scenario engine: event-driven VM arrival/departure.
+//
+// The paper evaluates Kyoto on static VM placements, but the system
+// it targets is a public cloud where tenants come and go ("the
+// provider cannot know in advance which VMs will be polluters").  The
+// churn engine replays a deterministic arrival/departure trace
+// (sim/churn_trace.hpp) over a live hypervisor: at each tick boundary
+// it admits due arrivals as fresh VMs, evicts tenants whose lifetime
+// expired (Hypervisor::destroy_vm), and records per-tenant metrics —
+// including the tick at which the Kyoto controller first punished an
+// arriving polluter, the time-to-detect figure.
+//
+// Admission control mirrors a capacity-gated cloud: a tenant needs
+// `tenant_vcpus` exclusively-owned free cores and the live-tenant
+// count must stay under `max_tenants`.  Arrivals that do not fit wait
+// in a bounded FIFO deferral queue (retried every tick, admitted in
+// arrival order); when the queue is full they are rejected.  Static
+// VMs placed by the surrounding scenario own their pinned cores
+// forever.
+//
+// Everything the engine does happens in the tick's serial epilogue
+// (its tick hook) or before the run starts, never during tick
+// execution — so churn preserves the simulator's bit-identical
+// threading contract (tests/sim/churn_equivalence_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+#include "sim/churn_trace.hpp"
+#include "sim/experiment.hpp"
+
+namespace kyoto::core {
+class PollutionController;
+}
+
+namespace kyoto::sim {
+
+/// What churns: the trace (generated or explicit) plus the tenant
+/// template each arrival instantiates.
+struct ChurnPlan {
+  /// Generator config; ignored when `explicit_trace` is non-empty.
+  ChurnTraceConfig trace;
+  /// Replay exactly these events instead of generating (the replay ==
+  /// generator equivalence gate feeds a generated trace back here).
+  std::vector<ChurnEvent> explicit_trace;
+
+  /// Template VmConfig for every tenant; `name` becomes a prefix
+  /// ("<name>-<tenant index>").
+  hv::VmConfig tenant_config;
+  /// Arrival i runs apps[i % apps.size()] — a deterministic tenant
+  /// mix.  At least one factory required.
+  std::vector<WorkloadFactory> apps;
+  /// Labels parallel to `apps`, recorded in TenantMetrics::app.
+  std::vector<std::string> app_ids;
+
+  /// vCPUs (= exclusively owned cores) per tenant.
+  int tenant_vcpus = 1;
+  /// Live-tenant cap; 0 = bounded only by free cores.
+  int max_tenants = 0;
+  /// Deferral-queue capacity; arrivals beyond it are rejected.
+  int defer_queue = 8;
+};
+
+class ChurnEngine {
+ public:
+  /// One tenant's life, closed out at departure (or finalize()).
+  /// Counter fields are VM-lifetime totals — a tenant's counters start
+  /// at zero on admission, so no baseline is needed.
+  struct TenantMetrics {
+    int vm_id = -1;  // -1 = never admitted (deferred forever / rejected)
+    std::string app;
+    Tick arrival_tick = -1;
+    Tick admitted_tick = -1;   // -1 = never admitted
+    Tick departed_tick = -1;   // -1 = still live (or never admitted)
+    Tick lifetime_ticks = 0;   // from the trace; 0 = forever
+    bool rejected = false;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t llc_references = 0;
+    std::uint64_t llc_misses = 0;
+    std::int64_t punish_events = 0;
+    std::int64_t punished_ticks = 0;
+    /// First tick the Kyoto controller had this tenant punished; -1 =
+    /// never (or no Kyoto scheduler).  first_punished_tick -
+    /// admitted_tick is the time-to-detect for an arriving polluter.
+    Tick first_punished_tick = -1;
+
+    bool operator==(const TenantMetrics&) const = default;
+  };
+
+  struct Stats {
+    std::int64_t arrivals = 0;
+    std::int64_t admitted = 0;
+    std::int64_t deferred = 0;  // arrivals that waited at least one tick
+    std::int64_t rejected = 0;
+    std::int64_t departed = 0;
+    int peak_live = 0;
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  /// Binds to a built (not yet run) hypervisor: resolves the trace,
+  /// marks existing VMs' cores as statically owned, registers the
+  /// tick hook and admits tick-0 arrivals.  `seed` feeds the
+  /// splitmix64 chain that seeds tenant workloads (admission order),
+  /// independent of the trace seed.  Must outlive the run.
+  ChurnEngine(hv::Hypervisor& hv, ChurnPlan plan, std::uint64_t seed);
+
+  ChurnEngine(const ChurnEngine&) = delete;
+  ChurnEngine& operator=(const ChurnEngine&) = delete;
+
+  /// Closes out still-live tenants' metrics (departed_tick stays -1).
+  /// Idempotent; call after the run, before reading tenants().
+  void finalize();
+
+  const std::vector<TenantMetrics>& tenants() const { return tenants_; }
+  const Stats& stats() const { return stats_; }
+  /// The resolved event stream actually driving the run.
+  const std::vector<ChurnEvent>& trace() const { return trace_; }
+  int live_tenants() const { return static_cast<int>(live_.size()); }
+
+ private:
+  void on_tick(Tick now);
+  /// Applies every event due strictly before `next_tick` executes:
+  /// departures first (freeing capacity), then deferred retries, then
+  /// new arrivals.
+  void advance_to(Tick next_tick);
+  bool can_admit() const;
+  void admit(std::size_t tenant, Tick now);
+  void depart(std::size_t tenant, Tick now);
+  /// Snapshots a tenant's final counters/punishment record.
+  void close_out(TenantMetrics& t);
+  void poll_punishment(Tick now);
+
+  hv::Hypervisor& hv_;
+  ChurnPlan plan_;
+  const core::PollutionController* controller_ = nullptr;
+  std::vector<ChurnEvent> trace_;
+  std::size_t next_event_ = 0;
+  std::uint64_t seed_state_ = 0;
+
+  std::vector<TenantMetrics> tenants_;
+  std::vector<std::size_t> live_;      // tenant indices, admission order
+  std::deque<std::size_t> deferred_;   // tenant indices, arrival order
+  /// tenant index keyed by departure tick (multimap: same-tick
+  /// departures processed in admission order).
+  std::multimap<Tick, std::size_t> departures_;
+  /// Per-core owner: -1 free, -2 static (pre-existing VM), else
+  /// tenant index.
+  std::vector<int> core_owner_;
+  Stats stats_;
+  bool finalized_ = false;
+};
+
+}  // namespace kyoto::sim

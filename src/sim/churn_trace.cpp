@@ -1,0 +1,149 @@
+#include "sim/churn_trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/farm_codec.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+/// One Bernoulli trial.  Always consumes exactly one RNG draw so the
+/// stream position after a tick is independent of the outcome — the
+/// property the golden fingerprints pin.
+bool bernoulli(Rng& rng, double p) {
+  const std::uint64_t draw = rng();
+  if (p <= 0.0) return false;
+  // 0x1p64 cannot be represented in uint64_t; saturate first.
+  const double scaled = p * 0x1p64;
+  if (scaled >= 0x1p64) return true;
+  return draw < static_cast<std::uint64_t>(scaled);
+}
+
+/// Geometric lifetime on {1, 2, ...} with the configured mean — the
+/// discrete-time analogue of an exponential holding time.  mean <= 0
+/// encodes "stays forever" (lifetime 0, no draws).
+Tick draw_lifetime(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  const double q = mean <= 1.0 ? 1.0 : 1.0 / mean;
+  Tick life = 1;
+  while (!bernoulli(rng, q)) ++life;
+  return life;
+}
+
+/// Triangle wave in [-1, 1] with period 1: tri(0) = -1 (night),
+/// tri(0.5) = +1 (noon).  Exact double arithmetic — no libm.
+double triangle(double x) {
+  const double d = x < 0.5 ? 0.5 - x : x - 0.5;  // distance to noon, [0, 0.5]
+  return 1.0 - 4.0 * d;
+}
+
+}  // namespace
+
+const char* churn_kind_name(ChurnTraceConfig::Kind kind) {
+  switch (kind) {
+    case ChurnTraceConfig::Kind::kPoisson: return "poisson";
+    case ChurnTraceConfig::Kind::kDiurnal: return "diurnal";
+    case ChurnTraceConfig::Kind::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+std::vector<ChurnEvent> generate_churn_trace(const ChurnTraceConfig& config) {
+  KYOTO_CHECK_MSG(config.arrival_rate >= 0.0 && config.arrival_rate < 1.0,
+                  "arrival_rate is a per-tick Bernoulli probability; got "
+                      << config.arrival_rate);
+  KYOTO_CHECK_MSG(config.horizon_ticks >= 0, "negative churn horizon");
+  if (config.kind == ChurnTraceConfig::Kind::kDiurnal) {
+    KYOTO_CHECK_MSG(config.period_ticks > 0, "diurnal period must be positive");
+    KYOTO_CHECK_MSG(config.amplitude >= 0.0 && config.amplitude <= 1.0,
+                    "diurnal amplitude must be in [0, 1]");
+  }
+  if (config.kind == ChurnTraceConfig::Kind::kBursty) {
+    KYOTO_CHECK_MSG(config.burst_rate >= 0.0 && config.burst_rate < 1.0,
+                    "burst_rate is a per-tick Bernoulli probability");
+    KYOTO_CHECK_MSG(config.burst_size > 0, "burst_size must be positive");
+  }
+
+  Rng rng(config.seed);
+  std::vector<ChurnEvent> trace;
+  for (Tick t = 0; t < config.horizon_ticks; ++t) {
+    // Fixed per-tick draw order: arrival trial(s), then one lifetime
+    // per arrival, in arrival order.
+    int arrivals = 0;
+    switch (config.kind) {
+      case ChurnTraceConfig::Kind::kPoisson:
+        arrivals = bernoulli(rng, config.arrival_rate) ? 1 : 0;
+        break;
+      case ChurnTraceConfig::Kind::kDiurnal: {
+        const double x =
+            static_cast<double>(t % config.period_ticks) / static_cast<double>(config.period_ticks);
+        const double rate = config.arrival_rate * (1.0 + config.amplitude * triangle(x));
+        arrivals = bernoulli(rng, rate) ? 1 : 0;
+        break;
+      }
+      case ChurnTraceConfig::Kind::kBursty:
+        arrivals = bernoulli(rng, config.arrival_rate) ? 1 : 0;
+        if (bernoulli(rng, config.burst_rate)) arrivals += config.burst_size;
+        break;
+    }
+    for (int i = 0; i < arrivals; ++i) {
+      trace.push_back(ChurnEvent{t, draw_lifetime(rng, config.mean_lifetime_ticks)});
+    }
+  }
+  return trace;
+}
+
+std::string format_churn_trace(const std::vector<ChurnEvent>& trace) {
+  std::string out;
+  for (const ChurnEvent& e : trace) {
+    out += std::to_string(e.tick);
+    out += ' ';
+    out += std::to_string(e.lifetime);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<ChurnEvent> parse_churn_trace(const std::string& text) {
+  std::vector<ChurnEvent> trace;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    std::istringstream fields(line.substr(start));
+    ChurnEvent event;
+    if (!(fields >> event.tick >> event.lifetime)) {
+      throw std::runtime_error("churn trace line " + std::to_string(line_no) +
+                               ": expected \"tick lifetime\", got \"" + line + "\"");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::runtime_error("churn trace line " + std::to_string(line_no) +
+                               ": trailing junk \"" + extra + "\"");
+    }
+    if (event.tick < 0 || event.lifetime < 0) {
+      throw std::runtime_error("churn trace line " + std::to_string(line_no) +
+                               ": negative tick or lifetime");
+    }
+    if (!trace.empty() && event.tick < trace.back().tick) {
+      throw std::runtime_error("churn trace line " + std::to_string(line_no) +
+                               ": ticks must be non-decreasing");
+    }
+    trace.push_back(event);
+  }
+  return trace;
+}
+
+std::uint64_t churn_trace_fingerprint(const std::vector<ChurnEvent>& trace) {
+  return farm::fnv1a(format_churn_trace(trace));
+}
+
+}  // namespace kyoto::sim

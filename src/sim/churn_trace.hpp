@@ -1,0 +1,81 @@
+// Deterministic VM arrival/departure traces for the churn engine.
+//
+// A trace is a tick-ordered list of tenant arrivals, each carrying a
+// lifetime; the engine derives departures (admission tick + lifetime).
+// Three seeded generators cover the shapes real multi-tenant hosts
+// see, and a plain text format makes any trace replayable:
+//
+//  * Poisson — a Bernoulli arrival process per 10 ms tick (the
+//    discrete-time Poisson process): inter-arrival gaps are geometric,
+//    the discrete analogue of exponential.  Lifetimes are geometric
+//    with the configured mean (discrete exponential, again).
+//  * diurnal — the Poisson process thinned by a triangular day/night
+//    wave: rate(t) = base * (1 + amplitude * tri(t / period)), where
+//    tri is a triangle wave in [-1, 1].  (A triangle instead of a
+//    sine keeps the generator free of libm calls, so golden trace
+//    fingerprints are identical on every platform.)
+//  * bursty — the Poisson baseline plus flash crowds: burst epochs
+//    arrive as their own Bernoulli process and each epoch lands
+//    `burst_size` tenants on the same tick.
+//
+// Generation order is fixed (per tick: arrival draw(s), then one
+// lifetime draw per arrival), so a (config, seed) pair maps to
+// exactly one event stream — tests/sim/churn_trace_test.cpp pins FNV
+// fingerprints per seed and chi-square gates the distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace kyoto::sim {
+
+/// One tenant arrival.  `lifetime` is the number of ticks between
+/// admission and departure; 0 means the tenant never leaves.
+struct ChurnEvent {
+  Tick tick = 0;
+  Tick lifetime = 0;
+
+  bool operator==(const ChurnEvent&) const = default;
+};
+
+struct ChurnTraceConfig {
+  enum class Kind { kPoisson, kDiurnal, kBursty };
+
+  Kind kind = Kind::kPoisson;
+  /// Expected arrivals per tick (Bernoulli probability; must be < 1).
+  double arrival_rate = 0.05;
+  /// Mean tenant lifetime in ticks (geometric); <= 0 = tenants stay
+  /// forever (lifetime 0).
+  double mean_lifetime_ticks = 60.0;
+  /// Arrivals are generated for ticks [0, horizon_ticks).
+  Tick horizon_ticks = 600;
+  /// Diurnal wave period and relative amplitude (0..1).
+  Tick period_ticks = 200;
+  double amplitude = 0.8;
+  /// Bursty: expected flash-crowd epochs per tick, tenants per epoch.
+  double burst_rate = 0.005;
+  int burst_size = 8;
+  std::uint64_t seed = 1;
+};
+
+const char* churn_kind_name(ChurnTraceConfig::Kind kind);
+
+/// Generates the (config, seed)-deterministic arrival stream,
+/// tick-ordered (same-tick arrivals in draw order).
+std::vector<ChurnEvent> generate_churn_trace(const ChurnTraceConfig& config);
+
+/// Canonical text form: one "tick lifetime" line per event, trailing
+/// newline, '#' comments and blank lines ignored by the parser.
+std::string format_churn_trace(const std::vector<ChurnEvent>& trace);
+/// Parses the text form; throws std::runtime_error on malformed input
+/// or out-of-order ticks.
+std::vector<ChurnEvent> parse_churn_trace(const std::string& text);
+
+/// FNV-1a 64 over the canonical text form — the golden-pin identity
+/// of a trace.
+std::uint64_t churn_trace_fingerprint(const std::vector<ChurnEvent>& trace);
+
+}  // namespace kyoto::sim

@@ -7,9 +7,24 @@
 #include "kyoto/ks4pisces.hpp"
 #include "kyoto/ks4xen.hpp"
 #include "kyoto/pollution.hpp"
+#include "sim/churn_engine.hpp"
 
 namespace kyoto::sim {
 namespace {
+
+/// Seed for a spec's churn engine: decorrelated from the VmPlan
+/// workload-seed chain (which starts at spec.seed itself).
+std::uint64_t churn_seed(const RunSpec& spec) {
+  std::uint64_t state = spec.seed ^ 0x636875726e5f7673ull;  // "churn_vs"
+  return splitmix64(state);
+}
+
+/// Attaches the churn engine when the spec asks for one (before
+/// warm-up, so tick-0 arrivals land exactly like planned VMs).
+std::unique_ptr<ChurnEngine> maybe_churn(const RunSpec& spec, hv::Hypervisor& hv) {
+  if (spec.churn == nullptr) return nullptr;
+  return std::make_unique<ChurnEngine>(hv, *spec.churn, churn_seed(spec));
+}
 
 pmc::CounterSet vm_counters(hv::Vm& vm) { return vm.counters(); }
 
@@ -60,15 +75,19 @@ RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans) {
 RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
                         const HvObserver& observe) {
   auto hv = build_scenario(spec, plans);
+  const auto churn = maybe_churn(spec, *hv);
   if (observe != nullptr) observe(*hv);
   hv->run_ticks(spec.warmup_ticks);
 
-  // Snapshot at window start.
-  std::vector<pmc::CounterSet> before;
-  before.reserve(plans.size());
-  for (hv::Vm* vm : hv->vms()) before.push_back(vm_counters(*vm));
-  std::vector<std::int64_t> punish_before(plans.size(), 0);
-  std::vector<std::int64_t> punished_ticks_before(plans.size(), 0);
+  // Snapshot at window start, keyed by VM id: churn can admit and
+  // destroy VMs mid-window, so positional indexing into vms() would
+  // misattribute baselines.  A VM admitted after the snapshot gets a
+  // zero baseline — exactly right, its counters started at zero.
+  const auto ids_at_start = static_cast<std::size_t>(hv->vm_count());
+  std::vector<pmc::CounterSet> before(ids_at_start);
+  std::vector<char> present(ids_at_start, 0);
+  std::vector<std::int64_t> punish_before(ids_at_start, 0);
+  std::vector<std::int64_t> punished_ticks_before(ids_at_start, 0);
   const auto* controller = [&]() -> const core::PollutionController* {
     // Expose Kyoto introspection when the scheduler is a Kyoto one.
     if (auto* ks = dynamic_cast<core::Ks4Xen*>(&hv->scheduler())) return &ks->kyoto();
@@ -76,11 +95,13 @@ RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
     if (auto* ks = dynamic_cast<core::Ks4Pisces*>(&hv->scheduler())) return &ks->kyoto();
     return nullptr;
   }();
-  if (controller != nullptr) {
-    const auto vms = hv->vms();
-    for (std::size_t i = 0; i < vms.size(); ++i) {
-      punish_before[i] = controller->state(*vms[i]).punish_events;
-      punished_ticks_before[i] = controller->state(*vms[i]).punished_ticks;
+  for (hv::Vm* vm : hv->vms()) {
+    const auto id = static_cast<std::size_t>(vm->id());
+    before[id] = vm_counters(*vm);
+    present[id] = 1;
+    if (controller != nullptr) {
+      punish_before[id] = controller->state(*vm).punish_events;
+      punished_ticks_before[id] = controller->state(*vm).punished_ticks;
     }
   }
 
@@ -88,14 +109,20 @@ RunOutcome run_scenario(const RunSpec& spec, const std::vector<VmPlan>& plans,
 
   RunOutcome outcome;
   outcome.measured_ticks = spec.measure_ticks;
-  const auto vms = hv->vms();
-  for (std::size_t i = 0; i < vms.size(); ++i) {
-    const pmc::CounterSet delta = vm_counters(*vms[i]) - before[i];
-    VmMetrics m = metrics_from_delta(vms[i]->name(), delta, hv->machine().freq_khz(),
+  for (hv::Vm* vm : hv->vms()) {
+    // VMs that departed mid-window are simply absent here; the churn
+    // engine keeps their lifetime records.
+    const auto id = static_cast<std::size_t>(vm->id());
+    const bool baselined = id < ids_at_start && present[id] != 0;
+    const pmc::CounterSet delta =
+        baselined ? vm_counters(*vm) - before[id] : vm_counters(*vm);
+    VmMetrics m = metrics_from_delta(vm->name(), delta, hv->machine().freq_khz(),
                                      spec.measure_ticks);
     if (controller != nullptr) {
-      m.punish_events = controller->state(*vms[i]).punish_events - punish_before[i];
-      m.punished_ticks = controller->state(*vms[i]).punished_ticks - punished_ticks_before[i];
+      m.punish_events =
+          controller->state(*vm).punish_events - (baselined ? punish_before[id] : 0);
+      m.punished_ticks = controller->state(*vm).punished_ticks -
+                         (baselined ? punished_ticks_before[id] : 0);
     }
     outcome.vms.push_back(std::move(m));
   }
@@ -111,7 +138,10 @@ RunOutcome run_to_completion(const RunSpec& spec, const std::vector<VmPlan>& pla
                              std::size_t target, Tick max_ticks) {
   KYOTO_CHECK(target < plans.size());
   auto hv = build_scenario(spec, plans);
-  hv::Vm& vm = *hv->vms()[target];
+  const auto churn = maybe_churn(spec, *hv);
+  // Plan VMs get the first ids and are never churned out, so the
+  // target is addressable by id even when tenants come and go.
+  hv::Vm& vm = hv->vm(static_cast<int>(target));
   KYOTO_CHECK_MSG(vm.vcpu(0).workload().spec().length > 0,
                   "run_to_completion needs a finite-length workload");
   hv->run_until([&] { return vm.vcpu(0).completed_runs() > 0; }, max_ticks);

@@ -31,6 +31,8 @@ using WorkloadFactory =
 /// Factory for the scheduler under test.
 using SchedulerFactory = std::function<std::unique_ptr<hv::Scheduler>()>;
 
+struct ChurnPlan;  // sim/churn_engine.hpp
+
 /// Machine + scheduler + measurement window.
 struct RunSpec {
   hv::MachineConfig machine;
@@ -46,6 +48,11 @@ struct RunSpec {
   /// (tests/integration/parallel_equivalence_test.cpp), so this is
   /// purely a wall-clock knob.
   int threads = 1;
+  /// Optional tenant churn: arrivals/departures from a deterministic
+  /// trace, applied across warm-up AND measurement (the engine runs
+  /// for the whole scenario).  Shared-const so RunSpec stays cheaply
+  /// copyable for sweep fan-out.  Null = static scenario.
+  std::shared_ptr<const ChurnPlan> churn;
 };
 
 /// One VM to place.
@@ -85,7 +92,10 @@ struct VmMetrics {
 };
 
 struct RunOutcome {
-  std::vector<VmMetrics> vms;  // in VmPlan order
+  /// In VmPlan order.  Under churn, the VMs alive at window end in id
+  /// order (plan VMs first): departed tenants are excluded here —
+  /// ChurnEngine::tenants() carries their full records.
+  std::vector<VmMetrics> vms;
   Tick measured_ticks = 0;
   /// Completion-mode results (run_to_completion / SweepRunner::
   /// add_completion — the Figs 8 & 12 job shape): the virtual

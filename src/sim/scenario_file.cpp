@@ -13,6 +13,7 @@
 #include "kyoto/ks4linux.hpp"
 #include "kyoto/ks4pisces.hpp"
 #include "kyoto/ks4xen.hpp"
+#include "sim/churn_engine.hpp"
 #include "workloads/catalog.hpp"
 
 namespace kyoto::sim {
@@ -141,7 +142,24 @@ Scenario parse_scenario(const std::string& text) {
   };
   std::vector<PendingVm> vms;
 
-  enum class Section { kNone, kMachine, kScheduler, kWorkload, kVm, kRun };
+  // Collected [churn] keys; factories are resolved after the whole
+  // file is parsed (like the [vm] apps, so [workload] applies).
+  struct PendingChurn {
+    bool declared = false;
+    int declared_line = 0;
+    std::string trace = "poisson";
+    int trace_line = 0;
+    std::vector<std::string> apps;
+    int apps_line = 0;
+    ChurnTraceConfig config;
+    hv::VmConfig tenant;
+    int vcpus = 1;
+    int max_tenants = 0;
+    int defer_queue = 8;
+  };
+  PendingChurn churn;
+
+  enum class Section { kNone, kMachine, kScheduler, kWorkload, kVm, kRun, kChurn };
   Section section = Section::kNone;
 
   std::istringstream in(text);
@@ -170,6 +188,10 @@ Scenario parse_scenario(const std::string& text) {
         section = Section::kWorkload;
       } else if (kind == "run") {
         section = Section::kRun;
+      } else if (kind == "churn") {
+        section = Section::kChurn;
+        churn.declared = true;
+        churn.declared_line = line_no;
       } else if (kind == "vm") {
         if (space == std::string::npos) fail(line_no, "[vm <name>] requires a name");
         section = Section::kVm;
@@ -297,6 +319,56 @@ Scenario parse_scenario(const std::string& text) {
         }
         break;
       }
+      case Section::kChurn: {
+        if (key == "trace") {
+          churn.trace = value;  // keep case: may be file:<path>
+          churn.trace_line = line_no;
+        } else if (key == "rate") {
+          churn.config.arrival_rate = parse_double(value, line_no);
+        } else if (key == "mean_lifetime") {
+          churn.config.mean_lifetime_ticks = parse_double(value, line_no);
+        } else if (key == "horizon") {
+          churn.config.horizon_ticks = parse_int(value, line_no);
+        } else if (key == "seed") {
+          churn.config.seed = static_cast<std::uint64_t>(parse_int(value, line_no));
+        } else if (key == "period") {
+          churn.config.period_ticks = parse_int(value, line_no);
+        } else if (key == "amplitude") {
+          churn.config.amplitude = parse_double(value, line_no);
+        } else if (key == "burst_rate") {
+          churn.config.burst_rate = parse_double(value, line_no);
+        } else if (key == "burst_size") {
+          churn.config.burst_size = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "apps") {
+          churn.apps.clear();
+          std::istringstream as(value);
+          std::string token;
+          while (std::getline(as, token, ',')) {
+            const std::string app = trim(token);
+            if (!app.empty()) churn.apps.push_back(app);
+          }
+          if (churn.apps.empty()) fail(line_no, "apps must list at least one app");
+          churn.apps_line = line_no;
+        } else if (key == "vcpus") {
+          churn.vcpus = static_cast<int>(parse_int(value, line_no));
+          if (churn.vcpus < 1) fail(line_no, "vcpus must be >= 1");
+        } else if (key == "max_tenants") {
+          churn.max_tenants = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "defer_queue") {
+          churn.defer_queue = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "llc_cap") {
+          churn.tenant.llc_cap = parse_double(value, line_no);
+        } else if (key == "weight") {
+          churn.tenant.weight = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "cap") {
+          churn.tenant.cpu_cap_percent = static_cast<int>(parse_int(value, line_no));
+        } else if (key == "loop") {
+          churn.tenant.loop_workload = parse_bool(value, line_no);
+        } else {
+          fail(line_no, "unknown [churn] key '" + key + "'");
+        }
+        break;
+      }
     }
   }
 
@@ -352,8 +424,54 @@ Scenario parse_scenario(const std::string& text) {
     fail(sched.declared_line, "unknown scheduler kind '" + kind + "'");
   }
 
+  // Churn plan (apps resolved now, like [vm] apps, so [workload] and
+  // [machine] apply wherever they appear in the file).
+  if (churn.declared) {
+    if (churn.apps.empty()) {
+      fail(churn.declared_line, "[churn] is missing apps =");
+    }
+    auto plan = std::make_shared<ChurnPlan>();
+    const std::string t = lower(churn.trace);
+    if (t.rfind("file:", 0) == 0) {
+      const std::string path = trim(churn.trace.substr(5));
+      std::ifstream tf(path);
+      if (!tf.good()) fail(churn.trace_line, "cannot open churn trace file '" + path + "'");
+      std::ostringstream buf;
+      buf << tf.rdbuf();
+      try {
+        plan->explicit_trace = parse_churn_trace(buf.str());
+      } catch (const std::exception& e) {
+        fail(churn.trace_line, e.what());
+      }
+    } else if (t == "poisson") {
+      churn.config.kind = ChurnTraceConfig::Kind::kPoisson;
+    } else if (t == "diurnal") {
+      churn.config.kind = ChurnTraceConfig::Kind::kDiurnal;
+    } else if (t == "bursty") {
+      churn.config.kind = ChurnTraceConfig::Kind::kBursty;
+    } else {
+      fail(churn.trace_line != 0 ? churn.trace_line : churn.declared_line,
+           "churn trace must be poisson | diurnal | bursty | file:<path>, got '" +
+               churn.trace + "'");
+    }
+    plan->trace = churn.config;
+    plan->tenant_config = churn.tenant;
+    plan->tenant_config.name = "tenant";
+    plan->tenant_vcpus = churn.vcpus;
+    plan->max_tenants = churn.max_tenants;
+    plan->defer_queue = churn.defer_queue;
+    for (const std::string& app : churn.apps) {
+      plan->apps.push_back(
+          app_factory_for(app, scenario.spec.machine.mem, churn.apps_line, scenario.stream));
+      plan->app_ids.push_back(app);
+    }
+    scenario.spec.churn = std::move(plan);
+  }
+
   // VM plans.
-  if (vms.empty()) throw std::logic_error("scenario defines no [vm] sections");
+  if (vms.empty() && !churn.declared) {
+    throw std::logic_error("scenario defines no [vm] sections (and no [churn])");
+  }
   const int total_cores = scenario.spec.machine.topology.total_cores();
   int next_core = 0;
   for (auto& vm : vms) {
@@ -391,8 +509,16 @@ Scenario load_scenario_file(const std::string& path) {
 }
 
 std::string scenario_report(const Scenario& scenario, const RunOutcome& outcome) {
-  KYOTO_CHECK_MSG(outcome.vms.size() == scenario.plans.size(),
-                  "outcome does not belong to this scenario");
+  // Under churn the outcome also carries whichever tenants were alive
+  // at window end (each row is self-naming), so only static scenarios
+  // pin the exact count.
+  if (scenario.spec.churn == nullptr) {
+    KYOTO_CHECK_MSG(outcome.vms.size() == scenario.plans.size(),
+                    "outcome does not belong to this scenario");
+  } else {
+    KYOTO_CHECK_MSG(outcome.vms.size() >= scenario.plans.size(),
+                    "outcome does not belong to this scenario");
+  }
   TextTable table({"VM", "IPC", "instr/tick", "llc_cap_act (miss/ms)", "punish events",
                    "punished ticks"});
   for (const auto& vm : outcome.vms) {

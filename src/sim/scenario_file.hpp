@@ -33,6 +33,25 @@
 //   measure_ticks = 60
 //   threads = 1               # per-job tick-execution threads (RunSpec::threads)
 //
+//   [churn]                   # optional: tenants churn mid-run
+//   trace = poisson           # poisson | diurnal | bursty | file:<path>
+//   rate = 0.05               # expected arrivals per tick
+//   mean_lifetime = 60        # ticks (geometric); 0 = tenants never leave
+//   horizon = 600             # arrivals occur in ticks [0, horizon)
+//   seed = 1                  # trace RNG seed (independent of [run] seed)
+//   period = 200              # diurnal wave period (ticks)
+//   amplitude = 0.8           # diurnal wave amplitude (0..1)
+//   burst_rate = 0.005        # bursty: flash-crowd epochs per tick
+//   burst_size = 8            # bursty: tenants per epoch
+//   apps = gcc,micro:c2dis    # tenant app mix, round-robin per arrival
+//   vcpus = 1                 # exclusively owned cores per tenant
+//   max_tenants = 0           # live-tenant cap; 0 = core-bounded only
+//   defer_queue = 8           # bounded deferral FIFO; overflow rejects
+//   llc_cap = 20              # tenant template, plus weight/cap/loop
+//
+// A churning scenario may omit [vm] sections entirely (the trace
+// populates the machine); a static one must define at least one.
+//
 // Parsing is strict: unknown sections/keys, malformed values and
 // unknown applications raise std::logic_error with a line number.
 #pragma once

@@ -52,7 +52,10 @@ std::size_t SweepRunner::add(RunSpec spec, std::vector<VmPlan> plans, HvObserver
                              std::string label) {
   // The same validation build_scenario performs, hoisted to the
   // submission thread: a lane's job function must not throw.
-  KYOTO_CHECK_MSG(!plans.empty(), "sweep job needs at least one VmPlan");
+  // A churning spec may start with zero planned VMs (tenants arrive
+  // from the trace); a static one needs at least one.
+  KYOTO_CHECK_MSG(!plans.empty() || spec.churn != nullptr,
+                  "sweep job needs at least one VmPlan (or a churn plan)");
   for (const auto& plan : plans) {
     KYOTO_CHECK_MSG(!plan.pinned_cores.empty(), "VmPlan needs at least one pinned core");
     KYOTO_CHECK_MSG(plan.workload != nullptr, "VmPlan needs a workload factory");
@@ -87,6 +90,9 @@ std::size_t SweepRunner::add_solo(const RunSpec& spec, const WorkloadFactory& fa
   // — use add() for it.)
   RunSpec solo_spec = spec;
   solo_spec.scheduler = RunSpec{}.scheduler;
+  // Same reasoning for churn: a solo baseline means the VM alone on
+  // the machine, and the memo key cannot see a churn plan.
+  solo_spec.churn = nullptr;
   VmPlan plan;
   plan.config.name = vm_name;
   plan.workload = factory;

@@ -163,5 +163,59 @@ TEST(ZeroAlloc, SteadyStateTickLoopDoesNotTouchTheHeap) {
   }
 }
 
+// Churn gate: admit/evict cycles recycle the destroyed vCPUs'
+// arena ref-blocks, so once the live-VM high-water mark is reached
+// the exec arena stops growing — and a quiesced tick loop after heavy
+// churn history is still allocation-free (the displaced-tag pool and
+// per-id vectors reached their steady span).
+TEST(ZeroAlloc, SteadyStateChurnStopsGrowingTheArena) {
+  const MachineConfig machine = scaled_machine();
+  const cache::MemSystemConfig& mem = machine.mem;
+  Hypervisor hv(machine, std::make_unique<CreditScheduler>());
+
+  hv.create_vm(VmConfig{.name = "static"},
+               endless_mix("static", mem.llc.size * 2, 0.7, false,
+                           workloads::StreamVersion::kV2, 3),
+               /*core=*/0);
+
+  std::uint64_t seed = 50;
+  const auto churn_generation = [&](int generations) {
+    for (int gen = 0; gen < generations; ++gen) {
+      std::vector<int> ids;
+      for (int core = 1; core < 4; ++core) {
+        ids.push_back(hv.create_vm(VmConfig{.name = "tenant"},
+                                   endless_mix("tenant", mem.llc.size, 0.7,
+                                               core == 2, workloads::StreamVersion::kV2,
+                                               seed++),
+                                   core)
+                          .id());
+      }
+      hv.run_ticks(6);
+      for (int id : ids) hv.destroy_vm(id);
+      hv.run_ticks(2);
+    }
+  };
+
+  churn_generation(3);  // reach the live-VM high-water mark
+  const std::size_t reserved = hv.exec_arena().bytes_reserved();
+  const std::size_t used = hv.exec_arena().bytes_used();
+
+  churn_generation(4);  // steady state: every block comes from recycling
+  EXPECT_EQ(hv.exec_arena().bytes_reserved(), reserved)
+      << "churn grew the exec arena past the high-water mark; ref-block "
+         "recycling is broken";
+  EXPECT_EQ(hv.exec_arena().bytes_used(), used);
+
+  // Quiesced ticks after the churn history are still allocation-free.
+  churn_generation(1);
+  hv.run_ticks(20);
+  g_allocations.store(0);
+  g_armed.store(true);
+  hv.run_ticks(12);
+  g_armed.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "the post-churn steady-state tick loop allocated";
+}
+
 }  // namespace
 }  // namespace kyoto::hv

@@ -1,0 +1,135 @@
+// Churn determinism gates.
+//
+// A churning scenario must stay bit-identical (whole-RunOutcome
+// equality, which is exact — VmMetrics::operator== is never weakened
+// to tolerances) across tick-execution thread counts {1,2,4} and
+// SweepRunner lane counts {1,2,4}, and a replayed explicit trace must
+// reproduce the generator-driven run event for event, byte for byte —
+// including the per-tenant lifetime records the engine collects.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kyoto/ks4xen.hpp"
+#include "kyoto/monitor.hpp"
+#include "sim/churn_engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/sweep_runner.hpp"
+#include "test_util.hpp"
+
+namespace kyoto::sim {
+namespace {
+
+std::shared_ptr<ChurnPlan> churn_plan(const hv::MachineConfig& machine) {
+  auto plan = std::make_shared<ChurnPlan>();
+  plan->trace.kind = ChurnTraceConfig::Kind::kPoisson;
+  plan->trace.arrival_rate = 0.15;
+  plan->trace.mean_lifetime_ticks = 8.0;
+  plan->trace.horizon_ticks = 40;
+  plan->trace.seed = 21;
+  plan->tenant_config.llc_cap = 15.0;
+  plan->tenant_config.loop_workload = true;
+  plan->apps = {test::app_factory("mcf", machine), test::app_factory("gcc", machine)};
+  plan->app_ids = {"mcf", "gcc"};
+  plan->defer_queue = 4;
+  return plan;
+}
+
+RunSpec churn_spec(int threads) {
+  RunSpec spec;
+  spec.machine = test::test_numa_machine();  // 2 sockets: threads matter
+  spec.scheduler = [] {
+    return std::make_unique<core::Ks4Xen>(std::make_unique<core::DirectPmcMonitor>());
+  };
+  spec.warmup_ticks = 3;
+  spec.measure_ticks = 30;
+  spec.threads = threads;
+  spec.churn = churn_plan(spec.machine);
+  return spec;
+}
+
+std::vector<VmPlan> victim_plan(const RunSpec& spec) {
+  VmPlan victim;
+  victim.config.name = "victim";
+  victim.config.llc_cap = 20.0;
+  victim.config.loop_workload = true;
+  victim.workload = test::app_factory("mcf", spec.machine);
+  victim.pinned_cores = {0};
+  return {victim};
+}
+
+TEST(ChurnEquivalence, RunOutcomeIsByteIdenticalAcrossThreadCounts) {
+  const RunOutcome serial = run_scenario(churn_spec(1), victim_plan(churn_spec(1)));
+  ASSERT_GT(serial.vms.size(), 1u) << "no tenant survived to the report; the gate "
+                                      "is not exercising churn";
+  for (int threads : {2, 4}) {
+    const RunSpec spec = churn_spec(threads);
+    EXPECT_EQ(run_scenario(spec, victim_plan(spec)), serial) << threads << " threads";
+  }
+}
+
+TEST(ChurnEquivalence, SweepOutcomesAreByteIdenticalAcrossLaneCounts) {
+  std::vector<std::vector<RunOutcome>> per_lanes;
+  for (int lanes : {1, 2, 4}) {
+    SweepRunner runner(lanes);
+    // Two churning jobs plus a static one, so lanes genuinely overlap.
+    runner.add(churn_spec(1), victim_plan(churn_spec(1)), "churn-a");
+    RunSpec b = churn_spec(1);
+    b.seed = 77;
+    runner.add(b, victim_plan(b), "churn-b");
+    RunSpec quiet = churn_spec(1);
+    quiet.churn = nullptr;
+    runner.add(quiet, victim_plan(quiet), "static");
+    per_lanes.push_back(runner.run());
+  }
+  ASSERT_EQ(per_lanes[0].size(), 3u);
+  EXPECT_EQ(per_lanes[1], per_lanes[0]);
+  EXPECT_EQ(per_lanes[2], per_lanes[0]);
+}
+
+TEST(ChurnEquivalence, ExplicitTraceReplayMatchesGeneratorRun) {
+  const RunSpec generated = churn_spec(1);
+
+  RunSpec replayed = churn_spec(1);
+  auto replay_plan = std::make_shared<ChurnPlan>(*replayed.churn);
+  replay_plan->explicit_trace = generate_churn_trace(replay_plan->trace);
+  ASSERT_FALSE(replay_plan->explicit_trace.empty());
+  replayed.churn = replay_plan;
+
+  EXPECT_EQ(run_scenario(replayed, victim_plan(replayed)),
+            run_scenario(generated, victim_plan(generated)));
+}
+
+/// The engine's own records — tenant lifetimes, counters, punishment,
+/// admission stats — must be identical across thread counts and
+/// between generator and replay.
+TEST(ChurnEquivalence, TenantRecordsAreIdenticalAcrossThreadsAndReplay) {
+  const auto run_engine = [](const RunSpec& spec) {
+    auto hv = build_scenario(spec, victim_plan(spec));
+    ChurnEngine engine(*hv, *spec.churn, /*seed=*/123);
+    hv->run_ticks(33);
+    engine.finalize();
+    return std::make_pair(engine.tenants(), engine.stats());
+  };
+
+  RunSpec base = churn_spec(1);
+  const auto [tenants, stats] = run_engine(base);
+  ASSERT_GT(stats.arrivals, 0);
+  ASSERT_GT(stats.departed, 0) << "no tenant departed in-window; weak scenario";
+
+  RunSpec threaded = churn_spec(4);
+  const auto [tenants_mt, stats_mt] = run_engine(threaded);
+  EXPECT_EQ(tenants_mt, tenants);
+  EXPECT_EQ(stats_mt, stats);
+
+  RunSpec replay = churn_spec(1);
+  auto replay_plan = std::make_shared<ChurnPlan>(*replay.churn);
+  replay_plan->explicit_trace = generate_churn_trace(replay_plan->trace);
+  replay.churn = replay_plan;
+  const auto [tenants_replay, stats_replay] = run_engine(replay);
+  EXPECT_EQ(tenants_replay, tenants);
+  EXPECT_EQ(stats_replay, stats);
+}
+
+}  // namespace
+}  // namespace kyoto::sim

@@ -7,6 +7,7 @@
 
 #include "hv/credit_scheduler.hpp"
 #include "kyoto/ks4xen.hpp"
+#include "sim/churn_engine.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace kyoto::sim {
@@ -192,6 +193,64 @@ TEST(ScenarioFile, UnknownMonitorFailsAtFactoryConstruction) {
   const Scenario s =
       parse_scenario("[scheduler]\nkind = ks4xen\nmonitor = crystal\n[vm a]\napp = gcc\n");
   EXPECT_THROW(s.spec.scheduler(), std::logic_error);
+}
+
+TEST(ScenarioFile, ChurnSectionBuildsAPlan) {
+  const Scenario s = parse_scenario(
+      "[churn]\n"
+      "trace = diurnal\n"
+      "rate = 0.1\n"
+      "mean_lifetime = 30\n"
+      "horizon = 90\n"
+      "period = 60\n"
+      "amplitude = 0.5\n"
+      "seed = 9\n"
+      "apps = gcc, micro:c2dis\n"
+      "vcpus = 1\n"
+      "max_tenants = 3\n"
+      "defer_queue = 2\n"
+      "llc_cap = 12\n"
+      "loop = true\n");
+  ASSERT_NE(s.spec.churn, nullptr);
+  EXPECT_TRUE(s.plans.empty());  // churn-only scenarios need no [vm]
+  const ChurnPlan& plan = *s.spec.churn;
+  EXPECT_EQ(plan.trace.kind, ChurnTraceConfig::Kind::kDiurnal);
+  EXPECT_DOUBLE_EQ(plan.trace.arrival_rate, 0.1);
+  EXPECT_EQ(plan.trace.horizon_ticks, 90);
+  EXPECT_EQ(plan.trace.seed, 9u);
+  ASSERT_EQ(plan.apps.size(), 2u);
+  EXPECT_EQ(plan.app_ids[1], "micro:c2dis");
+  EXPECT_EQ(plan.max_tenants, 3);
+  EXPECT_EQ(plan.defer_queue, 2);
+  EXPECT_DOUBLE_EQ(plan.tenant_config.llc_cap, 12.0);
+  EXPECT_TRUE(plan.tenant_config.loop_workload);
+  // The plan is runnable end to end (smoke; short window).
+  RunSpec spec = s.spec;
+  spec.warmup_ticks = 2;
+  spec.measure_ticks = 6;
+  const RunOutcome outcome = run_scenario(spec, s.plans);
+  EXPECT_EQ(outcome.measured_ticks, 6);
+}
+
+TEST(ScenarioFile, ChurnTraceFileReplays) {
+  const std::string path = ::testing::TempDir() + "/kyoto_churn_trace.txt";
+  {
+    std::ofstream out(path);
+    out << "# two tenants\n0 5\n3 0\n";
+  }
+  const Scenario s = parse_scenario("[churn]\ntrace = file:" + path +
+                                    "\napps = gcc\n[vm a]\napp = mcf\ncores = 0\n");
+  ASSERT_NE(s.spec.churn, nullptr);
+  ASSERT_EQ(s.spec.churn->explicit_trace.size(), 2u);
+  EXPECT_EQ(s.spec.churn->explicit_trace[0], (ChurnEvent{0, 5}));
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioFile, ChurnRejectsBadInput) {
+  EXPECT_THROW(parse_scenario("[churn]\ntrace = lunar\napps = gcc\n"), std::logic_error);
+  EXPECT_THROW(parse_scenario("[churn]\nrate = 0.1\n"), std::logic_error);  // no apps
+  EXPECT_THROW(parse_scenario("[churn]\napps = nosuchapp\n"), std::logic_error);
+  EXPECT_THROW(parse_scenario(""), std::logic_error);  // still no [vm] and no [churn]
 }
 
 TEST(ScenarioFile, LoadFromDisk) {
