@@ -42,6 +42,16 @@
 // Machine::run_vcpu consuming geometric-skip refs directly, gated on
 // exact counter agreement between the two consumption modes.
 //
+// A "control_plane" section measures the other end of the tick: mixes
+// built so vCPU execution is nearly free (1 kHz clock — ten cycles
+// per tick) and deep per-core runqueues make pick + credit/cap
+// accounting + PMU virtualization + Kyoto debit/earn/punish the
+// entire tick cost.  It runs the branch-light engine (batched PMU
+// pass, mask/select accounting, identity-switch fast path) against
+// the pre-rework branchy reference path
+// (Hypervisor::set_control_plane_engine(false)), gated on exact
+// agreement of per-VM counters and Kyoto quota/punish state.
+//
 // Output: human-readable table plus a JSON record (--json PATH,
 // default BENCH_throughput.json; schema documented in README.md) for
 // the perf trajectory.  Every timed cell is the minimum over --reps
@@ -49,7 +59,9 @@
 // least-noise estimate of the same simulation).  --min-mops enforces
 // an absolute floor on the current engine so CI fails on perf
 // regressions; --min-speedup enforces the before/after aggregate
-// ratio; --min-v2-e2e-speedup enforces the end-to-end ref-batch win.
+// ratio; --min-v2-e2e-speedup enforces the end-to-end ref-batch win;
+// --min-control-plane-speedup enforces the branch-light tick win.
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -67,6 +79,7 @@
 #include "common/thread_pool.hpp"
 #include "hv/credit_scheduler.hpp"
 #include "hv/hypervisor.hpp"
+#include "kyoto/ks4xen.hpp"
 #include "mem/patterns.hpp"
 #include "workloads/pattern_workload.hpp"
 
@@ -498,6 +511,97 @@ E2eRun run_v2_e2e(const Mix& mix, bool ref_batch, Tick warmup, Tick measure) {
   return run;
 }
 
+// ------------------------------------------------------------------
+// Control-plane engine: accounting-bound hypervisor ticks.  The clock
+// is 1 kHz (ten cycles per 10 ms tick), so vCPU execution drains in a
+// handful of sub-quanta and nearly the whole tick is pick + credit
+// burn + cap/band accounting + PMU virtualization + Kyoto
+// debit/earn/punish.  Deep per-core runqueues (consolidated-host
+// depth — kControlPlaneVmsPerCore) mean the pick loop and the per-VM
+// accounting walks scan real candidates, weights/caps vary across
+// tenants so every accounting lane is live, and half the tenants book
+// a tight pollution permit so the punish machinery oscillates.  The
+// branch-light engine and the pre-rework branchy reference path run
+// the identical simulation — exact agreement of per-VM counters and
+// Kyoto quota/punish state always gates the timing.
+// ------------------------------------------------------------------
+struct ControlPlaneRun {
+  double seconds = 0.0;
+  Tick ticks = 0;
+  std::int64_t identity_ticks = 0;           // identity-switch fast-path hits
+  std::vector<std::uint64_t> agreement;      // per-VM counters + Kyoto state
+  double ticks_per_sec() const { return static_cast<double>(ticks) / seconds; }
+};
+
+/// Mixes whose tick cost is the control plane, not the memory system:
+/// a private-cache-resident stream (pure scheduler/PMU cost) and an
+/// LLC-resident stream whose misses trickle through attribution and
+/// the Kyoto debit path.
+std::vector<Mix> control_plane_mixes(const cache::MemSystemConfig& cfg) {
+  return {
+      {"acct_small_ws", cfg.l1.size / 2, 0.6, 0.3, true, 1.0},
+      {"acct_llc_resident", cfg.llc.size / 2, 0.8, 0.3, true, 1.0},
+  };
+}
+
+/// Runqueue depth for the control-plane cells: deep enough that the
+/// per-VM surfaces (pick scan, slice-end refill, controller walk)
+/// dominate the tick, like a consolidated host.
+constexpr int kControlPlaneVmsPerCore = 32;
+
+ControlPlaneRun run_control_plane(const Mix& mix, bool batched, Tick warmup, Tick measure) {
+  hv::MachineConfig config;  // scaled geometry, accounting-bound clock
+  config.topology = cache::Topology{1, 4};
+  config.freq_khz = 1;
+  auto sched = std::make_unique<core::Ks4Xen>();
+  core::Ks4Xen* ks = sched.get();
+  hv::Hypervisor hv(config, std::move(sched));
+  hv.set_control_plane_engine(batched);
+
+  constexpr int kVmsPerCore = kControlPlaneVmsPerCore;
+  constexpr int kWeights[] = {512, 256, 256, 128};
+  for (int core = 0; core < config.topology.total_cores(); ++core) {
+    for (int i = 0; i < kVmsPerCore; ++i) {
+      hv::VmConfig vm_config;
+      vm_config.name = mix.name + "#" + std::to_string(core) + "." + std::to_string(i);
+      vm_config.loop_workload = true;
+      vm_config.weight = kWeights[i % 4];
+      vm_config.cpu_cap_percent = i % 4 == 3 ? 50 : 0;
+      // Tight permit on alternating tenants: at ~0.1 miss/ms an
+      // LLC-resident stream overruns it, so punishment cycles.
+      vm_config.llc_cap = i % 2 == 0 ? 0.05 : 0.0;
+      hv.create_vm(vm_config,
+                   make_workload(mix, 42 + static_cast<std::uint64_t>(
+                                           core * kVmsPerCore + i)),
+                   core);
+    }
+  }
+
+  hv.run_ticks(warmup);
+  const std::int64_t identity_before = hv.identity_switch_ticks();
+  const auto t0 = std::chrono::steady_clock::now();
+  hv.run_ticks(measure);
+  ControlPlaneRun run;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  run.ticks = measure;
+  run.identity_ticks = hv.identity_switch_ticks() - identity_before;
+  for (hv::Vm* vm : hv.vms()) {
+    const pmc::CounterSet counters = vm->counters();
+    for (unsigned c = 0; c < pmc::kCounterCount; ++c) {
+      run.agreement.push_back(counters.values[c]);
+    }
+    const auto& state = ks->kyoto().state(*vm);
+    run.agreement.push_back(std::bit_cast<std::uint64_t>(state.quota));
+    run.agreement.push_back(std::bit_cast<std::uint64_t>(state.last_rate));
+    run.agreement.push_back(std::bit_cast<std::uint64_t>(state.debited_total));
+    run.agreement.push_back(state.punished ? 1u : 0u);
+    run.agreement.push_back(static_cast<std::uint64_t>(state.punish_events));
+    run.agreement.push_back(static_cast<std::uint64_t>(state.punished_ticks));
+  }
+  return run;
+}
+
 /// Minimum-seconds run out of `reps` repetitions of the same
 /// deterministic cell: the counters are identical across reps, so the
 /// fastest repetition is the least-noise timing of that simulation.
@@ -511,6 +615,97 @@ auto min_over_reps(int reps, F&& cell) {
   return best;
 }
 
+struct ControlPlaneSection {
+  struct Cell {
+    std::string mix;
+    ControlPlaneRun batched;    // branch-light engine (production default)
+    ControlPlaneRun reference;  // pre-rework branchy path
+    double speedup() const { return reference.seconds / batched.seconds; }
+  };
+  Tick measure = 0;
+  std::vector<Cell> cells;
+  bool agree = true;          // exact-agreement verdict (both-engine mode)
+  double worst_speedup = 1e30;
+};
+
+/// Runs the control-plane cells and prints their table.  `engine`
+/// filters which engines run: "both" measures the before/after pair
+/// and gates exact agreement; "batched" / "reference" run one side
+/// only, for external measurement (the CI perf-stat branch-miss smoke
+/// runs the two engines in separate processes so each gets its own
+/// branch counters).
+ControlPlaneSection run_control_plane_section(int reps, bool quick,
+                                              const std::string& engine) {
+  ControlPlaneSection section;
+  section.measure = quick ? 30'000 : 120'000;
+  const Tick warmup = 300;
+  const bool want_batched = engine != "reference";
+  const bool want_reference = engine != "batched";
+  TextTable table({"machine", "mix", "engine", "Kticks/s", "seconds", "speedup"});
+  for (const Mix& mix : control_plane_mixes(cache::scaled_mem_system())) {
+    ControlPlaneSection::Cell cell;
+    cell.mix = mix.name;
+    if (want_batched) {
+      cell.batched = min_over_reps(reps, [&] {
+        return run_control_plane(mix, /*batched=*/true, warmup, section.measure);
+      });
+    }
+    if (want_reference) {
+      cell.reference = min_over_reps(reps, [&] {
+        return run_control_plane(mix, /*batched=*/false, warmup, section.measure);
+      });
+    }
+    if (want_batched && want_reference) {
+      section.agree &= cell.batched.agreement == cell.reference.agreement;
+      section.worst_speedup = std::min(section.worst_speedup, cell.speedup());
+    }
+    if (want_reference) {
+      table.add_row({"scaled_1x4", mix.name, "reference",
+                     fmt_double(cell.reference.ticks_per_sec() / 1e3, 1),
+                     fmt_double(cell.reference.seconds, 2), ""});
+    }
+    if (want_batched) {
+      table.add_row({"scaled_1x4", mix.name, "batched",
+                     fmt_double(cell.batched.ticks_per_sec() / 1e3, 1),
+                     fmt_double(cell.batched.seconds, 2),
+                     want_reference ? fmt_double(cell.speedup(), 2) + "x" : ""});
+    }
+    section.cells.push_back(std::move(cell));
+  }
+  std::cout << "\n  control-plane engine (accounting-bound ticks, "
+            << kControlPlaneVmsPerCore << " VMs/core, " << section.measure
+            << " ticks)\n"
+            << table;
+  return section;
+}
+
+/// The "control_plane" JSON object (no trailing newline/comma),
+/// shared by the full schema-6 record and the --control-plane-only
+/// mini record.
+void emit_control_plane_json(std::ostream& json, const ControlPlaneSection& s,
+                             int host_lanes) {
+  json << "  \"control_plane\": {\n    \"machine\": \"scaled_1x4\",\n"
+       << "    \"cores\": 4,\n    \"vms_per_core\": " << kControlPlaneVmsPerCore
+       << ",\n    \"freq_khz\": 1,\n"
+       << "    \"ticks\": " << s.measure << ",\n    \"host_cpus\": " << host_lanes
+       << ",\n    \"exact_agreement\": " << (s.agree ? "true" : "false")
+       << ",\n    \"worst_speedup\": " << s.worst_speedup << ",\n    \"runs\": [\n";
+  for (std::size_t i = 0; i < s.cells.size(); ++i) {
+    const ControlPlaneSection::Cell& c = s.cells[i];
+    json << "      {\"mix\": \"" << c.mix
+         << "\", \"batched_seconds\": " << c.batched.seconds
+         << ", \"reference_seconds\": " << c.reference.seconds
+         << ", \"batched_ticks_per_sec\": "
+         << static_cast<std::uint64_t>(c.batched.ticks_per_sec())
+         << ", \"reference_ticks_per_sec\": "
+         << static_cast<std::uint64_t>(c.reference.ticks_per_sec())
+         << ", \"identity_switch_ticks\": " << c.batched.identity_ticks
+         << ", \"speedup\": " << c.speedup() << "}"
+         << (i + 1 == s.cells.size() ? "\n" : ",\n");
+  }
+  json << "    ]\n  }";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -520,6 +715,9 @@ int main(int argc, char** argv) {
   double min_v2_speedup = 0.0;
   double min_v2_e2e_speedup = 0.0;
   double min_parallel_speedup = 0.0;
+  double min_control_plane_speedup = 0.0;
+  bool control_plane_only = false;
+  std::string control_plane_engine = "both";
   int max_threads = 4;
   int reps = 5;
   bool reps_given = false;
@@ -541,6 +739,9 @@ int main(int argc, char** argv) {
     else if (arg == "--min-v2-speedup") min_v2_speedup = std::stod(value());
     else if (arg == "--min-v2-e2e-speedup") min_v2_e2e_speedup = std::stod(value());
     else if (arg == "--min-parallel-speedup") min_parallel_speedup = std::stod(value());
+    else if (arg == "--min-control-plane-speedup") min_control_plane_speedup = std::stod(value());
+    else if (arg == "--control-plane-only") control_plane_only = true;
+    else if (arg == "--control-plane-engine") control_plane_engine = value();
     else if (arg == "--threads") max_threads = std::stoi(value());
     else if (arg == "--reps") { reps = std::stoi(value()); reps_given = true; }
     else if (arg == "--ops") ops = std::stoull(value());
@@ -548,8 +749,9 @@ int main(int argc, char** argv) {
     else {
       std::cerr << "usage: bench_throughput [--json PATH] [--min-mops X] "
                    "[--min-speedup X] [--min-v2-speedup X] [--min-v2-e2e-speedup X] "
-                   "[--min-parallel-speedup X] [--threads N] [--reps N] [--ops N] "
-                   "[--quick]\n";
+                   "[--min-parallel-speedup X] [--min-control-plane-speedup X] "
+                   "[--control-plane-only] [--control-plane-engine both|batched|reference] "
+                   "[--threads N] [--reps N] [--ops N] [--quick]\n";
       return 2;
     }
   }
@@ -560,10 +762,53 @@ int main(int argc, char** argv) {
   // a sanitized tree past the smoke timeout.  An explicit --reps wins.
   if (quick && !reps_given) reps = std::min(reps, 2);
 
+  if (control_plane_engine != "both" && control_plane_engine != "batched" &&
+      control_plane_engine != "reference") {
+    std::cerr << "--control-plane-engine must be both, batched, or reference\n";
+    return 2;
+  }
+
   bench::header("BENCH throughput", "access-engine speed (not a paper figure)",
                 "the overhauled engine sustains a multiple of the pre-overhaul "
                 "accesses/sec on the fig-1 streaming/random mixes, with "
                 "bit-identical simulated results");
+
+  // --control-plane-only: just the accounting-bound tick cells.  The
+  // CI perf-stat branch-miss smoke wraps this mode (one engine per
+  // process) so the recorded branch counters measure the tick control
+  // plane, not the replay sections.
+  if (control_plane_only) {
+    const int lanes = ThreadPool::hardware_lanes();
+    const ControlPlaneSection cp =
+        run_control_plane_section(reps, quick, control_plane_engine);
+    bool ok = true;
+    if (control_plane_engine == "both") {
+      ok &= bench::check(
+          "control plane: branch-light and reference engines agree exactly "
+          "(per-VM counters, Kyoto quota/punish state)",
+          cp.agree);
+      if (min_control_plane_speedup > 0.0) {
+        if (lanes >= 2) {
+          ok &= bench::check(
+              "control-plane speedup >= " + fmt_double(min_control_plane_speedup, 2) +
+                  "x vs the branchy reference path (accounting-bound mixes)",
+              cp.worst_speedup >= min_control_plane_speedup);
+        } else {
+          std::cout << "  (control-plane speedup floor skipped: host has " << lanes
+                    << " cpu(s); measured " << fmt_double(cp.worst_speedup, 2)
+                    << "x)\n";
+        }
+      }
+      std::ofstream json(json_path);
+      json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 6,\n"
+           << "  \"control_plane_only\": true,\n  \"reps\": " << reps
+           << ",\n  \"quick\": " << (quick ? "true" : "false") << ",\n";
+      emit_control_plane_json(json, cp, lanes);
+      json << "\n}\n";
+      std::cout << "\n  JSON written to " << json_path << '\n';
+    }
+    return bench::verdict(ok);
+  }
 
   struct MachineUnderTest {
     std::string name;
@@ -798,6 +1043,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Control-plane engine: branch-light tick accounting vs the
+  // pre-rework branchy reference path, over accounting-bound ticks.
+  // Exact agreement (per-VM counters + Kyoto quota/punish state)
+  // always gates; the speedup floor is hardware-adaptive like the
+  // other wall-clock gates.
+  const ControlPlaneSection cp = run_control_plane_section(reps, quick, "both");
+  all_ok &= bench::check(
+      "control plane: branch-light and reference engines agree exactly "
+      "(per-VM counters, Kyoto quota/punish state)",
+      cp.agree);
+  if (min_control_plane_speedup > 0.0) {
+    if (host_lanes >= 2) {
+      all_ok &= bench::check(
+          "control-plane speedup >= " + fmt_double(min_control_plane_speedup, 2) +
+              "x vs the branchy reference path (accounting-bound mixes)",
+          cp.worst_speedup >= min_control_plane_speedup);
+    } else {
+      std::cout << "  (control-plane speedup floor skipped: host has " << host_lanes
+                << " cpu(s); measured " << fmt_double(cp.worst_speedup, 2) << "x)\n";
+    }
+  }
+
   if (min_mops > 0.0) {
     all_ok &= bench::check("current engine >= " + fmt_double(min_mops, 1) +
                                " Maccess/s floor (worst mix)",
@@ -827,11 +1094,10 @@ int main(int argc, char** argv) {
   }
 
   // JSON record for the perf trajectory (schema in README.md).
-  // Schema v5 (additive over v4): "reps" records the repetition count
-  // behind every min-seconds cell, and a top-level "v2_e2e" object
-  // records the end-to-end ref-batch-vs-per-op hypervisor runs.
+  // Schema v6 (additive over v5): a top-level "control_plane" object
+  // records the branch-light-vs-reference accounting-bound tick runs.
   std::ofstream json(json_path);
-  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 5,\n"
+  json << "{\n  \"bench\": \"throughput\",\n  \"schema\": 6,\n"
        << "  \"ops_per_mix\": " << ops << ",\n  \"reps\": " << reps
        << ",\n  \"quick\": " << (quick ? "true" : "false")
        << ",\n  \"host_cpus\": " << host_lanes << ",\n  \"runs\": [\n";
@@ -896,7 +1162,10 @@ int main(int argc, char** argv) {
          << ", \"speedup\": " << c.speedup() << "}"
          << (i + 1 == e2e_cells.size() ? "\n" : ",\n");
   }
-  json << "    ]\n  }\n}\n";
+  json << "    ]\n  },\n";
+  // Schema v6 (additive): branch-light control-plane engine runs.
+  emit_control_plane_json(json, cp, host_lanes);
+  json << "\n}\n";
   json.close();
   std::cout << "\n  JSON written to " << json_path << '\n';
 

@@ -8,20 +8,31 @@
 
 namespace kyoto::hv {
 
+void CfsScheduler::ensure_capacity(std::size_t id) {
+  if (vcpu_.size() > id) return;
+  const std::size_t n = id + 1;
+  vcpu_.resize(n, nullptr);
+  vruntime_.resize(n, 0.0);
+  weight_.resize(n, kNice0Weight);
+  vm_id_.resize(n, -1);
+  done_.resize(n, 0);
+}
+
 void CfsScheduler::vcpu_added(Vcpu& vcpu) {
   KYOTO_CHECK_MSG(hv_ != nullptr, "scheduler not attached");
   KYOTO_CHECK_MSG(vcpu.pinned_core() >= 0, "vCPU must be pinned before registration");
   const auto id = static_cast<std::size_t>(vcpu.id());
-  if (states_.size() <= id) states_.resize(id + 1);
-  State& st = states_[id];
-  st.vcpu = &vcpu;
+  ensure_capacity(id);
+  vcpu_[id] = &vcpu;
   // Map the Xen-style weight (256 = default) onto CFS nice-0 weight.
-  st.weight = std::max(1, vcpu.vm().config().weight * kNice0Weight / 256);
+  weight_[id] = std::max(1, vcpu.vm().config().weight * kNice0Weight / 256);
+  vm_id_[id] = vcpu.vm().id();
+  done_[id] = vcpu.done() ? 1 : 0;
   const auto cores = static_cast<std::size_t>(hv_->machine().topology().total_cores());
   if (runqueue_.size() < cores) runqueue_.resize(cores);
   // A task entering a runqueue starts at the queue's min vruntime so
   // it neither starves others nor is starved (CFS's place_entity).
-  st.vruntime = min_vruntime(vcpu.pinned_core());
+  vruntime_[id] = min_vruntime(vcpu.pinned_core());
   runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
 }
 
@@ -29,78 +40,104 @@ void CfsScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
   KYOTO_CHECK(old_core >= 0 && static_cast<std::size_t>(old_core) < runqueue_.size());
   auto& oldq = runqueue_[static_cast<std::size_t>(old_core)];
   oldq.erase(std::remove(oldq.begin(), oldq.end(), vcpu.id()), oldq.end());
-  State& st = state_of(vcpu);
-  st.vruntime = std::max(st.vruntime, min_vruntime(vcpu.pinned_core()));
+  const std::size_t id = checked_id(vcpu);
+  vruntime_[id] = std::max(vruntime_[id], min_vruntime(vcpu.pinned_core()));
   runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
 }
 
 void CfsScheduler::vcpu_removed(Vcpu& vcpu) {
-  State& st = state_of(vcpu);  // CHECKs the vCPU is registered
+  const std::size_t id = checked_id(vcpu);
   auto& queue = runqueue_[static_cast<std::size_t>(vcpu.pinned_core())];
   queue.erase(std::remove(queue.begin(), queue.end(), vcpu.id()), queue.end());
-  st = State{};  // vcpu = nullptr: the id is never reused
+  // vcpu_ = nullptr: the id is never reused.
+  vcpu_[id] = nullptr;
+  vruntime_[id] = 0.0;
+  weight_[id] = kNice0Weight;
+  vm_id_[id] = -1;
+  done_[id] = 0;
 }
 
 double CfsScheduler::min_vruntime(int core) const {
   if (static_cast<std::size_t>(core) >= runqueue_.size()) return 0.0;
   double best = std::numeric_limits<double>::max();
   bool any = false;
-  for (int id : runqueue_[static_cast<std::size_t>(core)]) {
-    const State& st = states_[static_cast<std::size_t>(id)];
-    if (st.vcpu == nullptr || st.vcpu->done()) continue;
-    best = std::min(best, st.vruntime);
+  for (int qid : runqueue_[static_cast<std::size_t>(core)]) {
+    const auto id = static_cast<std::size_t>(qid);
+    if (vcpu_[id] == nullptr || vcpu_[id]->done()) continue;
+    best = std::min(best, vruntime_[id]);
     any = true;
   }
   return any ? best : 0.0;
 }
 
-bool CfsScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
-
-bool CfsScheduler::kyoto_demoted(const Vcpu& /*vcpu*/) const { return false; }
-
 Vcpu* CfsScheduler::pick(int core, Tick /*now*/) {
   if (static_cast<std::size_t>(core) >= runqueue_.size()) return nullptr;
+  const auto& queue = runqueue_[static_cast<std::size_t>(core)];
+  return reference_engine_ ? pick_reference(queue) : pick_batched(queue);
+}
+
+Vcpu* CfsScheduler::pick_batched(const std::vector<int>& queue) {
+  // Branch-light running min over (band, vruntime): eligibility and
+  // demotion are 0/1 words, the two band minima advance by select —
+  // strict `<` keeps the reference engine's first-minimum tie-break.
+  int best_id = -1;
+  double best_vr = std::numeric_limits<double>::max();
+  int best_dem_id = -1;
+  double best_dem_vr = std::numeric_limits<double>::max();
+  for (int qid : queue) {
+    const auto id = static_cast<std::size_t>(qid);
+    const unsigned elig = (static_cast<unsigned>(done_[id]) ^ 1u) &
+                          (static_cast<unsigned>(vm_blocked(vm_id_[id])) ^ 1u);
+    const unsigned dem = static_cast<unsigned>(vm_demoted(vm_id_[id]));
+    const double vr = vruntime_[id];
+    const bool take = (elig & (dem ^ 1u)) != 0 && vr < best_vr;
+    best_vr = take ? vr : best_vr;
+    best_id = take ? qid : best_id;
+    const bool take_dem = (elig & dem) != 0 && vr < best_dem_vr;
+    best_dem_vr = take_dem ? vr : best_dem_vr;
+    best_dem_id = take_dem ? qid : best_dem_id;
+  }
+  const int chosen = best_id >= 0 ? best_id : best_dem_id;
+  return chosen >= 0 ? vcpu_[static_cast<std::size_t>(chosen)] : nullptr;
+}
+
+Vcpu* CfsScheduler::pick_reference(const std::vector<int>& queue) {
+  // The pre-rework branchy scan, kept verbatim over the SoA state.
   Vcpu* best = nullptr;
   double best_vr = std::numeric_limits<double>::max();
   Vcpu* best_demoted = nullptr;
   double best_demoted_vr = std::numeric_limits<double>::max();
-  for (int id : runqueue_[static_cast<std::size_t>(core)]) {
-    State& st = states_[static_cast<std::size_t>(id)];
-    if (st.vcpu == nullptr || st.vcpu->done() || !kyoto_allows(*st.vcpu)) continue;
-    if (kyoto_demoted(*st.vcpu)) {
-      if (st.vruntime < best_demoted_vr) {
-        best_demoted_vr = st.vruntime;
-        best_demoted = st.vcpu;
+  for (int qid : queue) {
+    const auto id = static_cast<std::size_t>(qid);
+    if (vcpu_[id] == nullptr || vcpu_[id]->done() || vm_blocked(vm_id_[id])) continue;
+    if (vm_demoted(vm_id_[id])) {
+      if (vruntime_[id] < best_demoted_vr) {
+        best_demoted_vr = vruntime_[id];
+        best_demoted = vcpu_[id];
       }
       continue;
     }
-    if (st.vruntime < best_vr) {
-      best_vr = st.vruntime;
-      best = st.vcpu;
+    if (vruntime_[id] < best_vr) {
+      best_vr = vruntime_[id];
+      best = vcpu_[id];
     }
   }
   return best != nullptr ? best : best_demoted;
 }
 
 void CfsScheduler::account(Vcpu& vcpu, const RunReport& report) {
-  State& st = state_of(vcpu);
-  st.vruntime += static_cast<double>(report.ran) * kNice0Weight / st.weight;
+  const std::size_t id = checked_id(vcpu);
+  vruntime_[id] += static_cast<double>(report.ran) * kNice0Weight / weight_[id];
+  done_[id] = vcpu.done() ? 1 : 0;
 }
 
-double CfsScheduler::vruntime(const Vcpu& vcpu) const { return state_of(vcpu).vruntime; }
+double CfsScheduler::vruntime(const Vcpu& vcpu) const { return vruntime_[checked_id(vcpu)]; }
 
-CfsScheduler::State& CfsScheduler::state_of(const Vcpu& vcpu) {
+std::size_t CfsScheduler::checked_id(const Vcpu& vcpu) const {
   const auto id = static_cast<std::size_t>(vcpu.id());
-  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
+  KYOTO_CHECK_MSG(id < vcpu_.size() && vcpu_[id] != nullptr,
                   "unregistered vCPU " << vcpu.id());
-  return states_[id];
-}
-
-const CfsScheduler::State& CfsScheduler::state_of(const Vcpu& vcpu) const {
-  const auto id = static_cast<std::size_t>(vcpu.id());
-  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
-                  "unregistered vCPU " << vcpu.id());
-  return states_[id];
+  return id;
 }
 
 }  // namespace kyoto::hv

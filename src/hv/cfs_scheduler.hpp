@@ -6,6 +6,13 @@
 // the smallest vruntime.  This is the substrate KS4Linux
 // (kyoto/ks4linux.hpp) extends with pollution-quota throttling, the
 // way CFS bandwidth control throttles cgroups.
+//
+// Hot per-task state is struct-of-arrays (parallel arrays by vCPU id,
+// sized at admission); the default pick engine is a branch-light
+// lexicographic running-min over (band, vruntime) with select
+// arithmetic and mask-tested Kyoto gates, with the pre-rework branchy
+// scan kept verbatim as the reference engine — bit-identical by the
+// accounting oracle test.
 #pragma once
 
 #include <cstdint>
@@ -33,25 +40,23 @@ class CfsScheduler : public Scheduler {
   // --- introspection ---------------------------------------------------
   double vruntime(const Vcpu& vcpu) const;
 
- protected:
-  /// Kyoto hook (KS4Linux throttles punished VMs here).
-  virtual bool kyoto_allows(const Vcpu& vcpu) const;
-  /// Kyoto demote-mode hook: demoted tasks run only when no
-  /// undemoted task is runnable.
-  virtual bool kyoto_demoted(const Vcpu& vcpu) const;
-
  private:
-  struct State {
-    Vcpu* vcpu = nullptr;
-    double vruntime = 0.0;
-    int weight = kNice0Weight;
-  };
-
-  State& state_of(const Vcpu& vcpu);
-  const State& state_of(const Vcpu& vcpu) const;
+  std::size_t checked_id(const Vcpu& vcpu) const;
   double min_vruntime(int core) const;
+  void ensure_capacity(std::size_t id);
 
-  std::vector<State> states_;               // by vcpu id
+  Vcpu* pick_batched(const std::vector<int>& queue);
+  Vcpu* pick_reference(const std::vector<int>& queue);
+
+  /// Hot per-task state, struct-of-arrays by vCPU id.  `done_` caches
+  /// Vcpu::done() (refreshed at admission and every account(); exact
+  /// because done-ness only flips while the task runs).
+  std::vector<Vcpu*> vcpu_;
+  std::vector<double> vruntime_;
+  std::vector<int> weight_;
+  std::vector<int> vm_id_;
+  std::vector<std::uint8_t> done_;
+
   std::vector<std::vector<int>> runqueue_;  // per core, vcpu ids (unordered)
 };
 

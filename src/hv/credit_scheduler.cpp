@@ -1,6 +1,7 @@
 #include "hv/credit_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -8,19 +9,44 @@
 
 namespace kyoto::hv {
 
+void CreditScheduler::attach(Hypervisor& hv) {
+  Scheduler::attach(hv);
+  cycles_per_tick_ = hv.machine().cycles_per_tick();
+  const auto cores = static_cast<std::size_t>(hv.machine().topology().total_cores());
+  if (runqueue_.size() < cores) runqueue_.resize(cores);
+  if (cursors_.size() < cores) cursors_.resize(cores);
+}
+
+void CreditScheduler::ensure_capacity(std::size_t id) {
+  if (vcpu_.size() > id) return;
+  const std::size_t n = id + 1;
+  vcpu_.resize(n, nullptr);
+  remain_credit_.resize(n, kCreditPerSlice);
+  cap_budget_.resize(n, 0);
+  cap_refill_.resize(n, 0);
+  capped_.resize(n, 0);
+  done_.resize(n, 0);
+  vm_id_.resize(n, -1);
+  weight_.resize(n, kDefaultWeight);
+}
+
 void CreditScheduler::vcpu_added(Vcpu& vcpu) {
   KYOTO_CHECK_MSG(hv_ != nullptr, "scheduler not attached");
   KYOTO_CHECK_MSG(vcpu.pinned_core() >= 0, "vCPU must be pinned before registration");
   const auto id = static_cast<std::size_t>(vcpu.id());
-  if (states_.size() <= id) states_.resize(id + 1);
-  State& st = states_[id];
-  st.vcpu = &vcpu;
-  st.remain_credit = kCreditPerSlice * vcpu.vm().config().weight / kDefaultWeight;
-  st.capped = vcpu.vm().config().cpu_cap_percent > 0;
-  st.cap_budget = slice_cap_budget(vcpu);
+  ensure_capacity(id);
+  vcpu_[id] = &vcpu;
+  remain_credit_[id] = kCreditPerSlice * vcpu.vm().config().weight / kDefaultWeight;
+  capped_[id] = vcpu.vm().config().cpu_cap_percent > 0 ? 1 : 0;
+  cap_refill_[id] = slice_cap_budget(vcpu);
+  cap_budget_[id] = cap_refill_[id];
+  done_[id] = vcpu.done() ? 1 : 0;
+  vm_id_[id] = vcpu.vm().id();
+  weight_[id] = vcpu.vm().config().weight;
 
   const auto cores = static_cast<std::size_t>(hv_->machine().topology().total_cores());
   if (runqueue_.size() < cores) runqueue_.resize(cores);
+  if (cursors_.size() < runqueue_.size()) cursors_.resize(runqueue_.size());
   runqueue_[static_cast<std::size_t>(vcpu.pinned_core())].push_back(vcpu.id());
 }
 
@@ -32,7 +58,7 @@ void CreditScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
 }
 
 void CreditScheduler::vcpu_removed(Vcpu& vcpu) {
-  State& st = state_of(vcpu);  // CHECKs the vCPU is registered
+  const std::size_t id = checked_id(vcpu);
   auto& queue = runqueue_[static_cast<std::size_t>(vcpu.pinned_core())];
   queue.erase(std::remove(queue.begin(), queue.end(), vcpu.id()), queue.end());
   // Drop any core's slice stickiness on the departing vCPU so the
@@ -40,7 +66,15 @@ void CreditScheduler::vcpu_removed(Vcpu& vcpu) {
   for (CoreCursor& cursor : cursors_) {
     if (cursor.current == vcpu.id()) cursor = CoreCursor{};
   }
-  st = State{};  // vcpu = nullptr: the id is never reused
+  // vcpu_ = nullptr: the id is never reused.
+  vcpu_[id] = nullptr;
+  remain_credit_[id] = kCreditPerSlice;
+  cap_budget_[id] = 0;
+  cap_refill_[id] = 0;
+  capped_[id] = 0;
+  done_[id] = 0;
+  vm_id_[id] = -1;
+  weight_[id] = kDefaultWeight;
 }
 
 Cycles CreditScheduler::slice_cap_budget(const Vcpu& vcpu) const {
@@ -50,15 +84,11 @@ Cycles CreditScheduler::slice_cap_budget(const Vcpu& vcpu) const {
   return slice_cycles * cap / 100;
 }
 
-bool CreditScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
-
-bool CreditScheduler::kyoto_demoted(const Vcpu& /*vcpu*/) const { return false; }
-
 bool CreditScheduler::runnable(const Vcpu& vcpu) const {
   if (vcpu.done()) return false;
-  if (!kyoto_allows(vcpu)) return false;
-  const State& st = state_of(vcpu);
-  if (st.capped && st.cap_budget <= 0) return false;
+  if (vm_blocked(vcpu.vm().id())) return false;
+  const auto id = static_cast<std::size_t>(vcpu.id());
+  if (capped_[id] != 0 && cap_budget_[id] <= 0) return false;
   return true;
 }
 
@@ -67,15 +97,89 @@ Vcpu* CreditScheduler::pick(int core, Tick /*now*/) {
   auto& queue = runqueue_[static_cast<std::size_t>(core)];
   if (cursors_.size() < runqueue_.size()) cursors_.resize(runqueue_.size());
   CoreCursor& cursor = cursors_[static_cast<std::size_t>(core)];
+  return reference_engine_ ? pick_reference(queue, cursor, core)
+                           : pick_batched(queue, cursor, core);
+}
 
+Vcpu* CreditScheduler::pick_batched(std::vector<int>& queue, CoreCursor& cursor, int core) {
   // Slice stickiness: keep the incumbent for up to one full 30 ms
-  // slice while it stays runnable, UNDER and undemoted.
+  // slice while it stays runnable, UNDER and undemoted — evaluated as
+  // one fused 0/1 predicate over the SoA state.
   if (cursor.current >= 0 && cursor.consecutive < static_cast<int>(kTicksPerSlice)) {
-    State& cur = states_[static_cast<std::size_t>(cursor.current)];
-    if (cur.vcpu != nullptr && cur.vcpu->pinned_core() == core && runnable(*cur.vcpu) &&
-        cur.remain_credit > 0 && !kyoto_demoted(*cur.vcpu)) {
+    const auto cid = static_cast<std::size_t>(cursor.current);
+    Vcpu* cv = vcpu_[cid];
+    if (cv != nullptr) {
+      const unsigned keep = static_cast<unsigned>(cv->pinned_core() == core) &
+                            runnable_bit(cid) &
+                            static_cast<unsigned>(remain_credit_[cid] > 0) &
+                            (static_cast<unsigned>(vm_demoted(vm_id_[cid])) ^ 1u);
+      if (keep != 0) {
+        ++cursor.consecutive;
+        return cv;
+      }
+    }
+  }
+  cursor.current = -1;
+  cursor.consecutive = 0;
+
+  // Band selection over compact runnable bitmasks: one pass builds
+  // UNDER/OVER/DEMOTED masks keyed by queue position (chunks of 64),
+  // then the winner is the lowest set bit of the first non-empty band
+  // — exactly the reference engine's first-in-queue-order scan, with
+  // no per-entry branching.
+  const std::size_t n = queue.size();
+  int first_under = -1;
+  int first_over = -1;
+  int first_dem = -1;
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t chunk = std::min<std::size_t>(64, n - base);
+    std::uint64_t under_m = 0;
+    std::uint64_t over_m = 0;
+    std::uint64_t dem_m = 0;
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const auto id = static_cast<std::size_t>(queue[base + j]);
+      const auto run = static_cast<std::uint64_t>(runnable_bit(id));
+      const auto dem = static_cast<std::uint64_t>(vm_demoted(vm_id_[id]));
+      const auto under = static_cast<std::uint64_t>(remain_credit_[id] > 0);
+      under_m |= (run & (dem ^ 1u) & under) << j;
+      over_m |= (run & (dem ^ 1u) & (under ^ 1u)) << j;
+      dem_m |= (run & dem) << j;
+    }
+    if (first_under < 0 && under_m != 0)
+      first_under = static_cast<int>(base) + std::countr_zero(under_m);
+    if (first_over < 0 && over_m != 0)
+      first_over = static_cast<int>(base) + std::countr_zero(over_m);
+    if (first_dem < 0 && dem_m != 0)
+      first_dem = static_cast<int>(base) + std::countr_zero(dem_m);
+    if (first_under >= 0) break;  // UNDER beats every later band
+  }
+
+  // Priority UNDER first, then OVER (work conserving), then — only if
+  // the core would otherwise idle — Kyoto-demoted vCPUs.
+  int pos = first_under;
+  pos = pos >= 0 ? pos : first_over;
+  pos = pos >= 0 ? pos : first_dem;
+  if (pos < 0) return nullptr;
+
+  // Round-robin: rotate the chosen vCPU to the queue tail.
+  const int id = queue[static_cast<std::size_t>(pos)];
+  queue.erase(queue.begin() + pos);
+  queue.push_back(id);
+  cursor.current = id;
+  cursor.consecutive = 1;
+  return vcpu_[static_cast<std::size_t>(id)];
+}
+
+Vcpu* CreditScheduler::pick_reference(std::vector<int>& queue, CoreCursor& cursor, int core) {
+  // The pre-rework branchy control flow, kept verbatim over the SoA
+  // state as the reference engine.
+  if (cursor.current >= 0 && cursor.consecutive < static_cast<int>(kTicksPerSlice)) {
+    const auto cid = static_cast<std::size_t>(cursor.current);
+    Vcpu* cv = vcpu_[cid];
+    if (cv != nullptr && cv->pinned_core() == core && runnable(*cv) &&
+        remain_credit_[cid] > 0 && !vm_demoted(vm_id_[cid])) {
       ++cursor.consecutive;
-      return cur.vcpu;
+      return cv;
     }
   }
   cursor.current = -1;
@@ -84,24 +188,21 @@ Vcpu* CreditScheduler::pick(int core, Tick /*now*/) {
   enum class Band { kUnder, kOver, kDemoted };
   auto select = [&](Band band) -> Vcpu* {
     for (std::size_t i = 0; i < queue.size(); ++i) {
-      State& st = states_[static_cast<std::size_t>(queue[i])];
-      KYOTO_DCHECK(st.vcpu != nullptr);
-      if (!runnable(*st.vcpu)) continue;
-      const bool demoted = kyoto_demoted(*st.vcpu);
-      const bool under = st.remain_credit > 0;
+      const auto id = static_cast<std::size_t>(queue[i]);
+      KYOTO_DCHECK(vcpu_[id] != nullptr);
+      if (!runnable(*vcpu_[id])) continue;
+      const bool demoted = vm_demoted(vm_id_[id]);
+      const bool under = remain_credit_[id] > 0;
       const Band mine = demoted ? Band::kDemoted : (under ? Band::kUnder : Band::kOver);
       if (mine != band) continue;
-      // Round-robin: rotate the chosen vCPU to the queue tail.
-      const int id = queue[i];
+      const int chosen = queue[i];
       queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
-      queue.push_back(id);
-      return st.vcpu;
+      queue.push_back(chosen);
+      return vcpu_[id];
     }
     return nullptr;
   };
 
-  // Priority UNDER first, then OVER (work conserving), then — only if
-  // the core would otherwise idle — Kyoto-demoted vCPUs.
   Vcpu* chosen = select(Band::kUnder);
   if (chosen == nullptr) chosen = select(Band::kOver);
   if (chosen == nullptr) chosen = select(Band::kDemoted);
@@ -113,75 +214,118 @@ Vcpu* CreditScheduler::pick(int core, Tick /*now*/) {
 }
 
 void CreditScheduler::account(Vcpu& vcpu, const RunReport& report) {
-  State& st = state_of(vcpu);
-  const Cycles cpt = hv_->machine().cycles_per_tick();
+  const std::size_t id = checked_id(vcpu);
+  // The burn formula's double rounding is part of the pinned behavior
+  // (golden traces): both engines keep the exact expression.
   const int burnt = static_cast<int>(
       std::lround(static_cast<double>(kCreditPerTick) * static_cast<double>(report.ran) /
-                  static_cast<double>(cpt)));
-  st.remain_credit -= burnt;
-  st.remain_credit = std::max(st.remain_credit, -kCreditPerSlice);
-  if (st.capped) st.cap_budget -= report.ran;
+                  static_cast<double>(cycles_per_tick_)));
+  if (reference_engine_) {
+    remain_credit_[id] -= burnt;
+    remain_credit_[id] = std::max(remain_credit_[id], -kCreditPerSlice);
+    if (capped_[id] != 0) cap_budget_[id] -= report.ran;
+  } else {
+    const int debited = remain_credit_[id] - burnt;
+    remain_credit_[id] = debited > -kCreditPerSlice ? debited : -kCreditPerSlice;
+    cap_budget_[id] -= report.ran * static_cast<Cycles>(capped_[id]);
+  }
+  done_[id] = vcpu.done() ? 1 : 0;
 }
 
 Cycles CreditScheduler::max_burst(const Vcpu& vcpu, Cycles tick_budget) {
-  const State& st = state_of(vcpu);
-  if (!st.capped) return tick_budget;
-  return std::min(tick_budget, std::max<Cycles>(st.cap_budget, 0));
+  const std::size_t id = checked_id(vcpu);
+  const Cycles left = cap_budget_[id] > 0 ? cap_budget_[id] : 0;
+  const Cycles capped_limit = left < tick_budget ? left : tick_budget;
+  return capped_[id] != 0 ? capped_limit : tick_budget;
 }
 
 void CreditScheduler::slice_end(Tick /*now*/) {
+  if (reference_engine_) {
+    slice_end_reference();
+  } else {
+    slice_end_batched();
+  }
+}
+
+void CreditScheduler::slice_end_batched() {
   // Xen's accounting: each pCPU contributes one slice worth of credit
   // (kCreditPerSlice) distributed among the vCPUs competing for that
   // pCPU proportionally to their weights, with no vCPU earning more
-  // than a full slice (it cannot use more than one core).
+  // than a full slice (it cannot use more than one core).  Inactive
+  // (departed/done) entries are masked out by multiply/select instead
+  // of branched over.
   for (std::size_t core = 0; core < runqueue_.size(); ++core) {
+    const auto& queue = runqueue_[core];
     long long total_weight = 0;
-    for (int id : runqueue_[core]) {
-      const State& st = states_[static_cast<std::size_t>(id)];
-      if (st.vcpu != nullptr && !st.vcpu->done()) {
-        total_weight += st.vcpu->vm().config().weight;
-      }
+    for (int qid : queue) {
+      const auto id = static_cast<std::size_t>(qid);
+      const long long active =
+          static_cast<long long>(vcpu_[id] != nullptr) &
+          static_cast<long long>(static_cast<unsigned>(done_[id]) ^ 1u);
+      total_weight += static_cast<long long>(weight_[id]) * active;
     }
     if (total_weight == 0) continue;
-    for (int id : runqueue_[core]) {
-      State& st = states_[static_cast<std::size_t>(id)];
-      if (st.vcpu == nullptr || st.vcpu->done()) continue;
-      const long long share = static_cast<long long>(kCreditPerSlice) *
-                              st.vcpu->vm().config().weight / total_weight;
-      const int earn = static_cast<int>(std::min<long long>(share, kCreditPerSlice));
+    for (int qid : queue) {
+      const auto id = static_cast<std::size_t>(qid);
+      const long long share =
+          static_cast<long long>(kCreditPerSlice) * weight_[id] / total_weight;
+      const int earn = static_cast<int>(share < kCreditPerSlice ? share : kCreditPerSlice);
       // No banking beyond one slice's worth of credit (Xen clamps too).
-      st.remain_credit = std::min(st.remain_credit + earn, std::max(earn, 1));
-      st.cap_budget = slice_cap_budget(*st.vcpu);
+      const int bank = earn > 1 ? earn : 1;
+      const int refreshed = remain_credit_[id] + earn;
+      const int clamped = refreshed < bank ? refreshed : bank;
+      const int active = static_cast<int>(
+          static_cast<unsigned>(vcpu_[id] != nullptr) &
+          (static_cast<unsigned>(done_[id]) ^ 1u));
+      remain_credit_[id] += (clamped - remain_credit_[id]) * active;
+      cap_budget_[id] = active != 0 ? cap_refill_[id] : cap_budget_[id];
     }
   }
 }
 
-CreditScheduler::State& CreditScheduler::state_of(const Vcpu& vcpu) {
-  const auto id = static_cast<std::size_t>(vcpu.id());
-  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
-                  "unregistered vCPU " << vcpu.id());
-  return states_[id];
+void CreditScheduler::slice_end_reference() {
+  for (std::size_t core = 0; core < runqueue_.size(); ++core) {
+    long long total_weight = 0;
+    for (int qid : runqueue_[core]) {
+      const auto id = static_cast<std::size_t>(qid);
+      if (vcpu_[id] != nullptr && !vcpu_[id]->done()) {
+        total_weight += weight_[id];
+      }
+    }
+    if (total_weight == 0) continue;
+    for (int qid : runqueue_[core]) {
+      const auto id = static_cast<std::size_t>(qid);
+      if (vcpu_[id] == nullptr || vcpu_[id]->done()) continue;
+      const long long share =
+          static_cast<long long>(kCreditPerSlice) * weight_[id] / total_weight;
+      const int earn = static_cast<int>(std::min<long long>(share, kCreditPerSlice));
+      remain_credit_[id] = std::min(remain_credit_[id] + earn, std::max(earn, 1));
+      cap_budget_[id] = cap_refill_[id];
+    }
+  }
 }
 
-const CreditScheduler::State& CreditScheduler::state_of(const Vcpu& vcpu) const {
+std::size_t CreditScheduler::checked_id(const Vcpu& vcpu) const {
   const auto id = static_cast<std::size_t>(vcpu.id());
-  KYOTO_CHECK_MSG(id < states_.size() && states_[id].vcpu != nullptr,
+  KYOTO_CHECK_MSG(id < vcpu_.size() && vcpu_[id] != nullptr,
                   "unregistered vCPU " << vcpu.id());
-  return states_[id];
+  return id;
 }
 
-int CreditScheduler::remain_credit(const Vcpu& vcpu) const { return state_of(vcpu).remain_credit; }
+int CreditScheduler::remain_credit(const Vcpu& vcpu) const {
+  return remain_credit_[checked_id(vcpu)];
+}
 
 bool CreditScheduler::in_over(const Vcpu& vcpu) const {
-  return state_of(vcpu).remain_credit <= 0;
+  return remain_credit_[checked_id(vcpu)] <= 0;
 }
 
 double CreditScheduler::cap_budget_fraction(const Vcpu& vcpu) const {
-  const State& st = state_of(vcpu);
-  if (!st.capped) return 1.0;
-  const Cycles full = slice_cap_budget(vcpu);
+  const std::size_t id = checked_id(vcpu);
+  if (capped_[id] == 0) return 1.0;
+  const Cycles full = cap_refill_[id];
   if (full <= 0) return 0.0;
-  return std::max(0.0, static_cast<double>(st.cap_budget) / static_cast<double>(full));
+  return std::max(0.0, static_cast<double>(cap_budget_[id]) / static_cast<double>(full));
 }
 
 }  // namespace kyoto::hv

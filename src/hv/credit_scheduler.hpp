@@ -11,11 +11,23 @@
 // is the knob Fig 3 turns to throttle the disruptor's computing
 // capacity.
 //
+// Hot per-vCPU state lives in struct-of-arrays form (parallel arrays
+// by vCPU id, sized at admission), and the default pick/accounting
+// engine is branch-light: runqueue selection builds compact
+// UNDER/OVER/DEMOTED runnable bitmasks and takes the lowest set bit
+// of the first non-empty band; credit burn, cap decrement and the
+// Kyoto gates are mask/select arithmetic.  The pre-rework branchy
+// control flow is kept verbatim as the reference engine
+// (set_reference_engine(true)) — both paths share the same state and
+// produce bit-identical decisions, which the accounting oracle test
+// and the throughput bench's control-plane agreement gate enforce.
+//
 // KS4Xen (kyoto/ks4xen.hpp) extends this class exactly where the
-// paper patched Xen: an extra schedulability predicate and extra
-// slice-end bookkeeping.
+// paper patched Xen: the punish gate bitmasks (set_kyoto_gates) and
+// extra slice-end bookkeeping.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +46,7 @@ class CreditScheduler : public Scheduler {
 
   std::string name() const override { return "XCS"; }
 
+  void attach(Hypervisor& hv) override;
   void vcpu_added(Vcpu& vcpu) override;
   void vcpu_migrated(Vcpu& vcpu, int old_core) override;
   void vcpu_removed(Vcpu& vcpu) override;
@@ -50,24 +63,10 @@ class CreditScheduler : public Scheduler {
   double cap_budget_fraction(const Vcpu& vcpu) const;
 
  protected:
-  /// Kyoto hook: KS4Xen forbids punished VMs here.  Base: always true.
-  virtual bool kyoto_allows(const Vcpu& vcpu) const;
-
-  /// Kyoto hook for demote-mode punishment: demoted vCPUs rank below
-  /// every unpunished vCPU (even OVER ones).  Base: never demoted.
-  virtual bool kyoto_demoted(const Vcpu& vcpu) const;
-
   /// True if the vCPU may be handed a core right now.
   bool runnable(const Vcpu& vcpu) const;
 
  private:
-  struct State {
-    Vcpu* vcpu = nullptr;
-    int remain_credit = kCreditPerSlice;
-    Cycles cap_budget = 0;   // cycles left this slice (capped VMs only)
-    bool capped = false;
-  };
-
   /// Per-core stickiness: Xen runs the chosen vCPU for a full 30 ms
   /// scheduling slice (not one 10 ms tick) unless it stops being
   /// runnable or falls to OVER.
@@ -76,17 +75,46 @@ class CreditScheduler : public Scheduler {
     int consecutive = 0;  // ticks it has held it
   };
 
-  State& state_of(const Vcpu& vcpu);
-  const State& state_of(const Vcpu& vcpu) const;
+  std::size_t checked_id(const Vcpu& vcpu) const;
   Cycles slice_cap_budget(const Vcpu& vcpu) const;
+  void ensure_capacity(std::size_t id);
+
+  /// runnable(), as a 0/1 word over the SoA state: not done, not
+  /// Kyoto-blocked, and (if capped) cap budget left.
+  unsigned runnable_bit(std::size_t id) const {
+    const unsigned not_done = static_cast<unsigned>(done_[id]) ^ 1u;
+    const unsigned allowed = static_cast<unsigned>(vm_blocked(vm_id_[id])) ^ 1u;
+    const unsigned cap_ok = (static_cast<unsigned>(capped_[id]) &
+                             static_cast<unsigned>(cap_budget_[id] <= 0)) ^ 1u;
+    return not_done & allowed & cap_ok;
+  }
+
+  Vcpu* pick_batched(std::vector<int>& queue, CoreCursor& cursor, int core);
+  Vcpu* pick_reference(std::vector<int>& queue, CoreCursor& cursor, int core);
+  void slice_end_batched();
+  void slice_end_reference();
+
+  /// Hot per-vCPU state, struct-of-arrays by vCPU id.  `vcpu_` doubles
+  /// as the registration flag (null = never added or removed); ids are
+  /// never reused.  `done_` caches Vcpu::done(), refreshed at
+  /// admission and at every account() — exact, because done-ness only
+  /// flips while a vCPU runs, and account() always follows a run.
+  std::vector<Vcpu*> vcpu_;
+  std::vector<int> remain_credit_;
+  std::vector<Cycles> cap_budget_;   // cycles left this slice (capped VMs)
+  std::vector<Cycles> cap_refill_;   // per-slice cap budget (0 = uncapped)
+  std::vector<std::uint8_t> capped_;
+  std::vector<std::uint8_t> done_;
+  std::vector<int> vm_id_;
+  std::vector<int> weight_;
 
   /// Per-core run queues hold a handful of vcpu ids each; a plain
   /// vector keeps the round-robin rotation (erase + push_back within
   /// capacity) free of the per-node heap churn a deque pays at block
   /// boundaries — the tick loop must not allocate in steady state.
-  std::vector<State> states_;               // by vcpu id
   std::vector<std::vector<int>> runqueue_;  // per core, vcpu ids, RR order
   std::vector<CoreCursor> cursors_;         // per core
+  Cycles cycles_per_tick_ = 0;              // cached at attach
 };
 
 }  // namespace kyoto::hv

@@ -14,6 +14,9 @@ Hypervisor::Hypervisor(const MachineConfig& machine_config,
   const auto cores = static_cast<std::size_t>(machine_->topology().total_cores());
   idle_ticks_.assign(cores, 0);
   slots_.resize(cores);
+  resident_.assign(cores, nullptr);
+  tick_pmu_base_.resize(cores);
+  tick_pmu_delta_.resize(cores);
   scheduler_->attach(*this);
 }
 
@@ -81,6 +84,12 @@ void Hypervisor::destroy_vm(int vm_id) {
   KYOTO_CHECK_MSG(slot != nullptr, "destroy_vm: vm " << vm_id << " already destroyed");
   Vm& vm = *slot;
   for (const auto& vcpu : vm.vcpus()) {
+    // A departing vCPU may still be lazily resident on its core; fold
+    // its in-flight PMU delta before the counters become a final
+    // accounting record.
+    if (resident_[static_cast<std::size_t>(vcpu->pinned_core())] == vcpu.get()) {
+      flush_resident(vcpu->pinned_core());
+    }
     scheduler_->vcpu_removed(*vcpu);
     if (vcpu->ref_buffer().refs != nullptr) {
       free_ref_blocks_.push_back(vcpu->ref_buffer().refs);
@@ -108,6 +117,10 @@ void Hypervisor::migrate(Vcpu& vcpu, int new_core) {
   KYOTO_CHECK_MSG(new_core >= 0 && new_core < cores, "migration target out of range");
   const int old_core = vcpu.pinned_core();
   if (old_core == new_core) return;
+  // The fast path keys residency on the (core, vCPU) pairing; a move
+  // breaks it, so the lazy delta is folded against the old core's PMU
+  // before the pin changes.
+  if (resident_[static_cast<std::size_t>(old_core)] == &vcpu) flush_resident(old_core);
   vcpu.set_pinned_core(new_core);
   scheduler_->vcpu_migrated(vcpu, old_core);
 }
@@ -125,6 +138,25 @@ void Hypervisor::set_execution_threads(int threads) {
   if (pool_ == nullptr || pool_->lanes() != lanes) {
     pool_ = std::make_unique<ThreadPool>(lanes);
   }
+}
+
+void Hypervisor::flush_resident(int core) {
+  Vcpu*& res = resident_[static_cast<std::size_t>(core)];
+  if (res == nullptr) return;
+  res->counters().switch_out(machine_->pmu(core));
+  res = nullptr;
+}
+
+void Hypervisor::set_control_plane_engine(bool batched) {
+  KYOTO_CHECK_MSG(!in_tick_execution_, "engine switch during tick execution");
+  if (!batched) {
+    // Going eager: materialize every lazy resident so the reference
+    // prologue's unconditional switch_in starts from a clean slate.
+    const int cores = machine_->topology().total_cores();
+    for (int core = 0; core < cores; ++core) flush_resident(core);
+  }
+  batched_control_plane_ = batched;
+  scheduler_->set_reference_engine(!batched);
 }
 
 void Hypervisor::run_ticks(Tick n) {
@@ -197,8 +229,23 @@ void Hypervisor::run_one_tick() {
                                              << " but it is pinned to " << v->pinned_core());
     slot.vcpu = v;
     slot.remaining = scheduler_->max_burst(*v, cpt);
-    slot.pmu_before = machine_->pmu(core).read();
-    v->counters().switch_in(machine_->pmu(core));
+    tick_pmu_base_[static_cast<std::size_t>(core)] = machine_->pmu(core).read();
+    if (batched_control_plane_) {
+      // Identity-switch fast path: the same vCPU picked again stays
+      // switched in — its in-flight PMU delta keeps accruing and is
+      // materialized at the next real switch (or read exactly via
+      // VirtualCounters::read in the meantime).
+      Vcpu*& res = resident_[static_cast<std::size_t>(core)];
+      if (res == v) {
+        ++identity_switch_ticks_;
+      } else {
+        if (res != nullptr) res->counters().switch_out(machine_->pmu(core));
+        v->counters().switch_in(machine_->pmu(core));
+        res = v;
+      }
+    } else {
+      v->counters().switch_in(machine_->pmu(core));
+    }
     ++sched_tick_count_[static_cast<std::size_t>(v->id())];
   }
 
@@ -225,15 +272,26 @@ void Hypervisor::run_one_tick() {
   // scheduler accounting in core order, so scheduler events, monitor
   // attributions and any stats the hooks read are ordered exactly as
   // in the serial engine regardless of which thread ran which socket.
+  // Batched PMU virtualization: one straight-line pass computes every
+  // core's tick delta from the prologue snapshots, in fixed core
+  // order, so the accounting loop below consumes plain values instead
+  // of interleaving PMU reads with branchy scheduler work.
+  for (int core = 0; core < cores; ++core) {
+    const auto c = static_cast<std::size_t>(core);
+    if (slots_[c].vcpu == nullptr) continue;
+    tick_pmu_delta_[c] = machine_->pmu(core).read() - tick_pmu_base_[c];
+  }
   for (int core = 0; core < cores; ++core) {
     auto& slot = slots_[static_cast<std::size_t>(core)];
     if (slot.vcpu == nullptr) continue;
-    slot.vcpu->counters().switch_out(machine_->pmu(core));
+    // Reference engine: eager switch-out every tick (the fast path
+    // leaves the vCPU resident instead — see the prologue).
+    if (!batched_control_plane_) slot.vcpu->counters().switch_out(machine_->pmu(core));
     RunReport report;
     report.core = core;
     report.tick = now_;
     report.ran = slot.ran;
-    report.pmc_delta = machine_->pmu(core).read() - slot.pmu_before;
+    report.pmc_delta = tick_pmu_delta_[static_cast<std::size_t>(core)];
     scheduler_->account(*slot.vcpu, report);
     for (const auto& hook : account_hooks_) hook(*slot.vcpu, report);
   }

@@ -10,10 +10,14 @@ void PiscesScheduler::vcpu_added(Vcpu& vcpu) {
   const int core = vcpu.pinned_core();
   KYOTO_CHECK_MSG(core >= 0, "Pisces enclave vCPU must be pinned");
   const auto cores = static_cast<std::size_t>(hv_->machine().topology().total_cores());
-  if (owner_.size() < cores) owner_.resize(cores, nullptr);
+  if (owner_.size() < cores) {
+    owner_.resize(cores, nullptr);
+    owner_vm_id_.resize(cores, -1);
+  }
   KYOTO_CHECK_MSG(owner_[static_cast<std::size_t>(core)] == nullptr,
                   "core " << core << " already owned by an enclave: Pisces does not share");
   owner_[static_cast<std::size_t>(core)] = &vcpu;
+  owner_vm_id_[static_cast<std::size_t>(core)] = vcpu.vm().id();
 }
 
 void PiscesScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
@@ -24,7 +28,9 @@ void PiscesScheduler::vcpu_migrated(Vcpu& vcpu, int old_core) {
   KYOTO_CHECK(new_core < owner_.size());
   KYOTO_CHECK_MSG(owner_[new_core] == nullptr, "migration target core already owned");
   owner_[static_cast<std::size_t>(old_core)] = nullptr;
+  owner_vm_id_[static_cast<std::size_t>(old_core)] = -1;
   owner_[new_core] = &vcpu;
+  owner_vm_id_[new_core] = vcpu.vm().id();
 }
 
 void PiscesScheduler::vcpu_removed(Vcpu& vcpu) {
@@ -32,15 +38,19 @@ void PiscesScheduler::vcpu_removed(Vcpu& vcpu) {
   KYOTO_CHECK(core < owner_.size());
   KYOTO_CHECK_MSG(owner_[core] == &vcpu, "departing vCPU did not own its core");
   owner_[core] = nullptr;
+  owner_vm_id_[core] = -1;
 }
-
-bool PiscesScheduler::kyoto_allows(const Vcpu& /*vcpu*/) const { return true; }
 
 Vcpu* PiscesScheduler::pick(int core, Tick /*now*/) {
   if (static_cast<std::size_t>(core) >= owner_.size()) return nullptr;
   Vcpu* v = owner_[static_cast<std::size_t>(core)];
-  if (v == nullptr || v->done() || !kyoto_allows(*v)) return nullptr;
-  return v;
+  if (v == nullptr) return nullptr;
+  // Duty-cycle gate as select arithmetic: a done or punished enclave
+  // idles its core, everything else runs unconditionally.
+  const unsigned idle = static_cast<unsigned>(v->done()) |
+                        static_cast<unsigned>(
+                            vm_blocked(owner_vm_id_[static_cast<std::size_t>(core)]));
+  return idle != 0 ? nullptr : v;
 }
 
 }  // namespace kyoto::hv

@@ -7,7 +7,7 @@
 // but the LLC is still silicon shared by all enclaves on the socket,
 // which is exactly the residual interference Fig 8 demonstrates and
 // KS4Pisces (kyoto/ks4pisces.hpp) closes by duty-cycling polluting
-// enclaves.
+// enclaves (punish gates arrive as bitmasks via set_kyoto_gates).
 #pragma once
 
 #include <string>
@@ -34,12 +34,9 @@ class PiscesScheduler : public Scheduler {
   }
   void slice_end(Tick /*now*/) override {}
 
- protected:
-  /// Kyoto hook (KS4Pisces idles punished enclaves here).
-  virtual bool kyoto_allows(const Vcpu& vcpu) const;
-
  private:
-  std::vector<Vcpu*> owner_;  // per core: the enclave vCPU owning it
+  std::vector<Vcpu*> owner_;      // per core: the enclave vCPU owning it
+  std::vector<int> owner_vm_id_;  // per core: owning VM id (-1 = free)
 };
 
 }  // namespace kyoto::hv

@@ -5,10 +5,20 @@
 // run, which is what Kyoto's monitoring consumes), and a slice-end
 // hook (Xen's 30 ms accounting period) where credits — and for Kyoto,
 // pollution quotas — are replenished.
+//
+// Kyoto gating is wired through compact per-VM bitmasks instead of
+// virtual predicates: the PollutionController maintains a punished
+// bitset (one bit per VM id), and the Ks4* schedulers hand the base
+// scheduler a pointer to it at attach() via set_kyoto_gates.  The hot
+// pick/accounting loops then test gate bits with plain word
+// arithmetic — no per-entry virtual dispatch, no data-dependent
+// branches.  A scheduler with no gates wired (the vanilla XCS/CFS/
+// Pisces baselines) sees "never blocked, never demoted".
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -71,8 +81,41 @@ class Scheduler {
   /// Called every kTicksPerSlice ticks, after accounting.
   virtual void slice_end(Tick now) = 0;
 
+  /// Wires the Kyoto punish gates (bit per VM id).  `blocked` bits
+  /// make a VM's vCPUs unschedulable; `demoted` bits rank them below
+  /// every unblocked vCPU.  Either may be null ("no such gate").  The
+  /// vectors stay owned by the controller and may grow — pointees are
+  /// re-read on every test, so growth is safe.
+  void set_kyoto_gates(const std::vector<std::uint64_t>* blocked,
+                       const std::vector<std::uint64_t>* demoted) {
+    kyoto_blocked_ = blocked;
+    kyoto_demoted_ = demoted;
+  }
+
+  /// Engine knob for equivalence tests and benches, mirroring
+  /// Machine::set_ref_batch_engine: when true, schedulers that grew a
+  /// branch-light pick/accounting engine fall back to their reference
+  /// (pre-rework, branchy) control flow.  State layout is shared, so
+  /// the two paths are interchangeable mid-run; results are
+  /// bit-identical either way, which tests/hv/accounting_oracle_test
+  /// and bench_throughput's control_plane agreement gate enforce.
+  virtual void set_reference_engine(bool on) { reference_engine_ = on; }
+  bool reference_engine() const { return reference_engine_; }
+
  protected:
+  static bool test_vm_bit(const std::vector<std::uint64_t>* words, int vm_id) {
+    if (words == nullptr) return false;
+    const auto w = static_cast<std::size_t>(vm_id) >> 6;
+    if (w >= words->size()) return false;
+    return (((*words)[w] >> (static_cast<unsigned>(vm_id) & 63u)) & 1u) != 0;
+  }
+  bool vm_blocked(int vm_id) const { return test_vm_bit(kyoto_blocked_, vm_id); }
+  bool vm_demoted(int vm_id) const { return test_vm_bit(kyoto_demoted_, vm_id); }
+
   Hypervisor* hv_ = nullptr;
+  const std::vector<std::uint64_t>* kyoto_blocked_ = nullptr;
+  const std::vector<std::uint64_t>* kyoto_demoted_ = nullptr;
+  bool reference_engine_ = false;
 };
 
 }  // namespace kyoto::hv

@@ -187,8 +187,9 @@ class Vm {
 
   bool loops() const { return config_.loop_workload; }
 
-  /// Aggregated virtualized counters over all vCPUs (in-flight deltas
-  /// excluded; callers wanting live values go through the machine).
+  /// Aggregated virtualized counters over all vCPUs, always exact: a
+  /// vCPU left resident on a core by the identity-switch fast path
+  /// contributes its in-flight delta live (VirtualCounters::read).
   pmc::CounterSet counters() const;
 
   /// True when every vCPU is done.

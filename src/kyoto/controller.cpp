@@ -1,6 +1,7 @@
 #include "kyoto/controller.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.hpp"
 
@@ -21,19 +22,30 @@ void PollutionController::attach(hv::Hypervisor& hv) {
   hv.add_vm_removed_hook([this](hv::Hypervisor&, hv::Vm& vm) { vm_removed(vm); });
 }
 
+void PollutionController::set_punished(std::size_t vm_id, bool punished) {
+  states_[vm_id].punished = punished;
+  const std::size_t word = vm_id >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (vm_id & 63);
+  punished_words_[word] = punished ? (punished_words_[word] | bit)
+                                   : (punished_words_[word] & ~bit);
+}
+
 void PollutionController::vm_removed(hv::Vm& vm) {
   monitor_->vm_removed(vm);
   const auto id = static_cast<std::size_t>(vm.id());
   if (id < states_.size()) {
     // The slot survives as the departed tenant's final accounting
     // record (state_by_id), but punishment must stop ticking.
-    states_[id].punished = false;
+    set_punished(id, false);
   }
 }
 
 PollutionController::VmState& PollutionController::slot(const hv::Vm& vm) {
   const auto id = static_cast<std::size_t>(vm.id());
-  if (states_.size() <= id) states_.resize(id + 1);
+  if (states_.size() <= id) {
+    states_.resize(id + 1);
+    punished_words_.resize((states_.size() + 63) / 64, 0);
+  }
   VmState& st = states_[id];
   if (st.booked == 0.0 && vm.config().llc_cap > 0.0) {
     st.booked = vm.config().llc_cap;
@@ -49,27 +61,58 @@ void PollutionController::account(hv::Vcpu& vcpu, const hv::RunReport& report) {
   // The monitor is consulted unconditionally: sampling monitors keep
   // their direct-rate estimates fresh even for unbooked VMs.
   const double rate = monitor_->pollution_rate(vcpu, report);
+  const auto id = static_cast<std::size_t>(vcpu.vm().id());
   VmState& st = slot(vcpu.vm());
   st.last_rate = rate;
-  if (st.booked <= 0.0) return;  // no permit booked: never punished
 
+  if (reference_engine_) {
+    if (st.booked <= 0.0) return;  // no permit booked: never punished
+    const double ran_ms = cycles_to_ms(report.ran, hv_->machine().freq_khz());
+    const double debit = rate * ran_ms;
+    st.quota -= debit;
+    st.debited_total += debit;
+    if (st.quota < 0.0 && !st.punished) {
+      set_punished(id, true);
+      ++st.punish_events;
+    }
+    return;
+  }
+
+  // Branch-light path: the unbooked case and the punish transition
+  // are select arithmetic (subtracting 0.0 preserves every quota bit
+  // pattern that can occur here).
+  const bool booked = st.booked > 0.0;
   const double ran_ms = cycles_to_ms(report.ran, hv_->machine().freq_khz());
-  const double debit = rate * ran_ms;
+  const double debit = booked ? rate * ran_ms : 0.0;
   st.quota -= debit;
   st.debited_total += debit;
-  if (st.quota < 0.0 && !st.punished) {
-    st.punished = true;
-    ++st.punish_events;
-  }
+  const bool newly_punished = booked & (st.quota < 0.0) & !st.punished;
+  st.punish_events += static_cast<std::int64_t>(newly_punished);
+  set_punished(id, st.punished | newly_punished);
 }
 
 void PollutionController::slice_end() {
   const double slice_ms = static_cast<double>(kTickMs * kTicksPerSlice);
-  for (VmState& st : states_) {
-    if (st.booked <= 0.0) continue;
-    const double earn = st.booked * slice_ms;
-    st.quota = std::min(st.quota + earn, params_.bank_slices * earn);
-    if (st.punished && st.quota >= 0.0) st.punished = false;
+  if (reference_engine_) {
+    for (std::size_t id = 0; id < states_.size(); ++id) {
+      VmState& st = states_[id];
+      if (st.booked <= 0.0) continue;
+      const double earn = st.booked * slice_ms;
+      st.quota = std::min(st.quota + earn, params_.bank_slices * earn);
+      if (st.punished && st.quota >= 0.0) set_punished(id, false);
+    }
+    return;
+  }
+  for (std::size_t id = 0; id < states_.size(); ++id) {
+    VmState& st = states_[id];
+    const bool booked = st.booked > 0.0;
+    const double earn = booked ? st.booked * slice_ms : 0.0;
+    const double replenished = st.quota + earn;
+    const double bank = params_.bank_slices * earn;
+    const double clamped = replenished < bank ? replenished : bank;
+    st.quota = booked ? clamped : st.quota;
+    const bool lift = st.punished & booked & (st.quota >= 0.0);
+    set_punished(id, st.punished & !lift);
   }
 }
 
@@ -106,8 +149,21 @@ const PollutionController::VmState& PollutionController::state_by_id(int vm_id) 
 
 void PollutionController::on_tick(hv::Hypervisor& hv, Tick now) {
   monitor_->on_tick(hv, now);
-  for (VmState& st : states_) {
-    if (st.punished) ++st.punished_ticks;
+  if (reference_engine_) {
+    for (VmState& st : states_) {
+      if (st.punished) ++st.punished_ticks;
+    }
+    return;
+  }
+  // Walk the punished bitset instead of polling every (mostly dead,
+  // under churn) VM slot: the words mirror the punished flags exactly.
+  for (std::size_t w = 0; w < punished_words_.size(); ++w) {
+    std::uint64_t word = punished_words_[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+      ++states_[(w << 6) + bit].punished_ticks;
+      word &= word - 1;
+    }
   }
 }
 

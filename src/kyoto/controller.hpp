@@ -98,6 +98,24 @@ class PollutionController {
 
   PunishMode punish_mode() const { return params_.punish_mode; }
 
+  /// Punish gates as compact bitmasks (bit per VM id), for the
+  /// schedulers' branch-light pick loops (Scheduler::set_kyoto_gates).
+  /// The bits mirror VmState::punished exactly — every transition
+  /// updates both — and which gate is live depends on the punish
+  /// mode: in kBlock mode punished VMs are unschedulable, in kDemote
+  /// mode they are merely demoted.
+  const std::vector<std::uint64_t>* blocked_gate() const {
+    return params_.punish_mode == PunishMode::kBlock ? &punished_words_ : nullptr;
+  }
+  const std::vector<std::uint64_t>* demoted_gate() const {
+    return params_.punish_mode == PunishMode::kDemote ? &punished_words_ : nullptr;
+  }
+
+  /// Engine knob (see Scheduler::set_reference_engine): true restores
+  /// the pre-rework branchy debit/earn/punish control flow; results
+  /// are bit-identical either way.
+  void set_reference_engine(bool on) { reference_engine_ = on; }
+
   const VmState& state(const hv::Vm& vm) const;
   /// Same, by id — valid for departed tenants too (churn metrics read
   /// the final accounting record after the Vm object is gone).
@@ -111,11 +129,18 @@ class PollutionController {
   /// aborts) and freezes the departing VM's punishment accounting.
   void vm_removed(hv::Vm& vm);
   VmState& slot(const hv::Vm& vm);
+  /// Single write point for punishment transitions: keeps the
+  /// punished flag and its gate bit in lockstep.
+  void set_punished(std::size_t vm_id, bool punished);
 
   std::unique_ptr<PollutionMonitor> monitor_;
   KyotoParams params_;
   hv::Hypervisor* hv_ = nullptr;
   std::vector<VmState> states_;  // by vm id
+  /// Bit per VM id, set iff states_[id].punished — the schedulers'
+  /// gate masks point here (grown in lockstep with states_).
+  std::vector<std::uint64_t> punished_words_;
+  bool reference_engine_ = false;
 };
 
 }  // namespace kyoto::core

@@ -26,6 +26,7 @@ class Ks4Linux final : public hv::CfsScheduler {
   void attach(hv::Hypervisor& hv) override {
     hv::CfsScheduler::attach(hv);
     controller_.attach(hv);
+    set_kyoto_gates(controller_.blocked_gate(), controller_.demoted_gate());
   }
 
   void account(hv::Vcpu& vcpu, const hv::RunReport& report) override {
@@ -38,17 +39,13 @@ class Ks4Linux final : public hv::CfsScheduler {
     controller_.slice_end();
   }
 
+  void set_reference_engine(bool on) override {
+    hv::CfsScheduler::set_reference_engine(on);
+    controller_.set_reference_engine(on);
+  }
+
   PollutionController& kyoto() { return controller_; }
   const PollutionController& kyoto() const { return controller_; }
-
- protected:
-  bool kyoto_allows(const hv::Vcpu& vcpu) const override {
-    return controller_.allows(vcpu.vm());
-  }
-  bool kyoto_demoted(const hv::Vcpu& vcpu) const override {
-    return controller_.punish_mode() == PunishMode::kDemote &&
-           controller_.demoted(vcpu.vm());
-  }
 
  private:
   PollutionController controller_;

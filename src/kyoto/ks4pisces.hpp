@@ -28,6 +28,7 @@ class Ks4Pisces final : public hv::PiscesScheduler {
   void attach(hv::Hypervisor& hv) override {
     hv::PiscesScheduler::attach(hv);
     controller_.attach(hv);
+    set_kyoto_gates(controller_.blocked_gate(), controller_.demoted_gate());
   }
 
   void account(hv::Vcpu& vcpu, const hv::RunReport& report) override {
@@ -40,13 +41,13 @@ class Ks4Pisces final : public hv::PiscesScheduler {
     controller_.slice_end();
   }
 
+  void set_reference_engine(bool on) override {
+    hv::PiscesScheduler::set_reference_engine(on);
+    controller_.set_reference_engine(on);
+  }
+
   PollutionController& kyoto() { return controller_; }
   const PollutionController& kyoto() const { return controller_; }
-
- protected:
-  bool kyoto_allows(const hv::Vcpu& vcpu) const override {
-    return controller_.allows(vcpu.vm());
-  }
 
  private:
   PollutionController controller_;

@@ -31,6 +31,10 @@ class Ks4Xen final : public hv::CreditScheduler {
   void attach(hv::Hypervisor& hv) override {
     hv::CreditScheduler::attach(hv);
     controller_.attach(hv);
+    // Punish gating reaches the credit engine as bitmasks, not
+    // virtual predicates: the hot pick loop tests controller-owned
+    // punished bits with word arithmetic.
+    set_kyoto_gates(controller_.blocked_gate(), controller_.demoted_gate());
   }
 
   void account(hv::Vcpu& vcpu, const hv::RunReport& report) override {
@@ -43,17 +47,13 @@ class Ks4Xen final : public hv::CreditScheduler {
     controller_.slice_end();
   }
 
+  void set_reference_engine(bool on) override {
+    hv::CreditScheduler::set_reference_engine(on);
+    controller_.set_reference_engine(on);
+  }
+
   PollutionController& kyoto() { return controller_; }
   const PollutionController& kyoto() const { return controller_; }
-
- protected:
-  bool kyoto_allows(const hv::Vcpu& vcpu) const override {
-    return controller_.allows(vcpu.vm());
-  }
-  bool kyoto_demoted(const hv::Vcpu& vcpu) const override {
-    return controller_.punish_mode() == PunishMode::kDemote &&
-           controller_.demoted(vcpu.vm());
-  }
 
  private:
   PollutionController controller_;

@@ -8,6 +8,16 @@
 // contention-induced misses* caused by other VMs evicting this vCPU's
 // lines, which is exactly the attribution problem the paper's
 // monitoring strategies (socket dedication, McSim replay) address.
+//
+// Identity-switch fast path: the hypervisor may leave a vCPU
+// "resident" on a core across ticks without a switch-out/switch-in
+// pair, so the in-flight delta spans many ticks.  To keep reads exact
+// without forcing callers to know which core the vCPU sits on,
+// switch_in remembers the core's PMU; read() folds the in-flight
+// delta in from there.  The lazy delta is materialized into
+// accumulated_ at the next real switch-out, and discarded/re-anchored
+// at reset() (a monitoring window boundary must not resurrect
+// pre-window history).
 #pragma once
 
 #include "common/check.hpp"
@@ -23,6 +33,7 @@ class VirtualCounters {
   void switch_in(const CorePmu& pmu) {
     KYOTO_CHECK_MSG(!running_, "vCPU already running on a core");
     running_ = true;
+    core_ = &pmu;
     snapshot_ = pmu.read();
   }
 
@@ -30,30 +41,40 @@ class VirtualCounters {
   void switch_out(const CorePmu& pmu) {
     KYOTO_CHECK_MSG(running_, "vCPU not running");
     running_ = false;
+    core_ = nullptr;
     accumulated_ += pmu.read() - snapshot_;
   }
 
-  /// Current virtualized counts.  If the vCPU is on a core right now,
-  /// pass that core's PMU to include the in-flight delta.
-  CounterSet read(const CorePmu* current_core = nullptr) const {
+  /// Current virtualized counts, always exact: a running vCPU's
+  /// in-flight delta (possibly spanning several identity-switch
+  /// ticks) is read live from the core it was switched in on.  The
+  /// optional argument is kept for callers that track the core
+  /// themselves; when given it must be that same core.
+  CounterSet read([[maybe_unused]] const CorePmu* current_core = nullptr) const {
     CounterSet result = accumulated_;
-    if (running_ && current_core != nullptr) {
-      result += current_core->read() - snapshot_;
+    if (running_) {
+      KYOTO_DCHECK(current_core == nullptr || current_core == core_);
+      result += core_->read() - snapshot_;
     }
     return result;
   }
 
   bool running() const { return running_; }
 
-  /// Forgets history (used when a monitoring window starts).
+  /// Forgets history (used when a monitoring window starts).  A
+  /// resident vCPU's in-flight delta belongs to the *old* window, so
+  /// the snapshot re-anchors at the current counts; while descheduled
+  /// this matches the eager engine exactly (nothing runs between the
+  /// epilogue's switch-out and the next prologue's switch-in).
   void reset() {
     accumulated_.clear();
-    // snapshot_ stays: an in-flight window keeps counting from here.
+    if (running_) snapshot_ = core_->read();
   }
 
  private:
   CounterSet accumulated_;
   CounterSet snapshot_;
+  const CorePmu* core_ = nullptr;  // non-null while running_
   bool running_ = false;
 };
 

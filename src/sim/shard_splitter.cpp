@@ -18,9 +18,42 @@ bool file_exists(const std::string& path) {
 
 }  // namespace
 
+namespace {
+
+/// Largest-remainder apportionment of `total` jobs over `weights`:
+/// floors first, then the leftover goes to the largest fractional
+/// parts, ties broken by host order.  Deterministic, sums to total.
+std::vector<std::size_t> weighted_quotas(std::size_t total,
+                                         const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  std::vector<std::size_t> quota(weights.size(), 0);
+  std::vector<double> remainder(weights.size(), 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / sum;
+    quota[i] = static_cast<std::size_t>(exact);
+    remainder[i] = exact - static_cast<double>(quota[i]);
+    assigned += quota[i];
+  }
+  while (assigned < total) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < weights.size(); ++i) {
+      if (remainder[i] > remainder[best]) best = i;
+    }
+    ++quota[best];
+    remainder[best] = -1.0;
+    ++assigned;
+  }
+  return quota;
+}
+
+}  // namespace
+
 farm::ShardManifest split_batch(const std::vector<farm::FarmJob>& jobs,
                                 const std::vector<std::string>& host_ids,
-                                int jobs_per_shard) {
+                                int jobs_per_shard,
+                                const std::vector<double>& host_weights) {
   KYOTO_CHECK_MSG(!jobs.empty(), "split_batch: empty batch");
   KYOTO_CHECK_MSG(!host_ids.empty(), "split_batch: no hosts");
   for (std::size_t i = 0; i < host_ids.size(); ++i) {
@@ -30,30 +63,60 @@ farm::ShardManifest split_batch(const std::vector<farm::FarmJob>& jobs,
                       "split_batch: duplicate host id " << host_ids[i]);
     }
   }
+  if (!host_weights.empty()) {
+    KYOTO_CHECK_MSG(host_weights.size() == host_ids.size(),
+                    "split_batch: " << host_weights.size() << " weight(s) for "
+                                    << host_ids.size() << " host(s)");
+    KYOTO_CHECK_MSG(jobs_per_shard == 0,
+                    "split_batch: host weights require the one-shard-per-host split");
+    for (const double w : host_weights) {
+      KYOTO_CHECK_MSG(w > 0.0, "split_batch: host weight must be positive, got " << w);
+    }
+  }
   const std::size_t total = jobs.size();
-  std::size_t per = jobs_per_shard > 0
-                        ? static_cast<std::size_t>(jobs_per_shard)
-                        : (total + host_ids.size() - 1) / host_ids.size();
-  per = std::max<std::size_t>(per, 1);
 
   farm::ShardManifest manifest;
   manifest.fingerprint = farm::batch_fingerprint(jobs);
   manifest.total_jobs = total;
-  std::size_t next = 0;
-  std::size_t shard_index = 0;
-  while (next < total) {
-    const std::size_t count = std::min(per, total - next);
+
+  auto emit_shard = [&](const std::string& host_id, std::size_t first, std::size_t count) {
+    const std::size_t shard_index = manifest.shards.size();
     farm::HostShard shard;
-    shard.host_id = host_ids[shard_index % host_ids.size()];
+    shard.host_id = host_id;
     shard.job_file = "shard" + std::to_string(shard_index) + ".jobs.kyfm";
     shard.result_file = "shard" + std::to_string(shard_index) + ".results.kyfm";
     shard.job_ids.reserve(count);
     shard.labels.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      shard.job_ids.push_back(jobs[next + i].id);
-      shard.labels.push_back(jobs[next + i].label);
+      shard.job_ids.push_back(jobs[first + i].id);
+      shard.labels.push_back(jobs[first + i].label);
     }
     manifest.shards.push_back(std::move(shard));
+  };
+
+  if (!host_weights.empty()) {
+    // Capability-weighted split: one contiguous slice per host, sized
+    // by its weight share.  A host too slow to earn a single job gets
+    // no shard (and therefore no file to come back late with).
+    const std::vector<std::size_t> quota = weighted_quotas(total, host_weights);
+    std::size_t next = 0;
+    for (std::size_t h = 0; h < host_ids.size(); ++h) {
+      if (quota[h] == 0) continue;
+      emit_shard(host_ids[h], next, quota[h]);
+      next += quota[h];
+    }
+    return manifest;
+  }
+
+  std::size_t per = jobs_per_shard > 0
+                        ? static_cast<std::size_t>(jobs_per_shard)
+                        : (total + host_ids.size() - 1) / host_ids.size();
+  per = std::max<std::size_t>(per, 1);
+  std::size_t next = 0;
+  std::size_t shard_index = 0;
+  while (next < total) {
+    const std::size_t count = std::min(per, total - next);
+    emit_shard(host_ids[shard_index % host_ids.size()], next, count);
     next += count;
     ++shard_index;
   }

@@ -1,0 +1,322 @@
+// Frozen-reference accounting oracle — the tick-control-plane
+// analogue of tests/cache/random_oracle_test.cpp.
+//
+// The branch-light engines (branchless credit/CFS accounting, mask
+// Kyoto gates, batched PMU deltas, identity-switch fast path) claim
+// bit-identity with the pre-rework control flow.  That pre-rework
+// code is kept verbatim in-tree as the reference engine
+// (Hypervisor::set_control_plane_engine(false) selects it everywhere
+// at once: eager switch-out/in plus the branchy scheduler and
+// controller paths).  This suite drives both engines — and a third
+// instance that flips engines mid-run — through ~100 randomized tick
+// sequences (random VM mixes, weights, caps, llc_cap bookings, punish
+// modes, migrations, churn departures and arrivals) and compares the
+// full observable accounting state word-for-word after every step:
+// virtualized counters, sched/idle ticks, credit/vruntime state, cap
+// budgets and the controller's quota/punish records, doubles compared
+// by bit pattern.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "hv/cfs_scheduler.hpp"
+#include "hv/credit_scheduler.hpp"
+#include "hv/hypervisor.hpp"
+#include "hv/pisces.hpp"
+#include "kyoto/ks4linux.hpp"
+#include "kyoto/ks4pisces.hpp"
+#include "kyoto/ks4xen.hpp"
+#include "test_util.hpp"
+#include "workloads/catalog.hpp"
+
+namespace kyoto::hv {
+namespace {
+
+enum class Kind { kCredit, kCfs, kKs4Xen, kKs4XenDemote, kKs4Linux, kKs4Pisces };
+
+bool is_kyoto(Kind k) { return k != Kind::kCredit && k != Kind::kCfs; }
+bool is_pisces(Kind k) { return k == Kind::kKs4Pisces; }
+
+std::unique_ptr<Scheduler> make_scheduler(Kind kind) {
+  core::KyotoParams params;
+  switch (kind) {
+    case Kind::kCredit: return std::make_unique<CreditScheduler>();
+    case Kind::kCfs: return std::make_unique<CfsScheduler>();
+    case Kind::kKs4Xen:
+      return std::make_unique<core::Ks4Xen>(std::make_unique<core::DirectPmcMonitor>(),
+                                            params);
+    case Kind::kKs4XenDemote:
+      params.punish_mode = core::PunishMode::kDemote;
+      return std::make_unique<core::Ks4Xen>(std::make_unique<core::DirectPmcMonitor>(),
+                                            params);
+    case Kind::kKs4Linux:
+      return std::make_unique<core::Ks4Linux>(std::make_unique<core::DirectPmcMonitor>(),
+                                              params);
+    case Kind::kKs4Pisces:
+      return std::make_unique<core::Ks4Pisces>(std::make_unique<core::DirectPmcMonitor>(),
+                                               params);
+  }
+  return nullptr;
+}
+
+const core::PollutionController* controller_of(Kind kind, Hypervisor& hv) {
+  switch (kind) {
+    case Kind::kKs4Xen:
+    case Kind::kKs4XenDemote:
+      return &static_cast<core::Ks4Xen&>(hv.scheduler()).kyoto();
+    case Kind::kKs4Linux:
+      return &static_cast<core::Ks4Linux&>(hv.scheduler()).kyoto();
+    case Kind::kKs4Pisces:
+      return &static_cast<core::Ks4Pisces&>(hv.scheduler()).kyoto();
+    default: return nullptr;
+  }
+}
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+/// Everything the control plane computes, serialized word-for-word.
+std::vector<std::uint64_t> snapshot(Kind kind, Hypervisor& hv) {
+  std::vector<std::uint64_t> out;
+  out.push_back(static_cast<std::uint64_t>(hv.now()));
+  const int cores = hv.machine().topology().total_cores();
+  for (int core = 0; core < cores; ++core) {
+    out.push_back(static_cast<std::uint64_t>(hv.idle_ticks(core)));
+  }
+  for (int id = 0; id < hv.vm_count(); ++id) {
+    Vm* vm = hv.find_vm(id);
+    out.push_back(vm != nullptr ? 1u : 0u);
+    if (vm == nullptr) continue;
+    const pmc::CounterSet counters = vm->counters();
+    for (const std::uint64_t v : counters.values) out.push_back(v);
+    for (const auto& vcpu : vm->vcpus()) {
+      out.push_back(static_cast<std::uint64_t>(hv.sched_ticks(*vcpu)));
+      out.push_back(static_cast<std::uint64_t>(vcpu->cpu_cycles()));
+      switch (kind) {
+        case Kind::kCredit:
+        case Kind::kKs4Xen:
+        case Kind::kKs4XenDemote: {
+          const auto& cs = static_cast<const CreditScheduler&>(hv.scheduler());
+          out.push_back(static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(cs.remain_credit(*vcpu))));
+          out.push_back(cs.in_over(*vcpu) ? 1u : 0u);
+          out.push_back(bits(cs.cap_budget_fraction(*vcpu)));
+          break;
+        }
+        case Kind::kCfs:
+        case Kind::kKs4Linux: {
+          const auto& cfs = static_cast<const CfsScheduler&>(hv.scheduler());
+          out.push_back(bits(cfs.vruntime(*vcpu)));
+          break;
+        }
+        case Kind::kKs4Pisces: break;
+      }
+    }
+  }
+  if (const core::PollutionController* ctl = controller_of(kind, hv)) {
+    // state_by_id is valid for departed tenants too — the frozen final
+    // record must match across engines as well.
+    for (int id = 0; id < hv.vm_count(); ++id) {
+      const auto& st = ctl->state_by_id(id);
+      out.push_back(bits(st.booked));
+      out.push_back(bits(st.quota));
+      out.push_back(bits(st.last_rate));
+      out.push_back(bits(st.debited_total));
+      out.push_back(st.punished ? 1u : 0u);
+      out.push_back(static_cast<std::uint64_t>(st.punish_events));
+      out.push_back(static_cast<std::uint64_t>(st.punished_ticks));
+    }
+  }
+  return out;
+}
+
+struct VmPlanOracle {
+  std::string app;
+  std::uint64_t seed = 1;
+  int core = 0;
+  int weight = 256;
+  int cap = 0;
+  double llc_cap = 0.0;
+  bool loop = true;
+};
+
+struct Step {
+  int ticks = 1;
+  enum class Op { kNone, kMigrate, kDestroy, kCreate } op = Op::kNone;
+  int pick = 0;     // victim/mover selector (mod live VMs)
+  int core = 0;     // migration/creation target
+  VmPlanOracle plan;  // kCreate payload
+};
+
+Vm& spawn(Hypervisor& hv, const VmPlanOracle& plan) {
+  VmConfig config{.name = plan.app};
+  config.weight = plan.weight;
+  config.cpu_cap_percent = plan.cap;
+  config.llc_cap = plan.llc_cap;
+  config.loop_workload = plan.loop;
+  return hv.create_vm(config,
+                      workloads::make_app(plan.app, test::test_machine().mem, plan.seed),
+                      plan.core);
+}
+
+void apply(Hypervisor& hv, const Step& step) {
+  std::vector<Vm*> live = hv.vms();
+  switch (step.op) {
+    case Step::Op::kNone: break;
+    case Step::Op::kMigrate: {
+      Vm* vm = live[static_cast<std::size_t>(step.pick) % live.size()];
+      hv.migrate(vm->vcpu(0), step.core);
+      break;
+    }
+    case Step::Op::kDestroy:
+      if (live.size() > 1) {
+        hv.destroy_vm(live[static_cast<std::size_t>(step.pick) % live.size()]->id());
+      }
+      break;
+    case Step::Op::kCreate: spawn(hv, step.plan); break;
+  }
+  hv.run_ticks(step.ticks);
+}
+
+VmPlanOracle random_plan(std::mt19937_64& rng, Kind kind, int core) {
+  static const char* kApps[] = {"gcc", "lbm", "hmmer"};
+  VmPlanOracle plan;
+  plan.app = kApps[rng() % 3];
+  plan.seed = rng() % 1000 + 1;
+  plan.core = core;
+  plan.weight = 1 << (7 + rng() % 3);  // 128 / 256 / 512
+  plan.cap = (rng() % 3 == 0) ? static_cast<int>(30 + rng() % 60) : 0;
+  plan.loop = rng() % 4 != 0;
+  if (is_kyoto(kind)) {
+    // Tight bookings on some VMs so punish transitions actually fire.
+    plan.llc_cap = (rng() % 3 != 0) ? 0.5 + static_cast<double>(rng() % 40) : 0.0;
+  }
+  return plan;
+}
+
+/// One randomized round: identical initial placements, an identical
+/// event script, three instances (reference / batched / mid-run
+/// toggler), snapshots compared after every step.
+void run_round(Kind kind, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int cores = test::test_machine().topology.total_cores();
+
+  std::vector<VmPlanOracle> initial;
+  if (is_pisces(kind)) {
+    // Pisces enclaves own their cores: one single-vCPU VM per core.
+    for (int core = 0; core < cores; ++core) {
+      initial.push_back(random_plan(rng, kind, core));
+    }
+  } else {
+    const int nvms = 2 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < nvms; ++i) {
+      initial.push_back(random_plan(rng, kind, static_cast<int>(rng() % cores)));
+    }
+  }
+
+  std::vector<Step> script;
+  const int steps = 6 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < steps; ++i) {
+    Step step;
+    step.ticks = 1 + static_cast<int>(rng() % 5);
+    const auto roll = rng() % 8;
+    if (roll == 0 && !is_pisces(kind)) {
+      step.op = Step::Op::kMigrate;
+      step.pick = static_cast<int>(rng() % 16);
+      step.core = static_cast<int>(rng() % cores);
+    } else if (roll == 1) {
+      step.op = Step::Op::kDestroy;
+      step.pick = static_cast<int>(rng() % 16);
+    } else if (roll == 2 && !is_pisces(kind)) {
+      step.op = Step::Op::kCreate;
+      step.plan = random_plan(rng, kind, static_cast<int>(rng() % cores));
+    }
+    script.push_back(step);
+  }
+
+  Hypervisor reference(test::test_machine(), make_scheduler(kind));
+  Hypervisor batched(test::test_machine(), make_scheduler(kind));
+  Hypervisor toggler(test::test_machine(), make_scheduler(kind));
+  reference.set_control_plane_engine(false);
+  ASSERT_FALSE(reference.batched_control_plane());
+  ASSERT_TRUE(batched.batched_control_plane());
+
+  for (const VmPlanOracle& plan : initial) {
+    spawn(reference, plan);
+    spawn(batched, plan);
+    spawn(toggler, plan);
+  }
+
+  bool toggle = false;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    apply(reference, script[i]);
+    apply(batched, script[i]);
+    // The engines share state and may be swapped at any tick
+    // boundary; the toggler flips every step and must still match.
+    toggler.set_control_plane_engine(toggle);
+    toggle = !toggle;
+    apply(toggler, script[i]);
+
+    const auto want = snapshot(kind, reference);
+    ASSERT_EQ(want, snapshot(kind, batched))
+        << "batched diverged: seed " << seed << " step " << i;
+    ASSERT_EQ(want, snapshot(kind, toggler))
+        << "toggler diverged: seed " << seed << " step " << i;
+  }
+  EXPECT_EQ(reference.identity_switch_ticks(), 0);
+}
+
+TEST(AccountingOracle, CreditMatchesFrozenReference) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) run_round(Kind::kCredit, 0xC0'0000 + seed);
+}
+
+TEST(AccountingOracle, CfsMatchesFrozenReference) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) run_round(Kind::kCfs, 0xCF'0000 + seed);
+}
+
+TEST(AccountingOracle, Ks4XenBlockMatchesFrozenReference) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) run_round(Kind::kKs4Xen, 0x4E'0000 + seed);
+}
+
+TEST(AccountingOracle, Ks4XenDemoteMatchesFrozenReference) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    run_round(Kind::kKs4XenDemote, 0xDE'0000 + seed);
+  }
+}
+
+TEST(AccountingOracle, Ks4LinuxMatchesFrozenReference) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    run_round(Kind::kKs4Linux, 0x11'0000 + seed);
+  }
+}
+
+TEST(AccountingOracle, Ks4PiscesMatchesFrozenReference) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    run_round(Kind::kKs4Pisces, 0x25'0000 + seed);
+  }
+}
+
+TEST(AccountingOracle, FastPathEngagesInSteadyState) {
+  // A single looping VM keeps its core every tick: every pick after
+  // the first is an identity switch under the batched engine, and
+  // never under the reference engine.
+  Hypervisor batched(test::test_machine(), std::make_unique<CreditScheduler>());
+  Hypervisor reference(test::test_machine(), std::make_unique<CreditScheduler>());
+  reference.set_control_plane_engine(false);
+  VmConfig config{.name = "steady"};
+  config.loop_workload = true;
+  batched.create_vm(config, workloads::make_app("gcc", test::test_machine().mem, 1), 0);
+  reference.create_vm(config, workloads::make_app("gcc", test::test_machine().mem, 1), 0);
+  batched.run_ticks(12);
+  reference.run_ticks(12);
+  EXPECT_EQ(batched.identity_switch_ticks(), 11);
+  EXPECT_EQ(reference.identity_switch_ticks(), 0);
+  EXPECT_EQ(batched.vm(0).counters(), reference.vm(0).counters());
+}
+
+}  // namespace
+}  // namespace kyoto::hv

@@ -222,5 +222,143 @@ TEST(VmLifecycle, RunScenarioToleratesMidWindowChurn) {
   EXPECT_LT(outcome.vms[1].instructions, outcome.vms[0].instructions);
 }
 
+// --- identity-switch fast path edge cases ----------------------------
+//
+// The batched control plane leaves a steady-state vCPU switched in
+// across ticks (lazy PMU delta).  Every event that consumes or
+// invalidates that delta — destroy_vm, migrate, a monitor-style
+// counter read, a churn arrival onto the vacated core — must see
+// exactly the state the eager reference engine would produce.  Each
+// test runs a batched instance against an eager twin executing the
+// same script and compares counters bitwise, using
+// identity_switch_ticks() to prove the fast path was actually
+// engaged (not vacuously skipped).
+
+/// Builds one batched + one eager-reference hypervisor pair running
+/// the same initial VMs.
+struct TwinPair {
+  Hypervisor batched;
+  Hypervisor eager;
+  TwinPair()
+      : batched(test::test_machine(), std::make_unique<CreditScheduler>()),
+        eager(test::test_machine(), std::make_unique<CreditScheduler>()) {
+    eager.set_control_plane_engine(false);
+  }
+  void spawn(const std::string& name, const char* workload, std::uint64_t seed, int core) {
+    const MachineConfig machine = test::test_machine();
+    batched.create_vm(looping(name), app(workload, machine, seed), core);
+    eager.create_vm(looping(name), app(workload, machine, seed), core);
+  }
+  void run(Tick n) {
+    batched.run_ticks(n);
+    eager.run_ticks(n);
+  }
+  void expect_counters_equal(const char* what) {
+    ASSERT_EQ(batched.vm_count(), eager.vm_count());
+    for (int id = 0; id < batched.vm_count(); ++id) {
+      Vm* b = batched.find_vm(id);
+      Vm* e = eager.find_vm(id);
+      ASSERT_EQ(b == nullptr, e == nullptr) << what << ": vm " << id;
+      if (b != nullptr) EXPECT_EQ(b->counters(), e->counters()) << what << ": vm " << id;
+    }
+  }
+};
+
+TEST(IdentitySwitch, DestroyVmMidSteadyStateFlushesLazyDelta) {
+  TwinPair twins;
+  twins.spawn("resident", "mcf", 1, 0);
+  twins.spawn("bystander", "gcc", 2, 1);
+  twins.run(8);
+  ASSERT_GT(twins.batched.identity_switch_ticks(), 0);
+  // Destroy while resident: the multi-tick in-flight delta must land
+  // in the final accounting record, not evaporate.
+  twins.batched.destroy_vm(0);
+  twins.eager.destroy_vm(0);
+  twins.expect_counters_equal("after destroy");
+  twins.run(5);
+  twins.expect_counters_equal("after post-destroy ticks");
+}
+
+TEST(IdentitySwitch, MigrateAfterIdentityTicksFlushesAgainstOldCore) {
+  TwinPair twins;
+  twins.spawn("mover", "mcf", 1, 0);
+  twins.run(7);
+  const auto before = twins.batched.identity_switch_ticks();
+  ASSERT_GT(before, 0);
+  // Migrate off the fast-path core: the lazy delta folds against the
+  // OLD core's PMU before the pin changes.
+  twins.batched.migrate(twins.batched.vm(0).vcpu(0), 2);
+  twins.eager.migrate(twins.eager.vm(0).vcpu(0), 2);
+  twins.expect_counters_equal("right after migrate");
+  twins.run(7);
+  twins.expect_counters_equal("after re-settling");
+  // The vCPU re-enters the fast path on its new core.
+  EXPECT_GT(twins.batched.identity_switch_ticks(), before);
+}
+
+TEST(IdentitySwitch, CounterReadsSeeInFlightLazyDelta) {
+  TwinPair twins;
+  twins.spawn("watched", "mcf", 1, 0);
+  // Read mid-steady-state every tick, exactly where monitors read
+  // (tick boundaries): the resident vCPU's delta spans several ticks
+  // but Vm::counters() must match the eager engine at every boundary.
+  for (int i = 0; i < 9; ++i) {
+    twins.run(1);
+    twins.expect_counters_equal("tick boundary read");
+  }
+  EXPECT_GT(twins.batched.identity_switch_ticks(), 0);
+}
+
+TEST(IdentitySwitch, ChurnArrivalOntoFastPathCore) {
+  TwinPair twins;
+  twins.spawn("incumbent", "mcf", 1, 0);
+  twins.spawn("neighbor", "gcc", 2, 1);
+  twins.run(8);
+  ASSERT_GT(twins.batched.identity_switch_ticks(), 0);
+  // Churn: the incumbent departs, a new tenant lands on the same core
+  // (the scheduler now alternates picks on core 0 while the arrival
+  // warms up — a real switch, then steady state again).
+  twins.batched.destroy_vm(0);
+  twins.eager.destroy_vm(0);
+  twins.spawn("arrival", "gcc", 3, 0);
+  const auto at_arrival = twins.batched.identity_switch_ticks();
+  twins.run(8);
+  twins.expect_counters_equal("after arrival settles");
+  // The arrival reaches the fast path too.
+  EXPECT_GT(twins.batched.identity_switch_ticks(), at_arrival);
+}
+
+TEST(IdentitySwitch, KyotoPunishStateUnaffectedByLazyResidency) {
+  // A Ks4Xen twin pair with a tightly booked polluter: quota debits
+  // and punish transitions (computed from per-tick RunReports, not
+  // the lazy accumulation) must agree bitwise while the fast path is
+  // engaged on both cores.
+  const MachineConfig machine = test::test_machine();
+  Hypervisor batched(machine, std::make_unique<core::Ks4Xen>());
+  Hypervisor eager(machine, std::make_unique<core::Ks4Xen>());
+  eager.set_control_plane_engine(false);
+  for (Hypervisor* hv : {&batched, &eager}) {
+    VmConfig booked = looping("polluter");
+    booked.llc_cap = 1.0;  // tight: punish oscillation within a few slices
+    hv->create_vm(booked, app("mcf", machine, 1), 0);
+    hv->create_vm(looping("victim"), app("gcc", machine, 2), 1);
+  }
+  batched.run_ticks(18);
+  eager.run_ticks(18);
+  ASSERT_GT(batched.identity_switch_ticks(), 0);
+  const auto& bk = static_cast<core::Ks4Xen&>(batched.scheduler()).kyoto();
+  const auto& ek = static_cast<core::Ks4Xen&>(eager.scheduler()).kyoto();
+  for (int id = 0; id < 2; ++id) {
+    const auto& bs = bk.state_by_id(id);
+    const auto& es = ek.state_by_id(id);
+    EXPECT_EQ(bs.quota, es.quota) << id;
+    EXPECT_EQ(bs.debited_total, es.debited_total) << id;
+    EXPECT_EQ(bs.punished, es.punished) << id;
+    EXPECT_EQ(bs.punish_events, es.punish_events) << id;
+    EXPECT_EQ(bs.punished_ticks, es.punished_ticks) << id;
+  }
+  EXPECT_GT(bk.state_by_id(0).punish_events, 0) << "polluter never punished; gate vacuous";
+}
+
 }  // namespace
 }  // namespace kyoto::hv

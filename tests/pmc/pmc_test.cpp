@@ -93,12 +93,40 @@ TEST(Perfctr, InFlightReadIncludesCurrentDelta) {
   VirtualCounters v;
   v.switch_in(pmu);
   pmu.add(Counter::kLlcMisses, 6);
-  // Without the PMU, in-flight events are invisible.
-  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 0u);
-  // With it, they are included.
+  // Reads are always exact: switch_in remembered the core, so the
+  // in-flight delta is folded in with or without the optional hint.
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 6u);
   EXPECT_EQ(v.read(&pmu).get(Counter::kLlcMisses), 6u);
   v.switch_out(pmu);
   EXPECT_EQ(v.read().get(Counter::kLlcMisses), 6u);
+}
+
+TEST(Perfctr, ResidentAcrossIdentitySwitchesStaysExact) {
+  // The identity-switch fast path leaves a vCPU switched in across
+  // many ticks; the in-flight delta spans all of them and must read
+  // exactly, then materialize once at the real switch-out.
+  CorePmu pmu;
+  VirtualCounters v;
+  v.switch_in(pmu);
+  pmu.add(Counter::kLlcMisses, 3);
+  pmu.add(Counter::kLlcMisses, 4);  // a later "tick", no switch between
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 7u);
+  v.switch_out(pmu);
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 7u);
+}
+
+TEST(Perfctr, ResetWhileRunningReanchorsWindow) {
+  // A monitoring window opening on a resident vCPU must not inherit
+  // the pre-window in-flight delta: reset re-anchors the snapshot.
+  CorePmu pmu;
+  VirtualCounters v;
+  v.switch_in(pmu);
+  pmu.add(Counter::kLlcMisses, 5);  // before the window
+  v.reset();
+  pmu.add(Counter::kLlcMisses, 2);  // inside the window
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 2u);
+  v.switch_out(pmu);
+  EXPECT_EQ(v.read().get(Counter::kLlcMisses), 2u);
 }
 
 TEST(Perfctr, DoubleSwitchInThrows) {
